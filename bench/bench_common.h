@@ -1,0 +1,70 @@
+// Shared configuration for the paper-reproduction bench harnesses.
+//
+// Device counts are not given in the paper; we use small values consistent
+// with its figures (Fig. 2 schedules PCR on one mixer; Fig. 11 shows RA30
+// with five nodes on the grid). Grid sizes follow Table 2 column G
+// (4x4 everywhere, 5x5 for RA100); when a storage-heavy workload cannot be
+// routed on the paper's grid we retry one size up and say so.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "assay/benchmarks.h"
+#include "core/flow.h"
+
+namespace transtore::bench {
+
+struct assay_config {
+  std::string name;
+  int devices;
+  int grid; // grid is grid x grid
+};
+
+/// Table 2 rows, largest first (matches the paper's ordering).
+inline std::vector<assay_config> table2_configs() {
+  return {
+      {"RA100", 4, 5}, {"RA70", 3, 4}, {"CPA", 3, 4},
+      {"RA30", 2, 4},  {"IVD", 2, 4},  {"PCR", 1, 4},
+  };
+}
+
+/// Default flow options for a config; `storage_aware` toggles the paper's
+/// storage optimization (Fig. 9 compares both settings).
+inline core::flow_options make_options(const assay_config& c,
+                                       bool storage_aware = true,
+                                       double ilp_seconds = 5.0) {
+  core::flow_options o;
+  o.device_count = c.devices;
+  o.grid_width = c.grid;
+  o.grid_height = c.grid;
+  o.storage_aware = storage_aware;
+  o.schedule_engine = sched::schedule_engine::combined;
+  o.sched_ilp_time_limit = ilp_seconds;
+  o.seed = 1;
+  return o;
+}
+
+/// Run the flow, retrying with a one-step-larger grid when the paper's
+/// grid cannot hold the workload. Returns the result and notes the grid
+/// actually used in `grid_used`.
+inline core::flow_result run_config(const assay_config& c,
+                                    core::flow_options o, int& grid_used) {
+  grid_used = c.grid;
+  for (;;) {
+    try {
+      o.grid_width = grid_used;
+      o.grid_height = grid_used;
+      return core::run_flow(assay::make_benchmark(c.name), o);
+    } catch (const capacity_error&) {
+      ++grid_used;
+      if (grid_used > c.grid + 2) throw;
+      std::fprintf(stderr, "[bench] %s: grid %dx%d too small, retrying %dx%d\n",
+                   c.name.c_str(), grid_used - 1, grid_used - 1, grid_used,
+                   grid_used);
+    }
+  }
+}
+
+} // namespace transtore::bench

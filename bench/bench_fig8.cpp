@@ -1,0 +1,41 @@
+// Reproduces Fig. 8: ratios of used channel segments (edges) and valves in
+// the synthesized architecture against the full connection grid. The
+// paper's claim: all ratios are below 1 and half of them close to 0 --
+// architectural synthesis confines resource usage to a fraction of the
+// grid.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/strings.h"
+#include "common/text_table.h"
+
+int main() {
+  using namespace transtore;
+  std::printf("== Fig. 8: Edge and valve ratios vs the connection grid ==\n\n");
+
+  text_table table;
+  table.add_row({"Assay", "edges used", "grid edges", "edge ratio",
+                 "valves", "grid valves", "valve ratio"});
+  bool all_below_one = true;
+  for (const auto& config : bench::table2_configs()) {
+    int grid_used = config.grid;
+    const core::flow_result r =
+        bench::run_config(config, bench::make_options(config), grid_used);
+    const arch::chip& chip = r.architecture.result;
+    table.add_row({
+        config.name,
+        std::to_string(chip.used_edge_count()),
+        std::to_string(chip.grid().edge_count()),
+        format_double(chip.edge_ratio(), 2),
+        std::to_string(chip.valve_count()),
+        std::to_string(chip.grid().total_valve_capacity()),
+        format_double(chip.valve_ratio(), 2),
+    });
+    all_below_one = all_below_one && chip.edge_ratio() < 1.0 &&
+                    chip.valve_ratio() < 1.0;
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper's claim -- every ratio < 1: %s\n",
+              all_below_one ? "REPRODUCED" : "NOT reproduced");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Micro-benchmarks of the architecture engines (google-benchmark): router
+// scaling with grid size, placement annealing, and the end-to-end flow on
+// the paper's assays.
+#include <benchmark/benchmark.h>
+
+#include "arch/placement.h"
+#include "arch/router.h"
+#include "arch/synthesis.h"
+#include "assay/benchmarks.h"
+#include "core/flow.h"
+#include "sched/list_scheduler.h"
+
+namespace {
+
+using namespace transtore;
+
+sched::schedule make_schedule(const char* name, int devices) {
+  sched::list_scheduler_options o;
+  o.device_count = devices;
+  o.restarts = 4;
+  return sched::schedule_with_list(assay::make_benchmark(name), o);
+}
+
+void bm_route_grid(benchmark::State& state) {
+  const int grid = static_cast<int>(state.range(0));
+  const sched::schedule s = make_schedule("RA30", 2);
+  const arch::routing_workload w = arch::derive_workload(s);
+  const arch::connection_grid g(grid, grid);
+  const auto nodes = arch::place_devices(g, w, arch::placement_options{});
+  for (auto _ : state) {
+    const arch::chip c = arch::route_workload(g, w, nodes, arch::router_options{});
+    benchmark::DoNotOptimize(c.used_edge_count());
+  }
+  state.counters["grid"] = grid;
+}
+BENCHMARK(bm_route_grid)->Arg(4)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void bm_placement(benchmark::State& state) {
+  const sched::schedule s = make_schedule("RA30", 3);
+  const arch::routing_workload w = arch::derive_workload(s);
+  const arch::connection_grid g(5, 5);
+  for (auto _ : state) {
+    const auto nodes = arch::place_devices(g, w, arch::placement_options{});
+    benchmark::DoNotOptimize(nodes.size());
+  }
+}
+BENCHMARK(bm_placement)->Unit(benchmark::kMillisecond);
+
+void bm_full_flow(benchmark::State& state) {
+  const char* names[] = {"PCR", "IVD", "RA30"};
+  const int devices[] = {1, 2, 2};
+  const int idx = static_cast<int>(state.range(0));
+  const auto graph = assay::make_benchmark(names[idx]);
+  core::flow_options o;
+  o.device_count = devices[idx];
+  o.schedule_engine = sched::schedule_engine::heuristic;
+  for (auto _ : state) {
+    const core::flow_result r = core::run_flow(graph, o);
+    benchmark::DoNotOptimize(r.scheduling.best.makespan());
+  }
+  state.SetLabel(names[idx]);
+}
+BENCHMARK(bm_full_flow)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void bm_list_scheduler(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto graph = assay::make_random_assay(n, 42);
+  sched::list_scheduler_options o;
+  o.device_count = 3;
+  o.restarts = 1;
+  for (auto _ : state) {
+    const sched::schedule s = sched::schedule_with_list(graph, o);
+    benchmark::DoNotOptimize(s.makespan());
+  }
+  state.counters["ops"] = n;
+}
+BENCHMARK(bm_list_scheduler)->Arg(30)->Arg(70)->Arg(100)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

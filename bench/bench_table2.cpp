@@ -1,0 +1,56 @@
+// Reproduces Table 2: scheduling, architectural synthesis, and physical
+// design results for the six benchmark assays.
+//
+// Columns mirror the paper: |O|, tE (assay execution time), ts (scheduling
+// runtime), G (grid), ne (channel segments), nv (valves), tr (architecture
+// runtime), dr/de/dp (layout dimensions after synthesis / device insertion
+// / compression), tp (physical design runtime). Absolute runtimes differ
+// from the paper's 30-minute Gurobi budget by design; the shape to compare
+// is the resource and dimension columns (see EXPERIMENTS.md).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/strings.h"
+#include "common/text_table.h"
+
+int main() {
+  using namespace transtore;
+  std::printf("== Table 2: Results of Scheduling and Synthesis ==\n\n");
+
+  text_table table;
+  table.add_row({"Assay", "|O|", "tE", "ts(s)", "G", "ne", "nv", "tr(s)",
+                 "dr", "de", "dp", "tp(s)"});
+
+  for (const auto& config : bench::table2_configs()) {
+    const auto graph = assay::make_benchmark(config.name);
+    int grid_used = config.grid;
+    const core::flow_result r =
+        bench::run_config(config, bench::make_options(config), grid_used);
+    const auto& layout = r.layout;
+    table.add_row({
+        config.name,
+        std::to_string(graph.operation_count()),
+        std::to_string(r.scheduling.best.makespan()),
+        format_double(r.scheduling.seconds, 2),
+        format_dims(grid_used, grid_used),
+        std::to_string(r.architecture.result.used_edge_count()),
+        std::to_string(r.architecture.result.valve_count()),
+        format_double(r.architecture.seconds, 2),
+        format_dims(layout.after_synthesis.width,
+                    layout.after_synthesis.height),
+        format_dims(layout.after_devices.width, layout.after_devices.height),
+        format_dims(layout.after_compression.width,
+                    layout.after_compression.height),
+        format_double(layout.seconds, 2),
+    });
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper (3.2 GHz CPU, Gurobi, 30 min solver budget):\n"
+              "  RA100 tE=1820 G=5x5 ne=32 nv=58 dr=20x20 de=26x26 dp=16x16\n"
+              "  RA70  tE=1180 G=4x4 ne=20 nv=38 dr=15x15 de=21x21 dp=11x12\n"
+              "  CPA   tE=1070 G=4x4 ne=20 nv=40 dr=15x15 de=21x21 dp=11x13\n"
+              "  RA30  tE=670  G=4x4 ne=8  nv=16 dr=15x10 de=21x16 dp=13x9\n"
+              "  IVD   tE=280  G=4x4 ne=5  nv=10 dr=10x5  de=16x9  dp=12x5\n"
+              "  PCR   tE=290  G=4x4 ne=5  nv=8  dr=5x10  de=7x14  dp=4x8\n");
+  return 0;
+}

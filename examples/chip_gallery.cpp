@@ -1,0 +1,56 @@
+// Gallery: synthesize every benchmark assay of the paper and render each
+// chip as ASCII art plus an SVG layout file. A quick visual tour of what
+// the library produces.
+#include <cstdio>
+#include <fstream>
+
+#include "assay/benchmarks.h"
+#include "core/flow.h"
+#include "phys/layout.h"
+
+int main() {
+  using namespace transtore;
+
+  struct entry {
+    const char* name;
+    int devices;
+    int grid;
+  };
+  const entry entries[] = {
+      {"PCR", 1, 4}, {"IVD", 2, 4},  {"RA30", 2, 4},
+      {"CPA", 3, 4}, {"RA70", 3, 4}, {"RA100", 4, 5},
+  };
+
+  for (const entry& e : entries) {
+    const auto graph = assay::make_benchmark(e.name);
+    core::flow_options o;
+    o.device_count = e.devices;
+    o.grid_width = e.grid;
+    o.grid_height = e.grid;
+    o.schedule_engine = sched::schedule_engine::heuristic;
+
+    core::flow_result r = [&] {
+      for (int grid = e.grid;; ++grid) {
+        try {
+          o.grid_width = o.grid_height = grid;
+          return core::run_flow(graph, o);
+        } catch (const capacity_error&) {
+          if (grid > e.grid + 2) throw;
+        }
+      }
+    }();
+
+    std::printf("==== %s ====\n%s", e.name, r.report(graph).c_str());
+    // Render the chip at the midpoint of the assay.
+    std::printf("%s\n",
+                r.architecture.result
+                    .render_ascii(r.scheduling.best.makespan() / 2)
+                    .c_str());
+
+    const std::string path = std::string("chip_") + e.name + ".svg";
+    std::ofstream out(path);
+    out << phys::render_svg(r.architecture.result, r.layout);
+    std::printf("layout -> %s\n\n", path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// The paper's motivating story (Section 2), executable: how the schedule
+// of PCR on a single mixer decides how many fluids must be cached, how
+// much storage the chip needs, and how long the assay takes -- and how the
+// storage-aware scheduler finds the good order automatically.
+#include <cstdio>
+
+#include "assay/benchmarks.h"
+#include "sched/list_scheduler.h"
+#include "sched/timing.h"
+
+int main() {
+  using namespace transtore;
+  using namespace transtore::sched;
+
+  const auto pcr = assay::make_pcr();
+  std::printf("PCR mixing stage: %d operations, %d dependencies, one mixer\n\n",
+              pcr.operation_count(), pcr.edge_count());
+
+  auto show = [&](const char* label, const schedule& s) {
+    std::printf("%-28s tE=%3ds  stores=%d  fetches=%d  capacity=%d  "
+                "cached time=%lds\n",
+                label, s.makespan(), s.store_count(), s.store_count(),
+                s.peak_concurrent_caches(), s.total_cache_time());
+    std::printf("  timeline:");
+    for (const auto& op : s.ops)
+      std::printf(" %s[%d-%d]", pcr.at(op.op).name.c_str(), op.start, op.end);
+    std::printf("\n\n");
+  };
+
+  // The two hand schedules from Fig. 2.
+  auto run_order = [&](const std::vector<int>& order) {
+    binding b;
+    b.device_of.assign(7, 0);
+    b.device_order = {order};
+    return refine_timing(pcr, b, 1, timing_options{});
+  };
+  show("breadth-first (Fig. 2(b)):", run_order({0, 1, 2, 3, 5, 4, 6}));
+  show("storage-aware (Fig. 2(c)):", run_order({0, 1, 4, 2, 3, 5, 6}));
+
+  // What the schedulers find on their own.
+  list_scheduler_options time_only;
+  time_only.device_count = 1;
+  time_only.storage_aware = false;
+  time_only.restarts = 1;
+  show("list scheduler, time only:", schedule_with_list(pcr, time_only));
+
+  list_scheduler_options storage_aware;
+  storage_aware.device_count = 1;
+  show("list scheduler, storage-aware:",
+       schedule_with_list(pcr, storage_aware));
+
+  std::printf(
+      "Every store/fetch pair costs 2 x 10s of transport and one channel\n"
+      "segment blocked for the hold -- minimizing stores shortens the assay\n"
+      "AND shrinks the chip. That is the paper's core observation.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// transtore_cli: command-line front end for the whole library.
+//
+//   transtore_cli synth  <assay|file.sg> [options]   full synthesis flow
+//   transtore_cli sched  <assay|file.sg> [options]   scheduling only
+//   transtore_cli show   <assay|file.sg>             print the DAG (DOT)
+//   transtore_cli bench-names                        list built-in assays
+//
+// Options:
+//   --devices N     mixers on the chip (default 1)
+//   --grid WxH      connection grid (default 4x4)
+//   --beta B        storage weight in objective (6) (default 0.15)
+//   --time-only     disable storage optimization (Fig. 9 baseline)
+//   --baseline      also evaluate the dedicated-storage unit
+//   --json FILE     write the machine-readable report
+//   --svg FILE      write the compacted layout
+//   --seed S        random seed (default 1)
+//
+// <assay> is a built-in name (PCR, IVD, CPA, RA30, RA70, RA100) or a path
+// to a sequencing-graph file in the src/assay/io.h text format.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "assay/benchmarks.h"
+#include "assay/io.h"
+#include "core/flow.h"
+#include "core/report.h"
+#include "phys/layout.h"
+
+namespace {
+
+using namespace transtore;
+
+assay::sequencing_graph load_assay(const std::string& spec) {
+  for (const char* name : {"PCR", "IVD", "CPA", "RA30", "RA70", "RA100"})
+    if (spec == name) return assay::make_benchmark(spec);
+  return assay::load_sequencing_graph(spec);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: transtore_cli <synth|sched|show|bench-names> "
+               "[assay] [--devices N] [--grid WxH] [--beta B] [--time-only] "
+               "[--baseline] [--json FILE] [--svg FILE] [--seed S]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+
+  if (command == "bench-names") {
+    std::printf("PCR IVD CPA RA30 RA70 RA100\n");
+    return 0;
+  }
+  if (argc < 3) return usage();
+
+  core::flow_options options;
+  std::string json_path;
+  std::string svg_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--devices") {
+      options.device_count = std::atoi(next());
+    } else if (arg == "--grid") {
+      const std::string dims = next();
+      const auto x = dims.find('x');
+      if (x == std::string::npos) return usage();
+      options.grid_width = std::atoi(dims.substr(0, x).c_str());
+      options.grid_height = std::atoi(dims.substr(x + 1).c_str());
+    } else if (arg == "--beta") {
+      options.beta = std::atof(next());
+    } else if (arg == "--time-only") {
+      options.storage_aware = false;
+    } else if (arg == "--baseline") {
+      options.run_baseline = true;
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--svg") {
+      svg_path = next();
+    } else if (arg == "--seed") {
+      options.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  try {
+    const assay::sequencing_graph graph = load_assay(argv[2]);
+
+    if (command == "show") {
+      std::printf("%s", graph.to_dot().c_str());
+      return 0;
+    }
+    if (command == "sched") {
+      sched::scheduler_options so;
+      so.device_count = options.device_count;
+      so.beta = options.beta;
+      so.storage_aware = options.storage_aware;
+      so.seed = options.seed;
+      const sched::scheduling_result r = sched::make_schedule(graph, so);
+      std::printf("tE=%d stores=%d capacity=%d cache_time=%ld\n",
+                  r.best.makespan(), r.best.store_count(),
+                  r.best.peak_concurrent_caches(), r.best.total_cache_time());
+      for (const auto& op : r.best.ops)
+        std::printf("  %-8s d%d [%d, %d)\n", graph.at(op.op).name.c_str(),
+                    op.device + 1, op.start, op.end);
+      return 0;
+    }
+    if (command == "synth") {
+      const core::flow_result r = core::run_flow(graph, options);
+      std::printf("%s", r.report(graph).c_str());
+      if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        out << core::to_json(graph, r) << "\n";
+        std::printf("report -> %s\n", json_path.c_str());
+      }
+      if (!svg_path.empty()) {
+        std::ofstream out(svg_path);
+        out << phys::render_svg(r.architecture.result, r.layout);
+        std::printf("layout -> %s\n", svg_path.c_str());
+      }
+      return 0;
+    }
+    return usage();
+  } catch (const ts_error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

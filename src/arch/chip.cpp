@@ -1,0 +1,242 @@
+#include "arch/chip.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace transtore::arch {
+
+chip::chip(connection_grid grid, std::vector<int> device_nodes)
+    : grid_(std::move(grid)), device_nodes_(std::move(device_nodes)) {
+  device_at_node_.assign(static_cast<std::size_t>(grid_.node_count()), -1);
+  for (std::size_t d = 0; d < device_nodes_.size(); ++d) {
+    const int node = device_nodes_[d];
+    require(node >= 0 && node < grid_.node_count(),
+            "chip: device node out of range");
+    require(device_at_node_[static_cast<std::size_t>(node)] < 0,
+            "chip: two devices on one node");
+    device_at_node_[static_cast<std::size_t>(node)] = static_cast<int>(d);
+  }
+}
+
+int chip::device_at(int node) const {
+  require(node >= 0 && node < grid_.node_count(), "chip: bad node");
+  return device_at_node_[static_cast<std::size_t>(node)];
+}
+
+std::vector<bool> chip::used_edges() const {
+  std::vector<bool> used(static_cast<std::size_t>(grid_.edge_count()), false);
+  for (const auto& p : paths)
+    for (int e : p.edges) used[static_cast<std::size_t>(e)] = true;
+  for (const auto& c : caches) used[static_cast<std::size_t>(c.edge)] = true;
+  return used;
+}
+
+int chip::used_edge_count() const {
+  const auto used = used_edges();
+  return static_cast<int>(std::count(used.begin(), used.end(), true));
+}
+
+int chip::valve_count() const {
+  const auto used = used_edges();
+  int valves = 0;
+  for (int e = 0; e < grid_.edge_count(); ++e) {
+    if (!used[static_cast<std::size_t>(e)]) continue;
+    const auto [u, v] = grid_.endpoints(e);
+    if (device_at(u) < 0) ++valves;
+    if (device_at(v) < 0) ++valves;
+  }
+  return valves;
+}
+
+double chip::edge_ratio() const {
+  return static_cast<double>(used_edge_count()) / grid_.edge_count();
+}
+
+double chip::valve_ratio() const {
+  return static_cast<double>(valve_count()) / grid_.total_valve_capacity();
+}
+
+rect chip::used_bounding_box() const {
+  std::set<int> nodes;
+  for (int node : device_nodes_) nodes.insert(node);
+  for (const auto& p : paths)
+    for (int n : p.nodes) nodes.insert(n);
+  for (const auto& c : caches) {
+    const auto [u, v] = grid_.endpoints(c.edge);
+    nodes.insert(u);
+    nodes.insert(v);
+  }
+  check(!nodes.empty(), "chip: no used nodes");
+  rect box{grid_.coordinate(*nodes.begin()), grid_.coordinate(*nodes.begin())};
+  for (int n : nodes) box = box.expanded_to(grid_.coordinate(n));
+  return box;
+}
+
+void chip::validate(const routing_workload& workload) const {
+  check(paths.size() == workload.tasks.size(),
+        "chip: one path required per transport task");
+  check(caches.size() == workload.caches.size(),
+        "chip: one placement required per cache request");
+
+  // Per-cache segment lookup.
+  std::vector<int> cache_edge(workload.caches.size(), -1);
+  for (const auto& c : caches) {
+    check(c.cache_id >= 0 &&
+              c.cache_id < static_cast<int>(workload.caches.size()),
+          "chip: cache id out of range");
+    check(c.edge >= 0 && c.edge < grid_.edge_count(), "chip: cache edge");
+    check(c.hold == workload.caches[static_cast<std::size_t>(c.cache_id)].hold,
+          "chip: cache hold mismatch");
+    cache_edge[static_cast<std::size_t>(c.cache_id)] = c.edge;
+  }
+
+  for (const auto& p : paths) {
+    const auto& task = workload.tasks[static_cast<std::size_t>(p.task_id)];
+    check(p.window == task.window, "chip: path window mismatch");
+    check(!p.nodes.empty(), "chip: empty path");
+    check(p.edges.size() + 1 == p.nodes.size(), "chip: path shape");
+    for (std::size_t i = 0; i < p.edges.size(); ++i) {
+      const auto [u, v] = grid_.endpoints(p.edges[i]);
+      const int a = p.nodes[i];
+      const int b = p.nodes[i + 1];
+      check((a == u && b == v) || (a == v && b == u),
+            "chip: path edge does not join consecutive nodes");
+    }
+    // No repeated node (simple path) and no foreign device in the middle.
+    std::set<int> seen(p.nodes.begin(), p.nodes.end());
+    check(seen.size() == p.nodes.size(), "chip: path revisits a node");
+    for (std::size_t i = 1; i + 1 < p.nodes.size(); ++i)
+      check(device_at(p.nodes[i]) < 0,
+            "chip: path passes through a device node");
+
+    // Terminals.
+    switch (task.kind) {
+      case task_kind::direct:
+        check(p.nodes.front() ==
+                  device_nodes_[static_cast<std::size_t>(task.from_device)],
+              "chip: direct path source terminal");
+        check(p.nodes.back() ==
+                  device_nodes_[static_cast<std::size_t>(task.to_device)],
+              "chip: direct path target terminal");
+        break;
+      case task_kind::store: {
+        check(p.nodes.front() ==
+                  device_nodes_[static_cast<std::size_t>(task.from_device)],
+              "chip: store path source terminal");
+        check(!p.edges.empty(), "chip: store path has no segment");
+        check(p.edges.back() ==
+                  cache_edge[static_cast<std::size_t>(task.cache_id)],
+              "chip: store path must end inside the cache segment");
+        break;
+      }
+      case task_kind::fetch: {
+        check(p.nodes.back() ==
+                  device_nodes_[static_cast<std::size_t>(task.to_device)],
+              "chip: fetch path target terminal");
+        check(!p.edges.empty(), "chip: fetch path has no segment");
+        check(p.edges.front() ==
+                  cache_edge[static_cast<std::size_t>(task.cache_id)],
+              "chip: fetch path must start inside the cache segment");
+        break;
+      }
+    }
+  }
+
+  // Pairwise path conflicts (constraint (10)): overlapping windows must be
+  // node- and edge-disjoint.
+  for (std::size_t a = 0; a < paths.size(); ++a) {
+    for (std::size_t b = a + 1; b < paths.size(); ++b) {
+      const auto& pa = paths[a];
+      const auto& pb = paths[b];
+      if (!pa.window.overlaps(pb.window)) continue;
+      std::set<int> nodes_a(pa.nodes.begin(), pa.nodes.end());
+      for (int n : pb.nodes)
+        check(nodes_a.count(n) == 0,
+              "chip: concurrent paths intersect at a node");
+      std::set<int> edges_a(pa.edges.begin(), pa.edges.end());
+      for (int e : pb.edges)
+        check(edges_a.count(e) == 0,
+              "chip: concurrent paths share a channel segment");
+    }
+  }
+
+  // Cache holds block their segment (edge only -- end nodes stay usable,
+  // the p'_r exception) against overlapping paths and other holds.
+  for (const auto& c : caches) {
+    const auto& request = workload.caches[static_cast<std::size_t>(c.cache_id)];
+    for (const auto& p : paths) {
+      if (!p.window.overlaps(c.hold)) continue;
+      if (p.task_id == request.store_task || p.task_id == request.fetch_task)
+        continue; // the cache's own legs border the hold, never overlap it
+      for (int e : p.edges)
+        check(e != c.edge, "chip: path crosses a held storage segment");
+    }
+    for (const auto& other : caches) {
+      if (other.cache_id == c.cache_id) continue;
+      if (other.edge == c.edge)
+        check(!other.hold.overlaps(c.hold),
+              "chip: two samples held in one segment simultaneously");
+    }
+  }
+}
+
+std::string chip::render_ascii(int time) const {
+  // Active elements at `time`.
+  std::set<int> active_edges;
+  std::set<int> active_nodes;
+  for (const auto& p : paths) {
+    if (!p.window.contains(time)) continue;
+    for (int e : p.edges) active_edges.insert(e);
+    for (int n : p.nodes) active_nodes.insert(n);
+  }
+  std::set<int> held_edges;
+  for (const auto& c : caches)
+    if (c.hold.contains(time)) held_edges.insert(c.edge);
+
+  const auto used = used_edges();
+  std::ostringstream out;
+  out << "t=" << time << "s  (#: path, =: held sample, -|: idle channel)\n";
+  for (int y = grid_.height() - 1; y >= 0; --y) {
+    // Node row.
+    for (int x = 0; x < grid_.width(); ++x) {
+      const int n = grid_.node_at(x, y);
+      const int d = device_at(n);
+      if (d >= 0)
+        out << "D" << d;
+      else
+        out << (active_nodes.count(n) ? "*" : "+") << " ";
+      if (x + 1 < grid_.width()) {
+        const int e = grid_.edge_between(n, grid_.node_at(x + 1, y));
+        char c = ' ';
+        if (held_edges.count(e))
+          c = '=';
+        else if (active_edges.count(e))
+          c = '#';
+        else if (used[static_cast<std::size_t>(e)])
+          c = '-';
+        out << c << c << c;
+      }
+    }
+    out << "\n";
+    // Vertical edge row.
+    if (y > 0) {
+      for (int x = 0; x < grid_.width(); ++x) {
+        const int e =
+            grid_.edge_between(grid_.node_at(x, y), grid_.node_at(x, y - 1));
+        char c = ' ';
+        if (held_edges.count(e))
+          c = '=';
+        else if (active_edges.count(e))
+          c = '#';
+        else if (used[static_cast<std::size_t>(e)])
+          c = '|';
+        out << c << "    ";
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+} // namespace transtore::arch

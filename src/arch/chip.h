@@ -1,0 +1,92 @@
+// Synthesized chip architecture: device placement, routed transportation
+// paths, and channel-storage assignments on a connection grid -- the planar
+// connection graph of paper Fig. 5(b)-(e).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/connection_grid.h"
+#include "arch/workload.h"
+
+namespace transtore::arch {
+
+/// One realized transportation path (a sequence of channel segments joined
+/// by switches, paper Section 3.2).
+struct routed_path {
+  int task_id = -1;
+  std::vector<int> nodes; // node sequence; front/back are the terminals
+  std::vector<int> edges; // edges[i] joins nodes[i], nodes[i+1]
+  time_interval window{};
+};
+
+/// One cached sample: which segment holds it and for how long.
+struct cache_placement {
+  int cache_id = -1;
+  int edge = -1;
+  time_interval hold{};
+};
+
+/// Complete architectural synthesis result.
+class chip {
+public:
+  /// Empty placeholder chip (minimal grid, no devices); useful for
+  /// default-constructed result aggregates.
+  chip() : chip(connection_grid(2, 2), {}) {}
+
+  chip(connection_grid grid, std::vector<int> device_nodes);
+
+  [[nodiscard]] const connection_grid& grid() const { return grid_; }
+  [[nodiscard]] const std::vector<int>& device_nodes() const {
+    return device_nodes_;
+  }
+  [[nodiscard]] int device_count() const {
+    return static_cast<int>(device_nodes_.size());
+  }
+  /// Device occupying a node, or -1.
+  [[nodiscard]] int device_at(int node) const;
+
+  std::vector<routed_path> paths;
+  std::vector<cache_placement> caches;
+
+  /// Channel segments used by at least one path or cache (the s_j of
+  /// objective (12)).
+  [[nodiscard]] std::vector<bool> used_edges() const;
+  [[nodiscard]] int used_edge_count() const;
+
+  /// Valves: one per (used edge, endpoint) incidence whose endpoint is a
+  /// switch node. Device-internal valves are excluded, matching the
+  /// paper's counting ("valves counted ... did not include those built in
+  /// mixers").
+  [[nodiscard]] int valve_count() const;
+
+  /// Fig. 8 ratios against the full connection grid.
+  [[nodiscard]] double edge_ratio() const;
+  [[nodiscard]] double valve_ratio() const;
+
+  /// Bounding box (in grid units) of all used nodes -- feeds physical
+  /// design. Returns a rect spanning at least one node.
+  [[nodiscard]] rect used_bounding_box() const;
+
+  /// Full conflict re-verification against the workload semantics:
+  ///  * every path connects its task's terminals and is connected;
+  ///  * paths whose windows overlap share no node and no edge;
+  ///  * a held segment is used by no overlapping path or other hold, while
+  ///    its end nodes remain free for others (the p'_r exception);
+  ///  * no path passes through a foreign device node;
+  ///  * store paths end by entering their cache's segment, fetch paths
+  ///    leave from it.
+  /// Throws internal_error on any violation.
+  void validate(const routing_workload& workload) const;
+
+  /// ASCII rendering of the architecture at time t (Fig. 11 style):
+  /// devices as 'D<i>', switches as '+', active segments highlighted.
+  [[nodiscard]] std::string render_ascii(int time) const;
+
+private:
+  connection_grid grid_;
+  std::vector<int> device_nodes_;
+  std::vector<int> device_at_node_;
+};
+
+} // namespace transtore::arch

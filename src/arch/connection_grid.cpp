@@ -1,0 +1,80 @@
+#include "arch/connection_grid.h"
+
+#include <cstdlib>
+
+namespace transtore::arch {
+
+connection_grid::connection_grid(int width, int height)
+    : width_(width), height_(height) {
+  require(width >= 2 && height >= 2,
+          "connection_grid: need at least a 2x2 grid");
+  incidences_.resize(static_cast<std::size_t>(node_count()));
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const int n = node_at(x, y);
+      auto& inc = incidences_[static_cast<std::size_t>(n)];
+      if (x + 1 < width_)
+        inc.emplace_back(edge_between(n, node_at(x + 1, y)), node_at(x + 1, y));
+      if (x > 0)
+        inc.emplace_back(edge_between(n, node_at(x - 1, y)), node_at(x - 1, y));
+      if (y + 1 < height_)
+        inc.emplace_back(edge_between(n, node_at(x, y + 1)), node_at(x, y + 1));
+      if (y > 0)
+        inc.emplace_back(edge_between(n, node_at(x, y - 1)), node_at(x, y - 1));
+    }
+  }
+}
+
+int connection_grid::node_at(int x, int y) const {
+  require(x >= 0 && x < width_ && y >= 0 && y < height_,
+          "connection_grid: coordinate out of range");
+  return y * width_ + x;
+}
+
+point connection_grid::coordinate(int node) const {
+  require(node >= 0 && node < node_count(), "connection_grid: bad node");
+  return {node % width_, node / width_};
+}
+
+std::pair<int, int> connection_grid::endpoints(int edge) const {
+  require(edge >= 0 && edge < edge_count(), "connection_grid: bad edge");
+  const int horizontal = (width_ - 1) * height_;
+  if (edge < horizontal) {
+    const int y = edge / (width_ - 1);
+    const int x = edge % (width_ - 1);
+    return {node_at(x, y), node_at(x + 1, y)};
+  }
+  const int v = edge - horizontal;
+  const int y = v / width_;
+  const int x = v % width_;
+  return {node_at(x, y), node_at(x, y + 1)};
+}
+
+int connection_grid::edge_between(int a, int b) const {
+  require(a >= 0 && a < node_count() && b >= 0 && b < node_count(),
+          "connection_grid: bad node");
+  if (a > b) std::swap(a, b);
+  const point pa = coordinate(a);
+  const point pb = coordinate(b);
+  if (pa.y == pb.y && pb.x == pa.x + 1) return pa.y * (width_ - 1) + pa.x;
+  if (pa.x == pb.x && pb.y == pa.y + 1)
+    return (width_ - 1) * height_ + pa.y * width_ + pa.x;
+  return -1;
+}
+
+const std::vector<std::pair<int, int>>& connection_grid::incidences(
+    int node) const {
+  require(node >= 0 && node < node_count(), "connection_grid: bad node");
+  return incidences_[static_cast<std::size_t>(node)];
+}
+
+int connection_grid::distance(int a, int b) const {
+  return manhattan_distance(coordinate(a), coordinate(b));
+}
+
+int connection_grid::distance_to_edge(int node, int edge) const {
+  const auto [u, v] = endpoints(edge);
+  return std::min(distance(node, u), distance(node, v));
+}
+
+} // namespace transtore::arch

@@ -1,0 +1,59 @@
+// Connection grid (paper Fig. 6): the W x H lattice on which devices are
+// placed and transportation paths are constructed from channel segments
+// joined by switches.
+//
+// Nodes are indexed row-major (y * width + x); edges are indexed with all
+// horizontal segments first, then all vertical ones. Every edge is one
+// channel segment capable of caching exactly one fluid sample.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/error.h"
+#include "common/geometry.h"
+
+namespace transtore::arch {
+
+class connection_grid {
+public:
+  connection_grid(int width, int height);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] int node_count() const { return width_ * height_; }
+  [[nodiscard]] int edge_count() const {
+    return (width_ - 1) * height_ + width_ * (height_ - 1);
+  }
+
+  [[nodiscard]] int node_at(int x, int y) const;
+  [[nodiscard]] point coordinate(int node) const;
+
+  /// Endpoints of an edge, (lower node, higher node).
+  [[nodiscard]] std::pair<int, int> endpoints(int edge) const;
+
+  /// Edge between two adjacent nodes, or -1.
+  [[nodiscard]] int edge_between(int a, int b) const;
+
+  /// Up to four (edge, neighbor-node) incidences of a node.
+  [[nodiscard]] const std::vector<std::pair<int, int>>& incidences(
+      int node) const;
+
+  /// Manhattan distance between two nodes.
+  [[nodiscard]] int distance(int a, int b) const;
+
+  /// Manhattan distance from a node to the nearest endpoint of an edge.
+  [[nodiscard]] int distance_to_edge(int node, int edge) const;
+
+  /// Total switch-valve capacity of the full grid: one valve per
+  /// (edge, endpoint) incidence, i.e. 2 * edge_count(). Used for the
+  /// denominator of the paper's Fig. 8 valve ratio.
+  [[nodiscard]] int total_valve_capacity() const { return 2 * edge_count(); }
+
+private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::vector<std::pair<int, int>>> incidences_;
+};
+
+} // namespace transtore::arch

@@ -1,0 +1,156 @@
+#include "arch/placement.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/prng.h"
+
+namespace transtore::arch {
+namespace {
+
+/// Device-pair communication weights from the workload.
+std::vector<std::vector<int>> pair_weights(const routing_workload& w) {
+  std::vector<std::vector<int>> weight(
+      static_cast<std::size_t>(w.device_count),
+      std::vector<int>(static_cast<std::size_t>(w.device_count), 0));
+  for (const auto& task : w.tasks) {
+    if (task.kind == task_kind::direct)
+      ++weight[static_cast<std::size_t>(task.from_device)]
+              [static_cast<std::size_t>(task.to_device)];
+  }
+  for (const auto& cache : w.caches)
+    ++weight[static_cast<std::size_t>(cache.source_device)]
+            [static_cast<std::size_t>(cache.target_device)];
+  return weight;
+}
+
+} // namespace
+
+long placement_cost(const connection_grid& grid,
+                    const routing_workload& workload,
+                    const std::vector<int>& device_nodes) {
+  long cost = 0;
+  const auto weight = pair_weights(workload);
+  const int d = workload.device_count;
+  for (int a = 0; a < d; ++a)
+    for (int b = 0; b < d; ++b) {
+      if (weight[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] ==
+          0)
+        continue;
+      cost += static_cast<long>(
+                  weight[static_cast<std::size_t>(a)]
+                        [static_cast<std::size_t>(b)]) *
+              std::max(1, grid.distance(device_nodes[static_cast<std::size_t>(a)],
+                                        device_nodes[static_cast<std::size_t>(b)]));
+    }
+  // Port-starvation term: a device with heavy transport/storage traffic
+  // needs incident channel segments; penalize low-degree (corner/border)
+  // nodes in proportion to the device's traffic so a busy device is not
+  // walled in by held storage segments.
+  std::vector<long> traffic(static_cast<std::size_t>(d), 0);
+  for (const auto& task : workload.tasks) {
+    if (task.from_device >= 0)
+      ++traffic[static_cast<std::size_t>(task.from_device)];
+    if (task.to_device >= 0 && task.to_device != task.from_device)
+      ++traffic[static_cast<std::size_t>(task.to_device)];
+  }
+  std::vector<bool> is_device_node(
+      static_cast<std::size_t>(grid.node_count()), false);
+  for (int node : device_nodes)
+    is_device_node[static_cast<std::size_t>(node)] = true;
+  for (int a = 0; a < d; ++a) {
+    long usable_ports = 0;
+    for (const auto& [edge, neighbor] :
+         grid.incidences(device_nodes[static_cast<std::size_t>(a)])) {
+      (void)edge;
+      if (!is_device_node[static_cast<std::size_t>(neighbor)]) ++usable_ports;
+    }
+    cost += (4 - usable_ports) * traffic[static_cast<std::size_t>(a)];
+  }
+  return cost;
+}
+
+std::vector<int> place_devices(const connection_grid& grid,
+                               const routing_workload& workload,
+                               const placement_options& options) {
+  const int devices = workload.device_count;
+  require(devices > 0, "place_devices: no devices");
+  if (devices > grid.node_count())
+    throw capacity_error("place_devices: grid smaller than device count");
+
+  prng rng(options.seed);
+
+  // Initial placement: spread devices along the grid boundary (matches the
+  // paper's Fig. 11 layouts where devices sit at the periphery and the
+  // interior serves as routing/storage fabric).
+  std::vector<int> boundary;
+  for (int y = 0; y < grid.height(); ++y)
+    for (int x = 0; x < grid.width(); ++x)
+      if (x == 0 || y == 0 || x == grid.width() - 1 || y == grid.height() - 1)
+        boundary.push_back(grid.node_at(x, y));
+  std::vector<int> nodes;
+  if (devices <= static_cast<int>(boundary.size())) {
+    const double stride = static_cast<double>(boundary.size()) / devices;
+    for (int d = 0; d < devices; ++d)
+      nodes.push_back(boundary[static_cast<std::size_t>(
+          std::min<double>(boundary.size() - 1, std::floor(d * stride)))]);
+    // Deduplicate collisions (possible for tiny grids).
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  }
+  for (int n = 0; static_cast<int>(nodes.size()) < devices &&
+                  n < grid.node_count();
+       ++n)
+    if (std::find(nodes.begin(), nodes.end(), n) == nodes.end())
+      nodes.push_back(n);
+  nodes.resize(static_cast<std::size_t>(devices));
+
+  std::vector<bool> occupied(static_cast<std::size_t>(grid.node_count()),
+                             false);
+  for (int n : nodes) occupied[static_cast<std::size_t>(n)] = true;
+
+  long cost = placement_cost(grid, workload, nodes);
+  std::vector<int> best = nodes;
+  long best_cost = cost;
+
+  double temperature = options.initial_temperature;
+  const double cooling =
+      std::pow(0.01 / options.initial_temperature,
+               1.0 / std::max(1, options.iterations));
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    // Move one device to a random free node, or swap two devices.
+    const int d = static_cast<int>(rng.index(static_cast<std::size_t>(devices)));
+    std::vector<int> candidate = nodes;
+    if (devices >= 2 && rng.bernoulli(0.3)) {
+      int d2 = static_cast<int>(rng.index(static_cast<std::size_t>(devices)));
+      while (d2 == d)
+        d2 = static_cast<int>(rng.index(static_cast<std::size_t>(devices)));
+      std::swap(candidate[static_cast<std::size_t>(d)],
+                candidate[static_cast<std::size_t>(d2)]);
+    } else {
+      const int target =
+          static_cast<int>(rng.index(static_cast<std::size_t>(grid.node_count())));
+      if (occupied[static_cast<std::size_t>(target)]) continue;
+      candidate[static_cast<std::size_t>(d)] = target;
+    }
+    const long candidate_cost = placement_cost(grid, workload, candidate);
+    const long delta = candidate_cost - cost;
+    if (delta <= 0 ||
+        rng.uniform_real() < std::exp(-static_cast<double>(delta) /
+                                      std::max(1e-9, temperature))) {
+      for (int n : nodes) occupied[static_cast<std::size_t>(n)] = false;
+      nodes = candidate;
+      for (int n : nodes) occupied[static_cast<std::size_t>(n)] = true;
+      cost = candidate_cost;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = nodes;
+      }
+    }
+    temperature *= cooling;
+  }
+  return best;
+}
+
+} // namespace transtore::arch

@@ -1,0 +1,34 @@
+// Device placement on the connection grid by simulated annealing.
+//
+// The cost is the workload-weighted sum of Manhattan distances between
+// communicating devices (direct tasks count the device pair; cached
+// transfers count source->target since the storage segment will be chosen
+// near the consumer). Deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/connection_grid.h"
+#include "arch/workload.h"
+
+namespace transtore::arch {
+
+struct placement_options {
+  std::uint64_t seed = 1;
+  int iterations = 4000;
+  double initial_temperature = 4.0;
+};
+
+/// Returns one grid node per device. Throws capacity_error when the grid
+/// has fewer nodes than devices.
+[[nodiscard]] std::vector<int> place_devices(const connection_grid& grid,
+                                             const routing_workload& workload,
+                                             const placement_options& options);
+
+/// The cost that place_devices minimizes (exposed for tests/benches).
+[[nodiscard]] long placement_cost(const connection_grid& grid,
+                                  const routing_workload& workload,
+                                  const std::vector<int>& device_nodes);
+
+} // namespace transtore::arch

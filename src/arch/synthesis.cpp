@@ -1,0 +1,61 @@
+#include "arch/synthesis.h"
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace transtore::arch {
+
+arch_result synthesize_architecture(const sched::schedule& s,
+                                    const arch_options& options) {
+  stopwatch watch;
+  require(options.attempts >= 1, "synthesize_architecture: attempts >= 1");
+  const connection_grid grid(options.grid_width, options.grid_height);
+  routing_workload workload = derive_workload(s);
+
+  std::optional<chip> routed;
+  int attempts_used = 0;
+  std::string last_error;
+  for (int attempt = 0; attempt < options.attempts && !routed; ++attempt) {
+    ++attempts_used;
+    placement_options p = options.placement;
+    p.seed = options.placement.seed + static_cast<std::uint64_t>(attempt);
+    router_options r = options.router;
+    r.seed = options.router.seed + static_cast<std::uint64_t>(attempt);
+    try {
+      const std::vector<int> nodes = place_devices(grid, workload, p);
+      routed = route_workload(grid, workload, nodes, r);
+    } catch (const capacity_error& e) {
+      last_error = e.what();
+      log_at(log_level::info, "arch: attempt ", attempt + 1, " failed: ",
+             e.what());
+    }
+  }
+  if (!routed)
+    throw capacity_error("synthesize_architecture: all " +
+                         std::to_string(options.attempts) +
+                         " attempts failed; last error: " + last_error);
+  routed->validate(workload);
+
+  arch_result result{*routed, std::move(workload)};
+  result.attempts_used = attempts_used;
+
+  if (options.engine == synthesis_engine::ilp) {
+    ilp_synthesis_options io = options.ilp;
+    io.warm_start = *routed;
+    const ilp_synthesis_result ilp = synthesize_with_ilp(
+        grid, result.workload, routed->device_nodes(), io);
+    result.used_ilp = true;
+    result.ilp_status = ilp.status;
+    result.ilp_objective = ilp.objective;
+    result.ilp_bound = ilp.best_bound;
+    result.ilp_variables = ilp.variables;
+    result.ilp_constraints = ilp.constraints;
+    if (ilp.result.used_edge_count() <= routed->used_edge_count())
+      result.result = ilp.result;
+  }
+
+  result.seconds = watch.elapsed_seconds();
+  return result;
+}
+
+} // namespace transtore::arch

@@ -1,0 +1,49 @@
+// Architectural synthesis facade: placement + routing (heuristic engine),
+// optionally followed by the paper's ILP to shrink segment usage.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "arch/ilp_synthesis.h"
+#include "arch/placement.h"
+#include "arch/router.h"
+#include "sched/schedule.h"
+
+namespace transtore::arch {
+
+enum class synthesis_engine {
+  heuristic, // SA placement + time-multiplexed A* routing
+  ilp,       // heuristic first, then ILP (8)-(12) warm-started with it
+};
+
+struct arch_options {
+  int grid_width = 4;
+  int grid_height = 4;
+  synthesis_engine engine = synthesis_engine::heuristic;
+  placement_options placement{};
+  router_options router{};
+  /// Placement/routing restart attempts before giving up.
+  int attempts = 16;
+  ilp_synthesis_options ilp{};
+};
+
+struct arch_result {
+  chip result;
+  routing_workload workload;
+  double seconds = 0.0;
+  int attempts_used = 1;
+  bool used_ilp = false;
+  milp::solve_status ilp_status = milp::solve_status::no_solution;
+  double ilp_objective = 0.0;
+  double ilp_bound = 0.0;
+  int ilp_variables = 0;
+  int ilp_constraints = 0;
+};
+
+/// Synthesize the chip architecture for a schedule. Throws capacity_error
+/// when no attempt can route the workload on the requested grid.
+[[nodiscard]] arch_result synthesize_architecture(const sched::schedule& s,
+                                                  const arch_options& options);
+
+} // namespace transtore::arch

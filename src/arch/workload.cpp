@@ -1,0 +1,85 @@
+#include "arch/workload.h"
+
+#include <algorithm>
+
+namespace transtore::arch {
+
+std::vector<int> routing_workload::tasks_in_time_order() const {
+  std::vector<int> order(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto& ta = tasks[static_cast<std::size_t>(a)];
+    const auto& tb = tasks[static_cast<std::size_t>(b)];
+    if (ta.window.begin != tb.window.begin)
+      return ta.window.begin < tb.window.begin;
+    return a < b;
+  });
+  return order;
+}
+
+routing_workload derive_workload(const sched::schedule& s) {
+  routing_workload w;
+  w.device_count = s.device_count;
+
+  auto device_of = [&](int op) {
+    return s.ops[static_cast<std::size_t>(op)].device;
+  };
+
+  for (std::size_t t = 0; t < s.transfers.size(); ++t) {
+    const sched::edge_transfer& tr = s.transfers[t];
+    switch (tr.kind) {
+      case sched::transfer_kind::handoff:
+        break;
+      case sched::transfer_kind::direct: {
+        const auto& leg = s.legs[static_cast<std::size_t>(tr.direct_leg)];
+        transport_task task;
+        task.id = static_cast<int>(w.tasks.size());
+        task.kind = task_kind::direct;
+        task.transfer_index = static_cast<int>(t);
+        task.from_device = device_of(tr.source_op);
+        task.to_device = device_of(tr.target_op);
+        task.window = leg.window;
+        w.tasks.push_back(task);
+        break;
+      }
+      case sched::transfer_kind::cached: {
+        const auto& store = s.legs[static_cast<std::size_t>(tr.store_leg)];
+        const auto& fetch = s.legs[static_cast<std::size_t>(tr.fetch_leg)];
+        cache_request cache;
+        cache.id = static_cast<int>(w.caches.size());
+        cache.transfer_index = static_cast<int>(t);
+        cache.hold = tr.cache_hold;
+        cache.source_device = device_of(tr.source_op);
+        cache.target_device = device_of(tr.target_op);
+
+        transport_task store_task;
+        store_task.id = static_cast<int>(w.tasks.size());
+        store_task.kind = task_kind::store;
+        store_task.transfer_index = static_cast<int>(t);
+        store_task.from_device = device_of(tr.source_op);
+        store_task.to_device = -1;
+        store_task.window = store.window;
+        store_task.cache_id = cache.id;
+        cache.store_task = store_task.id;
+        w.tasks.push_back(store_task);
+
+        transport_task fetch_task;
+        fetch_task.id = static_cast<int>(w.tasks.size());
+        fetch_task.kind = task_kind::fetch;
+        fetch_task.transfer_index = static_cast<int>(t);
+        fetch_task.from_device = -1;
+        fetch_task.to_device = device_of(tr.target_op);
+        fetch_task.window = fetch.window;
+        fetch_task.cache_id = cache.id;
+        cache.fetch_task = fetch_task.id;
+        w.tasks.push_back(fetch_task);
+
+        w.caches.push_back(cache);
+        break;
+      }
+    }
+  }
+  return w;
+}
+
+} // namespace transtore::arch

@@ -1,0 +1,57 @@
+// Routing workload derivation: the transport tasks and cache requests a
+// schedule imposes on the chip architecture.
+//
+// Each schedule transfer becomes:
+//   * handoff -> nothing (the fluid never leaves the mixer);
+//   * direct  -> one device-to-device transport task;
+//   * cached  -> a store task (device -> channel storage), a cache request
+//                (a segment held for the hold interval), and a fetch task
+//                (channel storage -> device).
+// Reagent-load legs are not routed: inlets are assumed at each device (see
+// DESIGN.md); the paper's architectural model likewise routes only
+// inter-device and storage traffic.
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.h"
+
+namespace transtore::arch {
+
+enum class task_kind { direct, store, fetch };
+
+/// One fluid movement to be realized as a transportation path.
+struct transport_task {
+  int id = -1;
+  task_kind kind = task_kind::direct;
+  int transfer_index = -1; // into schedule::transfers
+  int from_device = -1;    // -1 when departing channel storage (fetch)
+  int to_device = -1;      // -1 when entering channel storage (store)
+  time_interval window{};
+  int cache_id = -1;       // store/fetch tasks: owning cache request
+};
+
+/// One sample that must sit in a channel segment for `hold`.
+struct cache_request {
+  int id = -1;
+  int transfer_index = -1;
+  int store_task = -1;
+  int fetch_task = -1;
+  time_interval hold{};
+  int source_device = -1; // where the store departs
+  int target_device = -1; // where the fetch arrives
+};
+
+struct routing_workload {
+  std::vector<transport_task> tasks;
+  std::vector<cache_request> caches;
+  int device_count = 0;
+
+  /// Tasks sorted by (window begin, id) -- the routing order.
+  [[nodiscard]] std::vector<int> tasks_in_time_order() const;
+};
+
+/// Derive the workload from a validated schedule.
+[[nodiscard]] routing_workload derive_workload(const sched::schedule& s);
+
+} // namespace transtore::arch

@@ -1,0 +1,30 @@
+// Plain-text serialization of sequencing graphs.
+//
+// Format (one directive per line, '#' starts a comment):
+//
+//   assay PCR
+//   op o1 30
+//   op o2 30
+//   dep o1 o2
+//
+// Operations are referenced by name; names must be unique.
+#pragma once
+
+#include <string>
+
+#include "assay/sequencing_graph.h"
+
+namespace transtore::assay {
+
+/// Parses the text format; throws invalid_input_error with a line number on
+/// malformed input.
+[[nodiscard]] sequencing_graph parse_sequencing_graph(const std::string& text);
+
+/// Renders a graph into the text format (round-trips with the parser).
+[[nodiscard]] std::string to_text(const sequencing_graph& graph);
+
+/// Reads a graph from a file. Throws invalid_input_error when the file
+/// cannot be opened or parsed.
+[[nodiscard]] sequencing_graph load_sequencing_graph(const std::string& path);
+
+} // namespace transtore::assay

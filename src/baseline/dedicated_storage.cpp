@@ -1,0 +1,95 @@
+#include "baseline/dedicated_storage.h"
+
+#include <cmath>
+
+#include "common/stopwatch.h"
+
+namespace transtore::baseline {
+namespace {
+
+/// Rewrite the workload so every store targets the unit and every fetch
+/// departs from it: all tasks become plain device-to-device transports
+/// involving the pseudo-device `unit_index`, and no channel caching exists.
+arch::routing_workload dedicated_workload(const sched::schedule& s,
+                                          int unit_index) {
+  arch::routing_workload w = arch::derive_workload(s);
+  for (auto& task : w.tasks) {
+    switch (task.kind) {
+      case arch::task_kind::store:
+        task.kind = arch::task_kind::direct;
+        task.to_device = unit_index;
+        task.cache_id = -1;
+        break;
+      case arch::task_kind::fetch:
+        task.kind = arch::task_kind::direct;
+        task.from_device = unit_index;
+        task.cache_id = -1;
+        break;
+      case arch::task_kind::direct:
+        break;
+    }
+  }
+  w.caches.clear();
+  w.device_count = unit_index + 1;
+  return w;
+}
+
+} // namespace
+
+int storage_unit_valves(int cells) {
+  require(cells >= 0, "storage_unit_valves: negative cell count");
+  if (cells == 0) return 0;
+  const int mux_stages =
+      cells > 1 ? static_cast<int>(std::ceil(std::log2(cells))) : 1;
+  return 2 * cells + 2 * mux_stages + 2;
+}
+
+baseline_result evaluate_baseline(const assay::sequencing_graph& graph,
+                                  const sched::schedule& s,
+                                  const baseline_options& options) {
+  stopwatch watch;
+  baseline_result result;
+
+  // Re-time the same binding through the single-port storage unit.
+  sched::timing_options timing = options.timing;
+  timing.transport_time = s.transport_time;
+  timing.storage_ports = 1;
+  const sched::binding b = sched::extract_binding(s, s.device_count);
+  result.retimed = sched::refine_timing(graph, b, s.device_count, timing);
+  result.retimed.validate(graph);
+  result.makespan = result.retimed.makespan();
+  result.storage_cells = result.retimed.peak_concurrent_caches();
+  result.unit_valves = storage_unit_valves(result.storage_cells);
+
+  // Baseline architecture: the unit is one more node on the grid.
+  const int unit_index = s.device_count;
+  arch::routing_workload workload = dedicated_workload(result.retimed, unit_index);
+  const arch::connection_grid grid(options.grid_width, options.grid_height);
+
+  std::string last_error = "no attempt made";
+  bool routed = false;
+  for (int attempt = 0; attempt < options.attempts && !routed; ++attempt) {
+    arch::placement_options p = options.placement;
+    p.seed = options.placement.seed + static_cast<std::uint64_t>(attempt);
+    arch::router_options r = options.router;
+    r.seed = options.router.seed + static_cast<std::uint64_t>(attempt);
+    try {
+      const std::vector<int> nodes = arch::place_devices(grid, workload, p);
+      const arch::chip c = arch::route_workload(grid, workload, nodes, r);
+      c.validate(workload);
+      result.chip_valves = c.valve_count();
+      result.used_edges = c.used_edge_count();
+      routed = true;
+    } catch (const capacity_error& e) {
+      last_error = e.what();
+    }
+  }
+  if (!routed)
+    throw capacity_error("evaluate_baseline: routing failed: " + last_error);
+
+  result.total_valves = result.chip_valves + result.unit_valves;
+  result.seconds = watch.elapsed_seconds();
+  return result;
+}
+
+} // namespace transtore::baseline

@@ -1,0 +1,57 @@
+// Dedicated-storage-unit baseline (paper Fig. 1(c)/3(a)/3(c) and the
+// comparison of Fig. 10).
+//
+// Prior synthesis flows park every intermediate fluid in a multiplexer-
+// addressed storage unit. This module models that architecture so the
+// proposed distributed channel storage can be compared against it:
+//
+//   * Re-timing: the same binding (assignment + order) is re-timed with
+//     timing_options::storage_ports = 1 -- every non-handoff transfer
+//     becomes a store+fetch through the unit's single access port, which
+//     serializes concurrent accesses and prolongs the assay.
+//   * Valve cost of the unit (per Fig. 1(c), Amin et al. [3]): with c
+//     side-by-side cells, 2c cell-gate valves + 2*ceil(log2 c) multiplexer
+//     valves + 2 port valves.
+//   * Architecture: the unit occupies one grid node like a device; all
+//     store/fetch traffic is routed between devices and the unit, and the
+//     chip valve count adds the unit-internal valves.
+#pragma once
+
+#include "arch/synthesis.h"
+#include "assay/sequencing_graph.h"
+#include "sched/timing.h"
+
+namespace transtore::baseline {
+
+/// Valves inside a dedicated storage unit with `cells` cells.
+[[nodiscard]] int storage_unit_valves(int cells);
+
+struct baseline_options {
+  sched::timing_options timing{}; // storage_ports is forced to 1
+  int grid_width = 4;
+  int grid_height = 4;
+  arch::placement_options placement{};
+  arch::router_options router{};
+  int attempts = 16;
+};
+
+struct baseline_result {
+  sched::schedule retimed;  // same binding, dedicated-storage timing
+  int makespan = 0;
+  int storage_cells = 0;    // peak concurrently stored samples
+  int unit_valves = 0;      // valves inside the storage unit
+  int chip_valves = 0;      // switch valves of the routed chip
+  int total_valves = 0;     // chip + unit
+  int used_edges = 0;
+  double seconds = 0.0;
+};
+
+/// Evaluate the dedicated-storage baseline for the binding of schedule `s`
+/// (the proposed flow's schedule): re-time with a single storage port and
+/// synthesize the baseline architecture with the unit as an extra node.
+/// Throws capacity_error when routing fails on the requested grid.
+[[nodiscard]] baseline_result evaluate_baseline(
+    const assay::sequencing_graph& graph, const sched::schedule& s,
+    const baseline_options& options);
+
+} // namespace transtore::baseline

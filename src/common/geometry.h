@@ -1,0 +1,66 @@
+// Integer grid geometry shared by architectural and physical design.
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace transtore {
+
+/// A point on an integer grid (x grows right, y grows up).
+struct point {
+  int x = 0;
+  int y = 0;
+
+  friend bool operator==(const point&, const point&) = default;
+};
+
+/// Manhattan distance between two grid points.
+inline int manhattan_distance(const point& a, const point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Axis-aligned integer rectangle [lo.x, hi.x] x [lo.y, hi.y], inclusive.
+struct rect {
+  point lo;
+  point hi;
+
+  [[nodiscard]] int width() const { return hi.x - lo.x; }
+  [[nodiscard]] int height() const { return hi.y - lo.y; }
+
+  [[nodiscard]] bool contains(const point& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  [[nodiscard]] bool intersects(const rect& other) const {
+    return lo.x <= other.hi.x && other.lo.x <= hi.x && lo.y <= other.hi.y &&
+           other.lo.y <= hi.y;
+  }
+
+  /// Smallest rectangle containing both this and `p`.
+  [[nodiscard]] rect expanded_to(const point& p) const {
+    return rect{{std::min(lo.x, p.x), std::min(lo.y, p.y)},
+                {std::max(hi.x, p.x), std::max(hi.y, p.y)}};
+  }
+
+  friend bool operator==(const rect&, const rect&) = default;
+};
+
+/// Half-open time interval [begin, end) in integer seconds.
+struct time_interval {
+  int begin = 0;
+  int end = 0;
+
+  [[nodiscard]] bool empty() const { return end <= begin; }
+  [[nodiscard]] int length() const { return end - begin; }
+
+  /// True when the two half-open intervals share at least one instant.
+  [[nodiscard]] bool overlaps(const time_interval& other) const {
+    return begin < other.end && other.begin < end;
+  }
+
+  [[nodiscard]] bool contains(int t) const { return t >= begin && t < end; }
+
+  friend bool operator==(const time_interval&, const time_interval&) = default;
+};
+
+} // namespace transtore

@@ -1,0 +1,35 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace transtore {
+namespace {
+
+std::atomic<log_level> g_level{log_level::warn};
+
+const char* level_tag(log_level level) {
+  switch (level) {
+    case log_level::debug: return "debug";
+    case log_level::info: return "info ";
+    case log_level::warn: return "warn ";
+    case log_level::error: return "error";
+    case log_level::off: return "off  ";
+  }
+  return "?";
+}
+
+} // namespace
+
+log_level global_log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_global_log_level(log_level level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void log_line(log_level level, const std::string& message) {
+  if (level < global_log_level()) return;
+  std::fprintf(stderr, "[transtore %s] %s\n", level_tag(level), message.c_str());
+}
+
+} // namespace transtore

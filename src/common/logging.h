@@ -1,0 +1,41 @@
+// Minimal leveled logging to stderr.
+//
+// The library is quiet by default (level::warn); solvers and benches raise
+// the level explicitly when the caller asks for progress output. No global
+// mutable state other than the process-wide log level, which is an explicit,
+// documented knob.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace transtore {
+
+enum class log_level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Process-wide minimum level that is actually emitted.
+log_level global_log_level();
+void set_global_log_level(log_level level);
+
+/// Emit one line at `level` (no-op if below the global level).
+void log_line(log_level level, const std::string& message);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& out, const T& value, const Rest&... rest) {
+  out << value;
+  append_all(out, rest...);
+}
+} // namespace detail
+
+/// Convenience: log_at(log_level::info, "solved ", n, " nodes").
+template <typename... Parts>
+void log_at(log_level level, const Parts&... parts) {
+  if (level < global_log_level()) return;
+  std::ostringstream out;
+  detail::append_all(out, parts...);
+  log_line(level, out.str());
+}
+
+} // namespace transtore

@@ -1,0 +1,52 @@
+// Wall-clock stopwatch used for solver time limits and runtime reporting.
+#pragma once
+
+#include <chrono>
+
+namespace transtore {
+
+/// Monotonic stopwatch; starts running on construction.
+class stopwatch {
+public:
+  stopwatch() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Deadline helper: answers "is the budget exhausted?" for solvers.
+class deadline {
+public:
+  /// A non-positive or infinite budget means "no limit".
+  explicit deadline(double budget_seconds)
+      : budget_seconds_(budget_seconds), watch_() {}
+
+  [[nodiscard]] bool expired() const {
+    return budget_seconds_ > 0.0 && watch_.elapsed_seconds() >= budget_seconds_;
+  }
+
+  [[nodiscard]] double remaining_seconds() const {
+    if (budget_seconds_ <= 0.0) return 1e18;
+    const double left = budget_seconds_ - watch_.elapsed_seconds();
+    return left > 0.0 ? left : 0.0;
+  }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return watch_.elapsed_seconds();
+  }
+
+private:
+  double budget_seconds_;
+  stopwatch watch_;
+};
+
+} // namespace transtore

@@ -1,0 +1,67 @@
+#include "common/strings.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace transtore {
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& separator) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string format_double(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string format_number(double value) {
+  const double rounded = std::round(value);
+  if (std::abs(value - rounded) < 1e-9 && std::abs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%lld",
+                  static_cast<long long>(rounded));
+    return buffer;
+  }
+  return format_double(value, 2);
+}
+
+std::string format_dims(int width, int height) {
+  std::ostringstream out;
+  out << width << "x" << height;
+  return out.str();
+}
+
+std::vector<std::string> split(const std::string& text, char delimiter) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : text) {
+    if (c == delimiter) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+std::string trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])))
+    ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])))
+    --end;
+  return text.substr(begin, end - begin);
+}
+
+} // namespace transtore

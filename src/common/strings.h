@@ -1,0 +1,28 @@
+// Small string/format helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace transtore {
+
+/// Join `parts` with `separator` ("a", "b" -> "a,b").
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& separator);
+
+/// Fixed-precision decimal rendering ("3.14"); trailing zeros kept.
+std::string format_double(double value, int decimals);
+
+/// Compact rendering: integers without decimals, otherwise 2 decimals.
+std::string format_number(double value);
+
+/// "WxH" dimension rendering used in Table 2 ("15x10").
+std::string format_dims(int width, int height);
+
+/// Split on a delimiter; empty tokens preserved.
+std::vector<std::string> split(const std::string& text, char delimiter);
+
+/// Strip leading/trailing whitespace.
+std::string trim(const std::string& text);
+
+} // namespace transtore

@@ -1,0 +1,41 @@
+#include "common/text_table.h"
+
+#include <algorithm>
+
+namespace transtore {
+
+void text_table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string text_table::render() const {
+  if (rows_.empty()) return "";
+  std::size_t columns = 0;
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+
+  std::vector<std::size_t> widths(columns, 0);
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::string out;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    for (std::size_t c = 0; c < columns; ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      out += cell;
+      if (c + 1 < columns) out += std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    out += '\n';
+    if (r == 0) {
+      std::size_t total = 0;
+      for (std::size_t c = 0; c < columns; ++c)
+        total += widths[c] + (c + 1 < columns ? 2 : 0);
+      out += std::string(total, '-');
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+} // namespace transtore

@@ -1,0 +1,24 @@
+// Aligned plain-text tables for bench output (Table 2 style).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace transtore {
+
+/// Collects rows of cells and renders them with aligned columns.
+class text_table {
+public:
+  /// The first added row is treated as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with single-space-padded columns and a rule under the header.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace transtore

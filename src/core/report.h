@@ -1,0 +1,52 @@
+// Machine-readable result reporting.
+//
+// A small self-contained JSON writer (objects, arrays, strings, numbers)
+// plus a serializer that flattens a flow_result -- schedule, transfers,
+// architecture metrics, layout dimensions, baseline comparison -- into one
+// JSON document for downstream tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/flow.h"
+
+namespace transtore::core {
+
+/// Minimal streaming JSON writer with correct escaping.
+class json_writer {
+public:
+  json_writer& begin_object();
+  json_writer& end_object();
+  json_writer& begin_array(const std::string& key = {});
+  json_writer& end_array();
+  json_writer& key(const std::string& name);
+  json_writer& value(const std::string& v);
+  json_writer& value(const char* v);
+  json_writer& value(double v);
+  json_writer& value(long v);
+  json_writer& value(int v);
+  json_writer& value(bool v);
+
+  /// Convenience: key + scalar value.
+  template <typename T>
+  json_writer& field(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  [[nodiscard]] std::string str() const { return out_; }
+
+private:
+  void separator();
+  void append_quoted(const std::string& v);
+  std::string out_;
+  std::vector<bool> need_comma_;
+  bool pending_key_ = false;
+};
+
+/// Serialize a complete flow result (plus the assay identity) to JSON.
+[[nodiscard]] std::string to_json(const assay::sequencing_graph& graph,
+                                  const flow_result& result);
+
+} // namespace transtore::core

@@ -1,0 +1,100 @@
+// Linear expressions over model variables.
+//
+// A linear_expr is a sparse sum of (coefficient * variable) terms plus a
+// constant offset. Expressions are built with natural operator syntax:
+//
+//   linear_expr e = 2.0 * x + y - 3.0;
+//   e += 0.5 * z;
+//
+// and handed to model::add_constraint / model::set_objective.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace transtore::milp {
+
+/// Lightweight handle to a model variable. Only valid for the model that
+/// created it.
+struct variable {
+  int index = -1;
+
+  [[nodiscard]] bool valid() const { return index >= 0; }
+  friend bool operator==(const variable&, const variable&) = default;
+};
+
+/// Sparse linear expression: sum of coeff*var terms plus a constant.
+class linear_expr {
+public:
+  linear_expr() = default;
+  /*implicit*/ linear_expr(double constant) : constant_(constant) {}
+  /*implicit*/ linear_expr(variable v) { add_term(v, 1.0); }
+
+  /// Adds `coefficient * v`; merges with an existing term for `v`.
+  void add_term(variable v, double coefficient) {
+    require(v.valid(), "linear_expr: invalid variable handle");
+    terms_[v.index] += coefficient;
+  }
+
+  void add_constant(double value) { constant_ += value; }
+
+  [[nodiscard]] double constant() const { return constant_; }
+
+  /// Terms in ascending variable-index order. Zero coefficients may appear
+  /// if terms cancelled; consumers should skip them.
+  [[nodiscard]] const std::map<int, double>& terms() const { return terms_; }
+
+  [[nodiscard]] bool empty() const { return terms_.empty(); }
+
+  linear_expr& operator+=(const linear_expr& other) {
+    for (const auto& [index, coeff] : other.terms_) terms_[index] += coeff;
+    constant_ += other.constant_;
+    return *this;
+  }
+
+  linear_expr& operator-=(const linear_expr& other) {
+    for (const auto& [index, coeff] : other.terms_) terms_[index] -= coeff;
+    constant_ -= other.constant_;
+    return *this;
+  }
+
+  linear_expr& operator*=(double factor) {
+    for (auto& [index, coeff] : terms_) coeff *= factor;
+    constant_ *= factor;
+    return *this;
+  }
+
+private:
+  std::map<int, double> terms_;
+  double constant_ = 0.0;
+};
+
+inline linear_expr operator+(linear_expr a, const linear_expr& b) {
+  a += b;
+  return a;
+}
+
+inline linear_expr operator-(linear_expr a, const linear_expr& b) {
+  a -= b;
+  return a;
+}
+
+inline linear_expr operator*(double factor, linear_expr e) {
+  e *= factor;
+  return e;
+}
+
+inline linear_expr operator*(linear_expr e, double factor) {
+  e *= factor;
+  return e;
+}
+
+inline linear_expr operator-(linear_expr e) {
+  e *= -1.0;
+  return e;
+}
+
+} // namespace transtore::milp

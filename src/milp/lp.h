@@ -1,0 +1,54 @@
+// Linear-programming data structures shared by the simplex engine and the
+// branch-and-bound driver.
+//
+// Standard computational form used internally:
+//
+//   minimize    c'x
+//   subject to  row_lower <= A x <= row_upper      (ranged rows)
+//               lower     <=   x <= upper          (variable bounds)
+//
+// Rows are materialized as "logical" (slack) columns holding the row
+// activity, so the simplex works on the homogeneous system A x - s = 0.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+namespace transtore::milp {
+
+/// Sparse column-major LP instance (structural columns only).
+struct lp_problem {
+  int num_vars = 0;
+  int num_rows = 0;
+
+  // Structural columns.
+  std::vector<double> cost;  // size num_vars (minimization)
+  std::vector<double> lower; // size num_vars
+  std::vector<double> upper; // size num_vars
+
+  // Ranged rows.
+  std::vector<double> row_lower; // size num_rows
+  std::vector<double> row_upper; // size num_rows
+
+  // CSC of A: column j occupies [col_start[j], col_start[j+1]).
+  std::vector<int> col_start;  // size num_vars + 1
+  std::vector<int> row_index;  // size nnz
+  std::vector<double> value;   // size nnz
+};
+
+enum class lp_status {
+  optimal,
+  infeasible,
+  unbounded,
+  iteration_limit,
+  time_limit,
+};
+
+struct lp_result {
+  lp_status status = lp_status::iteration_limit;
+  double objective = std::numeric_limits<double>::infinity();
+  std::vector<double> x; // structural variable values (size num_vars)
+  long iterations = 0;
+};
+
+} // namespace transtore::milp

@@ -1,0 +1,115 @@
+// Mixed-integer linear program builder.
+//
+// The model is the solver-independent description of a MILP: variables with
+// bounds and integrality, ranged linear constraints, and a linear objective.
+// The paper's formulations (scheduling ILP of Table 1 and the architectural
+// synthesis ILP of Section 3.2) are emitted into this model and solved with
+// milp::solve() -- our from-scratch replacement for the Gurobi solver the
+// authors used.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "milp/expr.h"
+
+namespace transtore::milp {
+
+/// Positive infinity for variable / row bounds.
+inline constexpr double infinity = std::numeric_limits<double>::infinity();
+
+enum class var_kind { continuous, integer, binary };
+enum class cmp { less_equal, greater_equal, equal };
+enum class objective_sense { minimize, maximize };
+
+/// Full description of one variable.
+struct var_info {
+  std::string name;
+  var_kind kind = var_kind::continuous;
+  double lower = 0.0;
+  double upper = infinity;
+};
+
+/// One ranged constraint: lower <= expr <= upper (constants folded in).
+struct row_info {
+  std::string name;
+  std::vector<std::pair<int, double>> terms; // (variable index, coefficient)
+  double lower = -infinity;
+  double upper = infinity;
+};
+
+/// Builder for a MILP instance.
+class model {
+public:
+  /// Adds a variable; binary kind forces bounds into [0, 1].
+  variable add_variable(var_kind kind, double lower, double upper,
+                        std::string name = {});
+
+  variable add_continuous(double lower, double upper, std::string name = {}) {
+    return add_variable(var_kind::continuous, lower, upper, std::move(name));
+  }
+  variable add_integer(double lower, double upper, std::string name = {}) {
+    return add_variable(var_kind::integer, lower, upper, std::move(name));
+  }
+  variable add_binary(std::string name = {}) {
+    return add_variable(var_kind::binary, 0.0, 1.0, std::move(name));
+  }
+
+  /// Adds `expr op rhs`; the expression's constant is moved to the rhs.
+  /// Returns the row index.
+  int add_constraint(const linear_expr& expr, cmp op, double rhs,
+                     std::string name = {});
+
+  /// Adds `lower <= expr <= upper` as one ranged row.
+  int add_range_constraint(const linear_expr& expr, double lower, double upper,
+                           std::string name = {});
+
+  void set_objective(const linear_expr& expr, objective_sense sense);
+
+  [[nodiscard]] int variable_count() const {
+    return static_cast<int>(variables_.size());
+  }
+  [[nodiscard]] int constraint_count() const {
+    return static_cast<int>(rows_.size());
+  }
+  [[nodiscard]] int integer_variable_count() const;
+
+  [[nodiscard]] const var_info& variable_at(int index) const;
+  [[nodiscard]] const row_info& constraint_at(int index) const;
+
+  [[nodiscard]] const std::vector<var_info>& variables() const {
+    return variables_;
+  }
+  [[nodiscard]] const std::vector<row_info>& constraints() const {
+    return rows_;
+  }
+
+  /// Objective coefficients indexed by variable (minimization form is NOT
+  /// applied here; see objective_sense()).
+  [[nodiscard]] const std::vector<double>& objective_coefficients() const {
+    return objective_;
+  }
+  [[nodiscard]] double objective_constant() const { return objective_constant_; }
+  [[nodiscard]] objective_sense sense() const { return sense_; }
+
+  /// Evaluates the objective at a full assignment.
+  [[nodiscard]] double evaluate_objective(const std::vector<double>& x) const;
+
+  /// True when `x` satisfies every row and bound within `tolerance`,
+  /// including integrality of integer/binary variables.
+  [[nodiscard]] bool is_feasible(const std::vector<double>& x,
+                                 double tolerance = 1e-6) const;
+
+  /// Human-readable dump (LP-format-like) for debugging and tests.
+  [[nodiscard]] std::string to_text() const;
+
+private:
+  std::vector<var_info> variables_;
+  std::vector<row_info> rows_;
+  std::vector<double> objective_;
+  double objective_constant_ = 0.0;
+  objective_sense sense_ = objective_sense::minimize;
+};
+
+} // namespace transtore::milp

@@ -1,0 +1,545 @@
+#include "milp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace transtore::milp {
+namespace {
+
+constexpr double inf = std::numeric_limits<double>::infinity();
+
+} // namespace
+
+simplex_solver::simplex_solver(const lp_problem& problem,
+                               simplex_options options)
+    : problem_(problem), options_(options) {
+  n_ = problem.num_vars;
+  m_ = problem.num_rows;
+  require(static_cast<int>(problem.cost.size()) == n_ &&
+              static_cast<int>(problem.lower.size()) == n_ &&
+              static_cast<int>(problem.upper.size()) == n_,
+          "simplex: inconsistent column arrays");
+  require(static_cast<int>(problem.row_lower.size()) == m_ &&
+              static_cast<int>(problem.row_upper.size()) == m_,
+          "simplex: inconsistent row arrays");
+  require(static_cast<int>(problem.col_start.size()) == n_ + 1,
+          "simplex: bad col_start");
+
+  lower_.resize(total_columns());
+  upper_.resize(total_columns());
+  for (int j = 0; j < n_; ++j) {
+    lower_[j] = problem.lower[j];
+    upper_[j] = problem.upper[j];
+  }
+  for (int i = 0; i < m_; ++i) {
+    lower_[n_ + i] = problem.row_lower[i];
+    upper_[n_ + i] = problem.row_upper[i];
+  }
+
+  basis_.assign(m_, -1);
+  basic_position_.assign(total_columns(), -1);
+  status_.assign(total_columns(), status::at_lower);
+  x_.assign(total_columns(), 0.0);
+  binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+  work_col_.assign(m_, 0.0);
+  work_row_.assign(m_, 0.0);
+  work_cost_.assign(m_, 0.0);
+}
+
+void simplex_solver::set_variable_bounds(int var, double lower, double upper) {
+  require(var >= 0 && var < n_, "simplex: bound change on unknown variable");
+  require(lower <= upper, "simplex: crossing bounds");
+  lower_[var] = lower;
+  upper_[var] = upper;
+}
+
+double simplex_solver::variable_lower(int var) const {
+  require(var >= 0 && var < n_, "simplex: unknown variable");
+  return lower_[var];
+}
+
+double simplex_solver::variable_upper(int var) const {
+  require(var >= 0 && var < n_, "simplex: unknown variable");
+  return upper_[var];
+}
+
+void simplex_solver::reset_to_slack_basis() {
+  std::fill(basic_position_.begin(), basic_position_.end(), -1);
+  for (int i = 0; i < m_; ++i) {
+    basis_[i] = n_ + i;
+    basic_position_[n_ + i] = i;
+    status_[n_ + i] = status::basic;
+  }
+  for (int j = 0; j < n_; ++j) {
+    if (lower_[j] == -inf && upper_[j] == inf) {
+      status_[j] = status::free_zero;
+      x_[j] = 0.0;
+    } else if (lower_[j] == -inf) {
+      status_[j] = status::at_upper;
+      x_[j] = upper_[j];
+    } else if (upper_[j] == inf || std::abs(lower_[j]) <= std::abs(upper_[j])) {
+      status_[j] = status::at_lower;
+      x_[j] = lower_[j];
+    } else {
+      status_[j] = status::at_upper;
+      x_[j] = upper_[j];
+    }
+  }
+  // Slack basis matrix is -I, so its inverse is -I as well.
+  std::fill(binv_.begin(), binv_.end(), 0.0);
+  for (int i = 0; i < m_; ++i) binv_[static_cast<std::size_t>(i) * m_ + i] = -1.0;
+  basis_valid_ = true;
+}
+
+void simplex_solver::clamp_nonbasic_to_bounds() {
+  for (int j = 0; j < total_columns(); ++j) {
+    if (status_[j] == status::basic) continue;
+    if (lower_[j] == -inf && upper_[j] == inf) {
+      status_[j] = status::free_zero;
+      x_[j] = 0.0;
+      continue;
+    }
+    if (status_[j] == status::free_zero) {
+      // A previously free column acquired a bound (branching): park it.
+      status_[j] = lower_[j] != -inf ? status::at_lower : status::at_upper;
+    }
+    if (status_[j] == status::at_lower && lower_[j] == -inf)
+      status_[j] = status::at_upper;
+    if (status_[j] == status::at_upper && upper_[j] == inf)
+      status_[j] = status::at_lower;
+    x_[j] = status_[j] == status::at_lower ? lower_[j] : upper_[j];
+  }
+}
+
+void simplex_solver::compute_basic_values() {
+  // Rows are homogeneous (A x - s = 0), so B x_B = -N x_N.
+  std::vector<double> rhs(m_, 0.0);
+  for (int j = 0; j < total_columns(); ++j) {
+    if (status_[j] == status::basic) continue;
+    const double v = x_[j];
+    if (v == 0.0) continue;
+    if (j < n_) {
+      for (int k = problem_.col_start[j]; k < problem_.col_start[j + 1]; ++k)
+        rhs[problem_.row_index[k]] -= problem_.value[k] * v;
+    } else {
+      rhs[j - n_] += v; // slack column is -e_row
+    }
+  }
+  for (int p = 0; p < m_; ++p) {
+    const double* row = &binv_[static_cast<std::size_t>(p) * m_];
+    double sum = 0.0;
+    for (int i = 0; i < m_; ++i) sum += row[i] * rhs[i];
+    x_[basis_[p]] = sum;
+  }
+}
+
+void simplex_solver::refactorize() {
+  // Assemble the basis matrix and invert it by Gauss-Jordan elimination with
+  // partial pivoting.
+  std::vector<double> a(static_cast<std::size_t>(m_) * m_, 0.0);
+  for (int p = 0; p < m_; ++p) {
+    const int col = basis_[p];
+    if (col < n_) {
+      for (int k = problem_.col_start[col]; k < problem_.col_start[col + 1];
+           ++k)
+        a[static_cast<std::size_t>(problem_.row_index[k]) * m_ + p] =
+            problem_.value[k];
+    } else {
+      a[static_cast<std::size_t>(col - n_) * m_ + p] = -1.0;
+    }
+  }
+  std::fill(binv_.begin(), binv_.end(), 0.0);
+  for (int i = 0; i < m_; ++i) binv_[static_cast<std::size_t>(i) * m_ + i] = 1.0;
+
+  for (int k = 0; k < m_; ++k) {
+    int pivot_row = k;
+    double best = std::abs(a[static_cast<std::size_t>(k) * m_ + k]);
+    for (int r = k + 1; r < m_; ++r) {
+      const double cand = std::abs(a[static_cast<std::size_t>(r) * m_ + k]);
+      if (cand > best) {
+        best = cand;
+        pivot_row = r;
+      }
+    }
+    if (best < 1e-12)
+      throw internal_error("simplex: singular basis during refactorization");
+    if (pivot_row != k) {
+      for (int c = 0; c < m_; ++c) {
+        std::swap(a[static_cast<std::size_t>(pivot_row) * m_ + c],
+                  a[static_cast<std::size_t>(k) * m_ + c]);
+        std::swap(binv_[static_cast<std::size_t>(pivot_row) * m_ + c],
+                  binv_[static_cast<std::size_t>(k) * m_ + c]);
+      }
+    }
+    const double inv_pivot = 1.0 / a[static_cast<std::size_t>(k) * m_ + k];
+    for (int c = 0; c < m_; ++c) {
+      a[static_cast<std::size_t>(k) * m_ + c] *= inv_pivot;
+      binv_[static_cast<std::size_t>(k) * m_ + c] *= inv_pivot;
+    }
+    for (int r = 0; r < m_; ++r) {
+      if (r == k) continue;
+      const double f = a[static_cast<std::size_t>(r) * m_ + k];
+      if (f == 0.0) continue;
+      for (int c = 0; c < m_; ++c) {
+        a[static_cast<std::size_t>(r) * m_ + c] -=
+            f * a[static_cast<std::size_t>(k) * m_ + c];
+        binv_[static_cast<std::size_t>(r) * m_ + c] -=
+            f * binv_[static_cast<std::size_t>(k) * m_ + c];
+      }
+    }
+  }
+  // binv_ now holds B^{-1} in "basis position" row order: row p gives the
+  // coefficients expressing basis position p in terms of constraint rows.
+  compute_basic_values();
+}
+
+void simplex_solver::ftran(int column, std::vector<double>& w) const {
+  if (column < n_) {
+    for (int p = 0; p < m_; ++p) {
+      const double* row = &binv_[static_cast<std::size_t>(p) * m_];
+      double sum = 0.0;
+      for (int k = problem_.col_start[column];
+           k < problem_.col_start[column + 1]; ++k)
+        sum += row[problem_.row_index[k]] * problem_.value[k];
+      w[p] = sum;
+    }
+  } else {
+    const int row_of_slack = column - n_;
+    for (int p = 0; p < m_; ++p)
+      w[p] = -binv_[static_cast<std::size_t>(p) * m_ + row_of_slack];
+  }
+}
+
+void simplex_solver::compute_duals(const std::vector<double>& basic_cost,
+                                   std::vector<double>& y) const {
+  std::fill(y.begin(), y.end(), 0.0);
+  for (int p = 0; p < m_; ++p) {
+    const double c = basic_cost[p];
+    if (c == 0.0) continue;
+    const double* row = &binv_[static_cast<std::size_t>(p) * m_];
+    for (int i = 0; i < m_; ++i) y[i] += c * row[i];
+  }
+}
+
+double simplex_solver::reduced_cost(int column,
+                                    const std::vector<double>& y) const {
+  if (column < n_) {
+    double dot = 0.0;
+    for (int k = problem_.col_start[column]; k < problem_.col_start[column + 1];
+         ++k)
+      dot += y[problem_.row_index[k]] * problem_.value[k];
+    return -dot; // caller adds the column's own cost
+  }
+  return y[column - n_]; // slack column is -e_row with zero cost
+}
+
+double simplex_solver::column_cost_phase2(int column) const {
+  return column < n_ ? problem_.cost[column] : 0.0;
+}
+
+double simplex_solver::infeasibility_sum() const {
+  double total = 0.0;
+  for (int p = 0; p < m_; ++p) {
+    const int col = basis_[p];
+    if (x_[col] < lower_[col]) total += lower_[col] - x_[col];
+    if (x_[col] > upper_[col]) total += x_[col] - upper_[col];
+  }
+  return total;
+}
+
+bool simplex_solver::basic_feasible() const {
+  const double tol = options_.feasibility_tolerance;
+  for (int p = 0; p < m_; ++p) {
+    const int col = basis_[p];
+    if (x_[col] < lower_[col] - tol || x_[col] > upper_[col] + tol)
+      return false;
+  }
+  return true;
+}
+
+simplex_solver::pivot_outcome simplex_solver::iterate(bool phase1,
+                                                      bool bland) {
+  const double feas_tol = options_.feasibility_tolerance;
+  const double opt_tol = options_.optimality_tolerance;
+  const double pivot_tol = options_.pivot_tolerance;
+
+  // Phase-dependent basic costs.
+  for (int p = 0; p < m_; ++p) {
+    const int col = basis_[p];
+    if (phase1) {
+      if (x_[col] < lower_[col] - feas_tol)
+        work_cost_[p] = -1.0;
+      else if (x_[col] > upper_[col] + feas_tol)
+        work_cost_[p] = 1.0;
+      else
+        work_cost_[p] = 0.0;
+    } else {
+      work_cost_[p] = column_cost_phase2(col);
+    }
+  }
+  compute_duals(work_cost_, work_row_);
+
+  // Entering column selection.
+  int entering = -1;
+  int direction = 0;
+  double best_violation = opt_tol;
+  for (int j = 0; j < total_columns(); ++j) {
+    const status s = status_[j];
+    if (s == status::basic) continue;
+    const double own_cost = phase1 ? 0.0 : column_cost_phase2(j);
+    const double d = own_cost + reduced_cost(j, work_row_);
+    int dir = 0;
+    double violation = 0.0;
+    if (s == status::at_lower && d < -opt_tol) {
+      dir = 1;
+      violation = -d;
+    } else if (s == status::at_upper && d > opt_tol) {
+      dir = -1;
+      violation = d;
+    } else if (s == status::free_zero && std::abs(d) > opt_tol) {
+      dir = d < 0.0 ? 1 : -1;
+      violation = std::abs(d);
+    }
+    if (dir == 0) continue;
+    if (bland) {
+      entering = j;
+      direction = dir;
+      break;
+    }
+    if (violation > best_violation) {
+      best_violation = violation;
+      entering = j;
+      direction = dir;
+    }
+  }
+
+  pivot_outcome outcome;
+  if (entering < 0) {
+    outcome.no_candidate = true;
+    return outcome;
+  }
+
+  ftran(entering, work_col_);
+
+  // Ratio test. The entering variable moves by `step` in `direction`;
+  // basic variable at position p changes at rate -direction * w[p].
+  double best_step = inf;
+  int leaving_pos = -1; // -1 means the entering column's own bound binds
+  bool leaving_to_upper = false;
+  double best_pivot = 0.0;
+
+  if (lower_[entering] != -inf && upper_[entering] != inf)
+    best_step = upper_[entering] - lower_[entering];
+
+  for (int p = 0; p < m_; ++p) {
+    const double w = work_col_[p];
+    if (std::abs(w) <= pivot_tol) continue;
+    const int col = basis_[p];
+    const double rate = -direction * w;
+    const double value = x_[col];
+    double limit = inf;
+    bool to_upper = false;
+
+    const bool below = value < lower_[col] - feas_tol;
+    const bool above = value > upper_[col] + feas_tol;
+    if (phase1 && below) {
+      // Infeasible basic below its lower bound: breakpoint only when it
+      // rises to that bound (it leaves there, feasible).
+      if (rate > 0.0) {
+        limit = (lower_[col] - value) / rate;
+        to_upper = false;
+      }
+    } else if (phase1 && above) {
+      if (rate < 0.0) {
+        limit = (upper_[col] - value) / rate;
+        to_upper = true;
+      }
+    } else {
+      if (rate > 0.0 && upper_[col] != inf) {
+        limit = (upper_[col] - value) / rate;
+        to_upper = true;
+      } else if (rate < 0.0 && lower_[col] != -inf) {
+        limit = (lower_[col] - value) / rate;
+        to_upper = false;
+      }
+    }
+    if (limit == inf) continue;
+    if (limit < 0.0) limit = 0.0; // numerical guard
+    bool better = false;
+    if (limit < best_step - 1e-12) {
+      better = true;
+    } else if (limit <= best_step + 1e-12 && leaving_pos >= 0) {
+      // Tie among basic candidates: Bland picks the lowest column index
+      // (anti-cycling); otherwise prefer the largest pivot for stability.
+      better = bland ? col < basis_[leaving_pos]
+                     : std::abs(w) > std::abs(best_pivot);
+    }
+    if (better) {
+      best_step = limit;
+      leaving_pos = p;
+      leaving_to_upper = to_upper;
+      best_pivot = w;
+    }
+  }
+
+  if (best_step == inf) {
+    if (phase1)
+      throw internal_error(
+          "simplex: unbounded phase-1 direction (should be impossible)");
+    outcome.unbounded = true;
+    return outcome;
+  }
+
+  apply_pivot(entering, direction, best_step, leaving_pos, best_pivot,
+              work_col_, leaving_to_upper);
+  outcome.moved = true;
+  outcome.step = best_step;
+  return outcome;
+}
+
+void simplex_solver::apply_pivot(int entering, int direction, double step,
+                                 int leaving_pos, double pivot_element,
+                                 const std::vector<double>& w,
+                                 bool leaving_to_upper) {
+  // Move values along the simplex direction.
+  x_[entering] += direction * step;
+  if (step != 0.0) {
+    for (int p = 0; p < m_; ++p) {
+      if (w[p] == 0.0) continue;
+      x_[basis_[p]] -= direction * step * w[p];
+    }
+  }
+
+  if (leaving_pos < 0) {
+    // Bound flip: the entering variable reached its opposite bound.
+    status_[entering] =
+        direction > 0 ? status::at_upper : status::at_lower;
+    x_[entering] =
+        direction > 0 ? upper_[entering] : lower_[entering];
+    return;
+  }
+
+  const int leaving_col = basis_[leaving_pos];
+  status_[leaving_col] =
+      leaving_to_upper ? status::at_upper : status::at_lower;
+  x_[leaving_col] = leaving_to_upper ? upper_[leaving_col] : lower_[leaving_col];
+  basic_position_[leaving_col] = -1;
+
+  basis_[leaving_pos] = entering;
+  basic_position_[entering] = leaving_pos;
+  status_[entering] = status::basic;
+
+  // Product-form update of the basis inverse.
+  double* pivot_row = &binv_[static_cast<std::size_t>(leaving_pos) * m_];
+  const double inv_pivot = 1.0 / pivot_element;
+  for (int i = 0; i < m_; ++i) pivot_row[i] *= inv_pivot;
+  for (int p = 0; p < m_; ++p) {
+    if (p == leaving_pos) continue;
+    const double f = w[p];
+    if (f == 0.0) continue;
+    double* row = &binv_[static_cast<std::size_t>(p) * m_];
+    for (int i = 0; i < m_; ++i) row[i] -= f * pivot_row[i];
+  }
+}
+
+lp_result simplex_solver::solve(const deadline& time_budget, bool warm_start) {
+  lp_result result;
+
+  if (!warm_start || !basis_valid_) {
+    reset_to_slack_basis();
+  } else {
+    clamp_nonbasic_to_bounds();
+  }
+  compute_basic_values();
+
+  long iterations = 0;
+  int pivots_since_refactor = 0;
+  int degenerate_run = 0;
+  bool bland = false;
+  int phase1_retries = 0;
+
+  auto maybe_refactor = [&]() {
+    if (pivots_since_refactor >= options_.refactor_interval) {
+      refactorize();
+      pivots_since_refactor = 0;
+    }
+  };
+
+  bool phase1_done = basic_feasible();
+  while (true) {
+    if (iterations >= options_.max_iterations) {
+      result.status = lp_status::iteration_limit;
+      break;
+    }
+    if ((iterations & 63) == 0 && time_budget.expired()) {
+      result.status = lp_status::time_limit;
+      break;
+    }
+
+    auto note_step = [&](double step) {
+      if (step <= 1e-11) {
+        if (++degenerate_run > options_.degenerate_switch) bland = true;
+      } else {
+        degenerate_run = 0;
+        bland = false;
+      }
+    };
+
+    if (!phase1_done) {
+      const pivot_outcome out = iterate(true, bland);
+      ++iterations;
+      if (out.no_candidate) {
+        if (infeasibility_sum() >
+            options_.feasibility_tolerance * (m_ + 1) * 16.0) {
+          result.status = lp_status::infeasible;
+          break;
+        }
+        phase1_done = true; // residual infeasibility is numerical noise
+        continue;
+      }
+      note_step(out.step);
+      ++pivots_since_refactor;
+      maybe_refactor();
+      if (basic_feasible()) phase1_done = true;
+      continue;
+    }
+
+    const pivot_outcome out = iterate(false, bland);
+    ++iterations;
+    if (out.no_candidate) {
+      // Optimal -- but verify primal feasibility survived the arithmetic.
+      if (!basic_feasible()) {
+        if (++phase1_retries > 3) {
+          result.status = lp_status::infeasible;
+          break;
+        }
+        refactorize();
+        pivots_since_refactor = 0;
+        phase1_done = basic_feasible();
+        continue;
+      }
+      result.status = lp_status::optimal;
+      break;
+    }
+    if (out.unbounded) {
+      result.status = lp_status::unbounded;
+      break;
+    }
+    note_step(out.step);
+    ++pivots_since_refactor;
+    maybe_refactor();
+  }
+
+  total_iterations_ += iterations;
+  result.iterations = iterations;
+  result.x.assign(x_.begin(), x_.begin() + n_);
+  double objective = 0.0;
+  for (int j = 0; j < n_; ++j) objective += problem_.cost[j] * x_[j];
+  result.objective = objective;
+  return result;
+}
+
+} // namespace transtore::milp

@@ -1,0 +1,443 @@
+#include "milp/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "milp/simplex.h"
+
+namespace transtore::milp {
+namespace {
+
+constexpr double inf = std::numeric_limits<double>::infinity();
+
+/// Minimization-form image of the user model plus integrality markers.
+struct standard_form {
+  lp_problem lp;
+  std::vector<bool> is_integer;
+  double objective_sign = 1.0;  // +1 minimize, -1 maximize
+  double objective_constant = 0.0;
+};
+
+standard_form build_standard_form(const model& m) {
+  standard_form sf;
+  const int n = m.variable_count();
+  const int rows = m.constraint_count();
+  sf.lp.num_vars = n;
+  sf.lp.num_rows = rows;
+  sf.lp.cost.resize(n);
+  sf.lp.lower.resize(n);
+  sf.lp.upper.resize(n);
+  sf.is_integer.resize(n);
+  sf.objective_sign = m.sense() == objective_sense::minimize ? 1.0 : -1.0;
+  sf.objective_constant = m.objective_constant();
+
+  for (int j = 0; j < n; ++j) {
+    const var_info& v = m.variable_at(j);
+    sf.lp.cost[j] = sf.objective_sign * m.objective_coefficients()[j];
+    sf.lp.lower[j] = v.lower;
+    sf.lp.upper[j] = v.upper;
+    sf.is_integer[j] = v.kind != var_kind::continuous;
+  }
+
+  sf.lp.row_lower.resize(rows);
+  sf.lp.row_upper.resize(rows);
+  // Build CSC by counting per-column entries first.
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < rows; ++i)
+    for (const auto& [var, coeff] : m.constraint_at(i).terms) {
+      (void)coeff;
+      ++counts[var];
+    }
+  sf.lp.col_start.assign(n + 1, 0);
+  for (int j = 0; j < n; ++j) sf.lp.col_start[j + 1] = sf.lp.col_start[j] + counts[j];
+  const int nnz = sf.lp.col_start[n];
+  sf.lp.row_index.resize(nnz);
+  sf.lp.value.resize(nnz);
+  std::vector<int> cursor(sf.lp.col_start.begin(), sf.lp.col_start.end() - 1);
+  for (int i = 0; i < rows; ++i) {
+    const row_info& row = m.constraint_at(i);
+    sf.lp.row_lower[i] = row.lower;
+    sf.lp.row_upper[i] = row.upper;
+    for (const auto& [var, coeff] : row.terms) {
+      sf.lp.row_index[cursor[var]] = i;
+      sf.lp.value[cursor[var]] = coeff;
+      ++cursor[var];
+    }
+  }
+  return sf;
+}
+
+/// Interval-arithmetic bound propagation over the rows. Tightens variable
+/// bounds in place; returns false when a row is proven infeasible. This is
+/// run at the root only: it shrinks the big-M boxes of the scheduling
+/// formulation dramatically before any LP is solved.
+bool propagate_bounds(const model& m, std::vector<double>& lower,
+                      std::vector<double>& upper,
+                      const std::vector<bool>& is_integer) {
+  const int rows = m.constraint_count();
+  for (int pass = 0; pass < 12; ++pass) {
+    bool changed = false;
+    for (int i = 0; i < rows; ++i) {
+      const row_info& row = m.constraint_at(i);
+      // min/max possible activity of the row under current bounds.
+      double act_min = 0.0;
+      double act_max = 0.0;
+      for (const auto& [var, coeff] : row.terms) {
+        const double lo = lower[var];
+        const double hi = upper[var];
+        if (coeff > 0.0) {
+          act_min += lo == -inf ? -inf : coeff * lo;
+          act_max += hi == inf ? inf : coeff * hi;
+        } else {
+          act_min += hi == inf ? -inf : coeff * hi;
+          act_max += lo == -inf ? inf : coeff * lo;
+        }
+      }
+      if (act_min > row.upper + 1e-7 || act_max < row.lower - 1e-7)
+        return false;
+
+      for (const auto& [var, coeff] : row.terms) {
+        // Residual activity excluding this term.
+        const double lo = lower[var];
+        const double hi = upper[var];
+        double term_min;
+        double term_max;
+        if (coeff > 0.0) {
+          term_min = lo == -inf ? -inf : coeff * lo;
+          term_max = hi == inf ? inf : coeff * hi;
+        } else {
+          term_min = hi == inf ? -inf : coeff * hi;
+          term_max = lo == -inf ? inf : coeff * lo;
+        }
+        const double rest_min =
+            (act_min == -inf && term_min == -inf) ? -inf : act_min - term_min;
+        const double rest_max =
+            (act_max == inf && term_max == inf) ? inf : act_max - term_max;
+
+        // row.lower <= rest + coeff*x <= row.upper
+        double new_lo = -inf;
+        double new_hi = inf;
+        if (coeff > 0.0) {
+          if (row.upper != inf && rest_min != -inf)
+            new_hi = (row.upper - rest_min) / coeff;
+          if (row.lower != -inf && rest_max != inf)
+            new_lo = (row.lower - rest_max) / coeff;
+        } else {
+          if (row.upper != inf && rest_min != -inf)
+            new_lo = (row.upper - rest_min) / coeff;
+          if (row.lower != -inf && rest_max != inf)
+            new_hi = (row.lower - rest_max) / coeff;
+        }
+        if (is_integer[var]) {
+          if (new_lo != -inf) new_lo = std::ceil(new_lo - 1e-7);
+          if (new_hi != inf) new_hi = std::floor(new_hi + 1e-7);
+        }
+        if (new_lo > lower[var] + 1e-9) {
+          lower[var] = new_lo;
+          changed = true;
+        }
+        if (new_hi < upper[var] - 1e-9) {
+          upper[var] = new_hi;
+          changed = true;
+        }
+        if (lower[var] > upper[var] + 1e-7) return false;
+      }
+    }
+    if (!changed) break;
+  }
+  return true;
+}
+
+struct bound_change {
+  int var;
+  double lower;
+  double upper;
+};
+
+struct bb_node {
+  std::vector<bound_change> changes; // path from root
+  double parent_bound;               // LP bound of the parent (min-form)
+  long id;                           // for best-bound bookkeeping
+};
+
+/// Pseudocost bookkeeping per integer variable and direction.
+struct pseudocost_table {
+  std::vector<double> up_sum, down_sum;
+  std::vector<long> up_count, down_count;
+
+  explicit pseudocost_table(int n)
+      : up_sum(n, 0.0), down_sum(n, 0.0), up_count(n, 0), down_count(n, 0) {}
+
+  void record(int var, bool up, double degradation_per_frac) {
+    if (up) {
+      up_sum[var] += degradation_per_frac;
+      ++up_count[var];
+    } else {
+      down_sum[var] += degradation_per_frac;
+      ++down_count[var];
+    }
+  }
+
+  [[nodiscard]] double score(int var, double frac, double fallback) const {
+    const double up = up_count[var] > 0 ? up_sum[var] / up_count[var] : fallback;
+    const double down =
+        down_count[var] > 0 ? down_sum[var] / down_count[var] : fallback;
+    const double up_est = up * (1.0 - frac);
+    const double down_est = down * frac;
+    constexpr double eps = 1e-6;
+    return std::max(up_est, eps) * std::max(down_est, eps);
+  }
+};
+
+} // namespace
+
+double solution::gap() const {
+  if (!has_solution()) return inf;
+  const double incumbent = objective;
+  const double bound = best_bound;
+  const double denom = std::max(1.0, std::abs(incumbent));
+  return std::abs(incumbent - bound) / denom;
+}
+
+solution solve(const model& m, const solver_options& options) {
+  stopwatch total_watch;
+  deadline time_budget(options.time_limit_seconds);
+  solution result;
+
+  require(m.variable_count() > 0, "milp::solve: model has no variables");
+
+  standard_form sf = build_standard_form(m);
+  const int n = sf.lp.num_vars;
+
+  // Root presolve: bound propagation.
+  if (options.root_propagation) {
+    if (!propagate_bounds(m, sf.lp.lower, sf.lp.upper, sf.is_integer)) {
+      result.status = solve_status::infeasible;
+      result.seconds = total_watch.elapsed_seconds();
+      return result;
+    }
+  }
+  const std::vector<double> root_lower = sf.lp.lower;
+  const std::vector<double> root_upper = sf.lp.upper;
+
+  simplex_solver lp(sf.lp);
+
+  const double int_tol = options.integrality_tolerance;
+  auto fractional_part = [&](double v) { return std::abs(v - std::round(v)); };
+
+  // Incumbent state (minimization form).
+  bool have_incumbent = false;
+  double incumbent_obj = inf;
+  std::vector<double> incumbent_values;
+
+  auto try_incumbent = [&](std::vector<double> candidate) {
+    for (int j = 0; j < n; ++j)
+      if (sf.is_integer[j]) candidate[j] = std::round(candidate[j]);
+    if (!m.is_feasible(candidate, 1e-5)) return false;
+    const double user_obj = m.evaluate_objective(candidate);
+    const double min_obj = sf.objective_sign * (user_obj - sf.objective_constant);
+    if (!have_incumbent || min_obj < incumbent_obj - options.absolute_gap) {
+      have_incumbent = true;
+      incumbent_obj = min_obj;
+      incumbent_values = std::move(candidate);
+      return true;
+    }
+    return false;
+  };
+
+  if (options.warm_start) {
+    require(static_cast<int>(options.warm_start->size()) == n,
+            "milp::solve: warm start has wrong size");
+    if (try_incumbent(*options.warm_start))
+      log_at(log_level::info, "milp: warm start accepted, objective ",
+             sf.objective_sign * incumbent_obj + sf.objective_constant);
+    else
+      log_at(log_level::warn, "milp: warm start rejected (infeasible)");
+  }
+
+  pseudocost_table pseudocosts(n);
+
+  // DFS stack with global best-bound tracking.
+  std::vector<bb_node> stack;
+  std::multiset<double> open_bounds;
+  long next_node_id = 0;
+  stack.push_back(bb_node{{}, -inf, next_node_id++});
+  open_bounds.insert(-inf);
+
+  long nodes = 0;
+  long simplex_iterations = 0;
+  bool hit_limit = false;
+  bool unbounded = false;
+  stopwatch log_watch;
+
+  auto apply_node_bounds = [&](const bb_node& node) {
+    for (int j = 0; j < n; ++j)
+      lp.set_variable_bounds(j, root_lower[j], root_upper[j]);
+    for (const bound_change& change : node.changes)
+      lp.set_variable_bounds(change.var, change.lower, change.upper);
+  };
+
+  auto best_open_bound = [&]() {
+    double bound = open_bounds.empty() ? inf : *open_bounds.begin();
+    return bound;
+  };
+
+  auto gap_closed = [&]() {
+    if (!have_incumbent) return false;
+    const double bound = best_open_bound();
+    if (bound == inf) return true; // tree exhausted
+    const double denom = std::max(1.0, std::abs(incumbent_obj));
+    return (incumbent_obj - bound) / denom <= options.relative_gap ||
+           incumbent_obj - bound <= options.absolute_gap;
+  };
+
+  while (!stack.empty()) {
+    if (gap_closed()) break;
+    if (nodes >= options.max_nodes || time_budget.expired()) {
+      hit_limit = true;
+      break;
+    }
+
+    bb_node node = std::move(stack.back());
+    stack.pop_back();
+    open_bounds.erase(open_bounds.find(node.parent_bound));
+
+    // Bound-based pruning against the incumbent.
+    if (have_incumbent && node.parent_bound >= incumbent_obj - options.absolute_gap)
+      continue;
+
+    apply_node_bounds(node);
+    const lp_result relax = lp.solve(time_budget, /*warm_start=*/true);
+    ++nodes;
+    simplex_iterations += relax.iterations;
+
+    if (options.log_progress && log_watch.elapsed_seconds() > 2.0) {
+      log_watch.reset();
+      log_at(log_level::info, "milp: nodes=", nodes,
+             " open=", stack.size(), " incumbent=",
+             have_incumbent ? std::to_string(sf.objective_sign * incumbent_obj +
+                                             sf.objective_constant)
+                            : std::string("none"));
+    }
+
+    if (relax.status == lp_status::time_limit) {
+      hit_limit = true;
+      break;
+    }
+    if (relax.status == lp_status::infeasible) continue;
+    if (relax.status == lp_status::unbounded) {
+      unbounded = true;
+      break;
+    }
+    if (relax.status == lp_status::iteration_limit) {
+      // Treat as unresolved: requeue would loop; drop with a warning. The
+      // iteration cap is high enough that this indicates numerical trouble.
+      log_at(log_level::warn, "milp: dropped node after iteration limit");
+      continue;
+    }
+
+    const double node_bound = relax.objective;
+    if (have_incumbent && node_bound >= incumbent_obj - options.absolute_gap)
+      continue;
+
+    // Find branching candidate.
+    int branch_var = -1;
+    double branch_frac = 0.0;
+    double best_score = -1.0;
+    for (int j = 0; j < n; ++j) {
+      if (!sf.is_integer[j]) continue;
+      const double frac = fractional_part(relax.x[j]);
+      if (frac <= int_tol) continue;
+      double score;
+      if (options.branching == branch_rule::pseudocost) {
+        score = pseudocosts.score(j, relax.x[j] - std::floor(relax.x[j]), 1.0);
+      } else {
+        score = 0.5 - std::abs(frac - 0.5); // most fractional
+      }
+      if (score > best_score) {
+        best_score = score;
+        branch_var = j;
+        branch_frac = relax.x[j];
+      }
+    }
+
+    if (branch_var < 0) {
+      // Integral LP optimum: candidate incumbent.
+      if (try_incumbent(relax.x) && options.log_progress)
+        log_at(log_level::info, "milp: incumbent ",
+               sf.objective_sign * incumbent_obj + sf.objective_constant,
+               " at node ", nodes);
+      continue;
+    }
+
+    // Record pseudocost data for the parent of this node.
+    if (!node.changes.empty()) {
+      const bound_change& last = node.changes.back();
+      const double degradation = node_bound - node.parent_bound;
+      if (node.parent_bound != -inf && degradation >= 0.0)
+        pseudocosts.record(last.var, last.lower > root_lower[last.var],
+                           degradation);
+    }
+
+    const double floor_val = std::floor(branch_frac);
+    const double frac = branch_frac - floor_val;
+
+    bb_node down_child;
+    down_child.changes = node.changes;
+    down_child.changes.push_back(
+        {branch_var, lp.variable_lower(branch_var), floor_val});
+    down_child.parent_bound = node_bound;
+    down_child.id = next_node_id++;
+
+    bb_node up_child;
+    up_child.changes = node.changes;
+    up_child.changes.push_back(
+        {branch_var, floor_val + 1.0, lp.variable_upper(branch_var)});
+    up_child.parent_bound = node_bound;
+    up_child.id = next_node_id++;
+
+    // Plunge: explore the child nearest the LP value first (LIFO stack).
+    if (frac <= 0.5) {
+      stack.push_back(std::move(up_child));
+      stack.push_back(std::move(down_child));
+    } else {
+      stack.push_back(std::move(down_child));
+      stack.push_back(std::move(up_child));
+    }
+    open_bounds.insert(node_bound);
+    open_bounds.insert(node_bound);
+  }
+
+  // Assemble the user-facing result.
+  result.nodes_explored = nodes;
+  result.simplex_iterations = simplex_iterations;
+  result.seconds = total_watch.elapsed_seconds();
+
+  const double open_bound = stack.empty() ? inf : best_open_bound();
+  if (unbounded) {
+    result.status = solve_status::unbounded;
+    return result;
+  }
+  if (have_incumbent) {
+    result.values = incumbent_values;
+    result.objective = sf.objective_sign * incumbent_obj + sf.objective_constant;
+    const double bound_min = std::min(incumbent_obj, open_bound);
+    result.best_bound = sf.objective_sign * bound_min + sf.objective_constant;
+    const bool proven = !hit_limit && (stack.empty() || gap_closed());
+    result.status = proven ? solve_status::optimal : solve_status::feasible;
+    return result;
+  }
+  if (hit_limit) {
+    result.status = solve_status::no_solution;
+    return result;
+  }
+  result.status = solve_status::infeasible;
+  return result;
+}
+
+} // namespace transtore::milp

@@ -1,0 +1,242 @@
+#include "phys/layout.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/stopwatch.h"
+
+namespace transtore::phys {
+namespace {
+
+/// Grid columns/rows actually used by the chip (devices, paths, caches).
+void collect_used(const arch::chip& c, std::set<int>& cols,
+                  std::set<int>& rows) {
+  auto touch = [&](int node) {
+    const point p = c.grid().coordinate(node);
+    cols.insert(p.x);
+    rows.insert(p.y);
+  };
+  for (int node : c.device_nodes()) touch(node);
+  for (const auto& p : c.paths)
+    for (int n : p.nodes) touch(n);
+  for (const auto& cp : c.caches) {
+    const auto [u, v] = c.grid().endpoints(cp.edge);
+    touch(u);
+    touch(v);
+  }
+}
+
+/// Width demand of a grid column/row: a device footprint or a plain switch.
+std::vector<int> lane_widths(const std::vector<int>& lanes,
+                             const std::set<int>& device_lanes,
+                             const phys_options& opt) {
+  std::vector<int> widths;
+  widths.reserve(lanes.size());
+  for (int lane : lanes)
+    widths.push_back(device_lanes.count(lane) ? opt.device_size : 1);
+  return widths;
+}
+
+/// One compression sweep along one axis: shrink the largest reducible gap
+/// between adjacent used lanes by one unit. Returns false when every gap is
+/// at its minimum (packing reached).
+bool compress_step(std::vector<int>& positions, const std::vector<int>& widths,
+                   int pitch) {
+  bool reduced = false;
+  for (std::size_t i = 1; i < positions.size() && !reduced; ++i) {
+    const int min_separation =
+        (widths[i - 1] + widths[i]) / 2 + pitch; // center-to-center
+    const int separation = positions[i] - positions[i - 1];
+    if (separation > min_separation) {
+      // Pull this lane and everything beyond it one unit closer.
+      for (std::size_t j = i; j < positions.size(); ++j) positions[j] -= 1;
+      reduced = true;
+    }
+  }
+  return reduced;
+}
+
+int span(const std::vector<int>& positions, const std::vector<int>& widths) {
+  if (positions.empty()) return 1;
+  const int lo = positions.front() - widths.front() / 2;
+  const int hi = positions.back() + widths.back() / 2;
+  return hi - lo + 1;
+}
+
+} // namespace
+
+layout_result generate_layout(const arch::chip& c, const phys_options& opt) {
+  require(opt.pitch >= 1 && opt.scale >= 1 && opt.device_size >= 1 &&
+              opt.storage_length >= 1,
+          "generate_layout: options must be positive");
+  stopwatch watch;
+  layout_result result;
+
+  std::set<int> used_cols, used_rows;
+  collect_used(c, used_cols, used_rows);
+  result.used_columns.assign(used_cols.begin(), used_cols.end());
+  result.used_rows.assign(used_rows.begin(), used_rows.end());
+
+  // --- stage 1: scaled architecture bounding box (d_r).
+  const rect box = c.used_bounding_box();
+  result.after_synthesis = {std::max(1, box.width() * opt.scale),
+                            std::max(1, box.height() * opt.scale)};
+
+  // --- stage 2: device insertion (d_e).
+  std::set<int> device_cols, device_rows;
+  for (int node : c.device_nodes()) {
+    const point p = c.grid().coordinate(node);
+    device_cols.insert(p.x);
+    device_rows.insert(p.y);
+  }
+  result.after_devices = {
+      result.after_synthesis.width +
+          (opt.device_size - 1) * static_cast<int>(device_cols.size()),
+      result.after_synthesis.height +
+          (opt.device_size - 1) * static_cast<int>(device_rows.size())};
+
+  // Initial coordinates: spread lanes like stage 2 (scaled spacing plus
+  // device inflation as lanes are passed).
+  auto initial_positions = [&](const std::vector<int>& lanes,
+                               const std::set<int>& device_lanes) {
+    std::vector<int> pos;
+    int cursor = 0;
+    int previous_lane = lanes.empty() ? 0 : lanes.front();
+    bool first = true;
+    for (int lane : lanes) {
+      if (first) {
+        cursor = device_lanes.count(lane) ? opt.device_size / 2 : 0;
+        first = false;
+      } else {
+        cursor += (lane - previous_lane) * opt.scale;
+        if (device_lanes.count(lane)) cursor += opt.device_size - 1;
+      }
+      pos.push_back(cursor);
+      previous_lane = lane;
+    }
+    return pos;
+  };
+  std::vector<int> col_pos = initial_positions(result.used_columns, device_cols);
+  std::vector<int> row_pos = initial_positions(result.used_rows, device_rows);
+  const std::vector<int> col_widths =
+      lane_widths(result.used_columns, device_cols, opt);
+  const std::vector<int> row_widths =
+      lane_widths(result.used_rows, device_rows, opt);
+
+  // --- stage 3: alternating one-unit compressions until fixpoint.
+  int iterations = 0;
+  bool more_h = true;
+  bool more_v = true;
+  while (more_h || more_v) {
+    if (more_h) {
+      more_h = compress_step(col_pos, col_widths, opt.pitch);
+      if (more_h) ++iterations;
+    }
+    if (more_v) {
+      more_v = compress_step(row_pos, row_widths, opt.pitch);
+      if (more_v) ++iterations;
+    }
+  }
+  result.compression_iterations = iterations;
+  result.after_compression = {span(col_pos, col_widths),
+                              span(row_pos, row_widths)};
+
+  // --- bends: storage segments must keep their required channel length.
+  std::map<int, int> col_of, row_of;
+  for (std::size_t i = 0; i < result.used_columns.size(); ++i)
+    col_of[result.used_columns[i]] = col_pos[i];
+  for (std::size_t i = 0; i < result.used_rows.size(); ++i)
+    row_of[result.used_rows[i]] = row_pos[i];
+
+  int bends = 0;
+  for (const auto& cp : c.caches) {
+    const auto [u, v] = c.grid().endpoints(cp.edge);
+    const point pu = c.grid().coordinate(u);
+    const point pv = c.grid().coordinate(v);
+    const int dx = std::abs(col_of.at(pu.x) - col_of.at(pv.x));
+    const int dy = std::abs(row_of.at(pu.y) - row_of.at(pv.y));
+    const int geometric_length = dx + dy;
+    if (geometric_length < opt.storage_length)
+      bends += (opt.storage_length - geometric_length + 1) / 2;
+  }
+  result.bend_points = bends;
+
+  result.column_position = std::move(col_pos);
+  result.row_position = std::move(row_pos);
+  result.seconds = watch.elapsed_seconds();
+  return result;
+}
+
+std::string render_svg(const arch::chip& c, const layout_result& layout,
+                       const phys_options& opt) {
+  std::map<int, int> col_of, row_of;
+  for (std::size_t i = 0; i < layout.used_columns.size(); ++i)
+    col_of[layout.used_columns[i]] = layout.column_position[i];
+  for (std::size_t i = 0; i < layout.used_rows.size(); ++i)
+    row_of[layout.used_rows[i]] = layout.row_position[i];
+
+  const int unit = 12; // pixels per layout unit
+  const int margin = 2 * unit;
+  auto px = [&](int units) { return margin + units * unit; };
+  const int width = px(layout.after_compression.width) + margin;
+  const int height = px(layout.after_compression.height) + margin;
+  const int max_y = layout.after_compression.height;
+
+  auto node_xy = [&](int node) {
+    const point p = c.grid().coordinate(node);
+    // y flipped: grid y grows up, SVG y grows down.
+    return std::pair<int, int>{px(col_of.at(p.x)),
+                               px(max_y - row_of.at(p.y))};
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+      << "\" height=\"" << height << "\" viewBox=\"0 0 " << width << " "
+      << height << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  // Channels (used edges), storage segments thicker and blue.
+  std::set<int> storage_edges;
+  for (const auto& cp : c.caches) storage_edges.insert(cp.edge);
+  const auto used = c.used_edges();
+  for (int e = 0; e < c.grid().edge_count(); ++e) {
+    if (!used[static_cast<std::size_t>(e)]) continue;
+    const auto [u, v] = c.grid().endpoints(e);
+    const auto [x1, y1] = node_xy(u);
+    const auto [x2, y2] = node_xy(v);
+    const bool storage = storage_edges.count(e) > 0;
+    svg << "<line x1=\"" << x1 << "\" y1=\"" << y1 << "\" x2=\"" << x2
+        << "\" y2=\"" << y2 << "\" stroke=\""
+        << (storage ? "#1565c0" : "#555") << "\" stroke-width=\""
+        << (storage ? 5 : 2) << "\"/>\n";
+  }
+
+  // Switch nodes.
+  for (const auto& p : c.paths)
+    for (int n : p.nodes) {
+      if (c.device_at(n) >= 0) continue;
+      const auto [x, y] = node_xy(n);
+      svg << "<circle cx=\"" << x << "\" cy=\"" << y
+          << "\" r=\"4\" fill=\"#999\"/>\n";
+    }
+
+  // Devices.
+  const int half = opt.device_size * unit / 2;
+  for (std::size_t d = 0; d < c.device_nodes().size(); ++d) {
+    const auto [x, y] = node_xy(c.device_nodes()[d]);
+    svg << "<rect x=\"" << x - half << "\" y=\"" << y - half << "\" width=\""
+        << 2 * half << "\" height=\"" << 2 * half
+        << "\" fill=\"#e8f5e9\" stroke=\"#2e7d32\" stroke-width=\"2\"/>\n";
+    svg << "<text x=\"" << x << "\" y=\"" << y + 4
+        << "\" text-anchor=\"middle\" font-size=\"12\" fill=\"#2e7d32\">d"
+        << d + 1 << "</text>\n";
+  }
+
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+} // namespace transtore::phys

@@ -1,0 +1,61 @@
+// Physical design (paper Section 3.3): turn the planar connection graph
+// into a compact chip layout.
+//
+// Pipeline (Fig. 7):
+//  1. *Scaling*: the architecture is drawn on a grid with one cell pitch of
+//     `scale` minimum-channel-distance units; the span of used nodes gives
+//     the post-synthesis dimensions d_r (Table 2 column dr).
+//  2. *Device insertion*: each grid row/column containing devices inflates
+//     by (device_size - 1) units, giving d_e.
+//  3. *Iterative compression*: rows and columns are pulled toward the upper
+//     right, alternating one-unit horizontal and vertical reductions until
+//     every adjacent pair of used rows/columns reaches its minimum pitch;
+//     channel segments that fall below the storage length requirement get
+//     serpentine bend points (each bend recovers two units of length).
+//     The result is d_p.
+#pragma once
+
+#include <string>
+
+#include "arch/chip.h"
+
+namespace transtore::phys {
+
+struct phys_options {
+  int pitch = 1;          // minimum channel distance (layout units)
+  int scale = 5;          // architecture cell pitch in units (paper Table 2)
+  int device_size = 7;    // device footprint edge length in units
+  int storage_length = 5; // minimum channel length to hold one sample
+};
+
+struct layout_dimensions {
+  int width = 0;
+  int height = 0;
+};
+
+struct layout_result {
+  layout_dimensions after_synthesis;  // d_r
+  layout_dimensions after_devices;    // d_e
+  layout_dimensions after_compression; // d_p
+  int compression_iterations = 0;
+  int bend_points = 0; // serpentine bends inserted to keep storage length
+  double seconds = 0.0;
+  /// Final column/row coordinates (unit centers) of used grid columns/rows,
+  /// for rendering and tests.
+  std::vector<int> column_position;
+  std::vector<int> row_position;
+  std::vector<int> used_columns; // grid x values in use, ascending
+  std::vector<int> used_rows;    // grid y values in use, ascending
+};
+
+/// Run the physical design pipeline on a synthesized chip.
+[[nodiscard]] layout_result generate_layout(const arch::chip& c,
+                                            const phys_options& options = {});
+
+/// SVG rendering of the final layout: devices as squares, channels as
+/// lines, storage segments highlighted, bends drawn as serpentines.
+[[nodiscard]] std::string render_svg(const arch::chip& c,
+                                     const layout_result& layout,
+                                     const phys_options& options = {});
+
+} // namespace transtore::phys

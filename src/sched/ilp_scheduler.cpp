@@ -1,0 +1,282 @@
+#include "sched/ilp_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace transtore::sched {
+namespace {
+
+/// ASAP start times ignoring device contention (durations only): a valid
+/// lower bound on any schedule's start times.
+std::vector<int> asap_starts(const assay::sequencing_graph& graph) {
+  std::vector<int> est(static_cast<std::size_t>(graph.operation_count()), 0);
+  for (int op : graph.topological_order())
+    for (int child : graph.children(op))
+      est[static_cast<std::size_t>(child)] =
+          std::max(est[static_cast<std::size_t>(child)],
+                   est[static_cast<std::size_t>(op)] + graph.at(op).duration);
+  return est;
+}
+
+/// ALAP finish times under the horizon: a valid upper bound on finish times.
+std::vector<int> alap_finishes(const assay::sequencing_graph& graph,
+                               int horizon) {
+  std::vector<int> lft(static_cast<std::size_t>(graph.operation_count()),
+                       horizon);
+  const std::vector<int> order = graph.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it)
+    for (int child : graph.children(*it))
+      lft[static_cast<std::size_t>(*it)] =
+          std::min(lft[static_cast<std::size_t>(*it)],
+                   lft[static_cast<std::size_t>(child)] -
+                       graph.at(child).duration);
+  return lft;
+}
+
+} // namespace
+
+ilp_schedule_result schedule_with_ilp(const assay::sequencing_graph& graph,
+                                      const ilp_scheduler_options& options) {
+  graph.validate();
+  require(options.device_count > 0, "ilp scheduler: device count");
+  const int n = graph.operation_count();
+  const int devices = options.device_count;
+  const int uc = options.timing.transport_time;
+
+  // Horizon: warm start makespan, explicit value, or a safe serial bound
+  // (every op serial plus full transport overhead for every edge and leg).
+  int horizon = options.horizon;
+  if (horizon == 0 && options.warm_start)
+    horizon = options.warm_start->makespan();
+  if (horizon == 0)
+    horizon = graph.total_duration() +
+              uc * (2 * graph.edge_count() + 2 * n + 2);
+  const double big_m = horizon;
+
+  const std::vector<int> est = asap_starts(graph);
+  const std::vector<int> lft = alap_finishes(graph, horizon);
+
+  milp::model m;
+
+  // Assignment binaries s_ik and time variables ts_i, te_i.
+  std::vector<std::vector<milp::variable>> s(static_cast<std::size_t>(n));
+  std::vector<milp::variable> ts(static_cast<std::size_t>(n));
+  std::vector<milp::variable> te(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < devices; ++k)
+      s[static_cast<std::size_t>(i)].push_back(
+          m.add_binary("s_" + std::to_string(i) + "_" + std::to_string(k)));
+    ts[static_cast<std::size_t>(i)] =
+        m.add_continuous(est[static_cast<std::size_t>(i)],
+                         lft[static_cast<std::size_t>(i)] -
+                             graph.at(i).duration,
+                         "ts_" + std::to_string(i));
+    te[static_cast<std::size_t>(i)] = m.add_continuous(
+        est[static_cast<std::size_t>(i)] + graph.at(i).duration,
+        lft[static_cast<std::size_t>(i)], "te_" + std::to_string(i));
+  }
+  const milp::variable t_end = m.add_continuous(
+      graph.critical_path_duration(), horizon, "tE");
+
+  // (1) uniqueness.
+  for (int i = 0; i < n; ++i) {
+    milp::linear_expr sum;
+    for (int k = 0; k < devices; ++k)
+      sum += s[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)];
+    m.add_constraint(sum, milp::cmp::equal, 1.0,
+                     "uniq_" + std::to_string(i));
+  }
+
+  // (2) duration.
+  for (int i = 0; i < n; ++i)
+    m.add_constraint(milp::linear_expr(ts[static_cast<std::size_t>(i)]) +
+                         graph.at(i).duration -
+                         te[static_cast<std::size_t>(i)],
+                     milp::cmp::less_equal, 0.0,
+                     "dur_" + std::to_string(i));
+
+  // Same-device indicators per edge: same_ij = sum_k z_ijk.
+  const auto edges = graph.edges();
+  std::vector<milp::linear_expr> same(edges.size());
+  std::vector<milp::variable> w(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto [i, j] = edges[e];
+    milp::linear_expr same_sum;
+    for (int k = 0; k < devices; ++k) {
+      const milp::variable z =
+          m.add_binary("z_" + std::to_string(i) + "_" + std::to_string(j) +
+                       "_" + std::to_string(k));
+      m.add_constraint(milp::linear_expr(z) -
+                           s[static_cast<std::size_t>(i)]
+                            [static_cast<std::size_t>(k)],
+                       milp::cmp::less_equal, 0.0);
+      m.add_constraint(milp::linear_expr(z) -
+                           s[static_cast<std::size_t>(j)]
+                            [static_cast<std::size_t>(k)],
+                       milp::cmp::less_equal, 0.0);
+      same_sum += z;
+    }
+    same[e] = same_sum;
+
+    // (3) precedence with conditional transport gap.
+    m.add_constraint(milp::linear_expr(ts[static_cast<std::size_t>(j)]) -
+                         te[static_cast<std::size_t>(i)] +
+                         static_cast<double>(uc) * same_sum,
+                     milp::cmp::greater_equal, static_cast<double>(uc),
+                     "prec_" + std::to_string(i) + "_" + std::to_string(j));
+
+    // Storage-time variable for the objective: w >= ts_j - te_i - H*same.
+    w[e] = m.add_continuous(0.0, milp::infinity,
+                            "w_" + std::to_string(i) + "_" +
+                                std::to_string(j));
+    m.add_constraint(milp::linear_expr(w[e]) -
+                         ts[static_cast<std::size_t>(j)] +
+                         te[static_cast<std::size_t>(i)] + big_m * same_sum,
+                     milp::cmp::greater_equal, 0.0);
+  }
+
+  // (4) disjunctive non-overlap for pairs that may share a device and may
+  // overlap in time. Precedence-related pairs and pairs with disjoint
+  // ASAP/ALAP windows are skipped (provably redundant).
+  struct pair_info {
+    int i, j;
+    milp::variable order; // 1 when i precedes j
+  };
+  std::vector<pair_info> pairs;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (graph.reaches(i, j) || graph.reaches(j, i)) continue;
+      if (est[static_cast<std::size_t>(i)] >=
+              lft[static_cast<std::size_t>(j)] ||
+          est[static_cast<std::size_t>(j)] >=
+              lft[static_cast<std::size_t>(i)])
+        continue;
+      const milp::variable o =
+          m.add_binary("o_" + std::to_string(i) + "_" + std::to_string(j));
+      pairs.push_back({i, j, o});
+      for (int k = 0; k < devices; ++k) {
+        const milp::linear_expr same_pair =
+            milp::linear_expr(
+                s[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)]) +
+            s[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)];
+        // i before j: ts_j >= te_i - M(1-o) - M(2 - s_ik - s_jk)
+        m.add_constraint(
+            milp::linear_expr(ts[static_cast<std::size_t>(j)]) -
+                te[static_cast<std::size_t>(i)] +
+                big_m * (1.0 - milp::linear_expr(o)) +
+                big_m * (2.0 - same_pair),
+            milp::cmp::greater_equal, 0.0);
+        // j before i: ts_i >= te_j - M*o - M(2 - s_ik - s_jk)
+        m.add_constraint(
+            milp::linear_expr(ts[static_cast<std::size_t>(i)]) -
+                te[static_cast<std::size_t>(j)] +
+                big_m * milp::linear_expr(o) + big_m * (2.0 - same_pair),
+            milp::cmp::greater_equal, 0.0);
+      }
+    }
+  }
+
+  // (5) makespan.
+  for (int i = 0; i < n; ++i)
+    m.add_constraint(milp::linear_expr(te[static_cast<std::size_t>(i)]) -
+                         t_end,
+                     milp::cmp::less_equal, 0.0);
+
+  // (6) objective.
+  milp::linear_expr objective = options.alpha * milp::linear_expr(t_end);
+  for (std::size_t e = 0; e < edges.size(); ++e)
+    objective += options.beta * milp::linear_expr(w[e]);
+  m.set_objective(objective, milp::objective_sense::minimize);
+
+  // Warm start: translate the heuristic schedule into a full assignment.
+  milp::solver_options solver_options;
+  solver_options.time_limit_seconds = options.time_limit_seconds;
+  solver_options.log_progress = options.log_progress;
+  if (options.warm_start) {
+    const schedule& ws = *options.warm_start;
+    require(static_cast<int>(ws.ops.size()) == n,
+            "ilp scheduler: warm start has wrong op count");
+    std::vector<double> assignment(
+        static_cast<std::size_t>(m.variable_count()), 0.0);
+    auto set = [&](milp::variable v, double value) {
+      assignment[static_cast<std::size_t>(v.index)] = value;
+    };
+    for (int i = 0; i < n; ++i) {
+      const auto& so = ws.ops[static_cast<std::size_t>(i)];
+      set(s[static_cast<std::size_t>(i)][static_cast<std::size_t>(so.device)],
+          1.0);
+      set(ts[static_cast<std::size_t>(i)], so.start);
+      set(te[static_cast<std::size_t>(i)], so.end);
+    }
+    set(t_end, ws.makespan());
+    // z_ijk = s_ik * s_jk; w_ij is the realized cross-device slack. The
+    // k-th term of same[e] is the z variable for device k (terms() is
+    // ordered by variable index, which follows device order here).
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      const auto [i, j] = edges[e];
+      const int di = ws.ops[static_cast<std::size_t>(i)].device;
+      const int dj = ws.ops[static_cast<std::size_t>(j)].device;
+      if (di == dj) {
+        int k = 0;
+        for (const auto& [var_index, coeff] : same[e].terms()) {
+          (void)coeff;
+          if (k == di) assignment[static_cast<std::size_t>(var_index)] = 1.0;
+          ++k;
+        }
+      } else {
+        const int gap = ws.ops[static_cast<std::size_t>(j)].start -
+                        ws.ops[static_cast<std::size_t>(i)].end;
+        set(w[e], std::max(0, gap));
+      }
+    }
+    for (const auto& pr : pairs) {
+      const auto& oi = ws.ops[static_cast<std::size_t>(pr.i)];
+      const auto& oj = ws.ops[static_cast<std::size_t>(pr.j)];
+      const bool i_first =
+          oi.start < oj.start || (oi.start == oj.start && pr.i < pr.j);
+      set(pr.order, i_first ? 1.0 : 0.0);
+    }
+    solver_options.warm_start = std::move(assignment);
+  }
+
+  const milp::solution sol = milp::solve(m, solver_options);
+
+  ilp_schedule_result result;
+  result.status = sol.status;
+  result.nodes = sol.nodes_explored;
+  result.seconds = sol.seconds;
+  result.variables = m.variable_count();
+  result.constraints = m.constraint_count();
+
+  check(sol.has_solution(),
+        "ilp scheduler: no incumbent (horizon too small or solver failure)");
+  result.ilp_objective = sol.objective;
+  result.ilp_bound = sol.best_bound;
+
+  // Extract assignment + order and re-time with the device port model.
+  binding b;
+  b.device_of.assign(static_cast<std::size_t>(n), -1);
+  b.device_order.assign(static_cast<std::size_t>(devices), {});
+  std::vector<std::pair<double, int>> starts;
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < devices; ++k)
+      if (sol.value(s[static_cast<std::size_t>(i)]
+                     [static_cast<std::size_t>(k)]) > 0.5)
+        b.device_of[static_cast<std::size_t>(i)] = k;
+    check(b.device_of[static_cast<std::size_t>(i)] >= 0,
+          "ilp scheduler: op left unassigned");
+    starts.emplace_back(sol.value(ts[static_cast<std::size_t>(i)]), i);
+  }
+  std::sort(starts.begin(), starts.end());
+  for (const auto& [start, op] : starts)
+    b.device_order[static_cast<std::size_t>(
+                       b.device_of[static_cast<std::size_t>(op)])]
+        .push_back(op);
+
+  result.refined = refine_timing(graph, b, devices, options.timing);
+  result.refined.validate(graph);
+  return result;
+}
+
+} // namespace transtore::sched

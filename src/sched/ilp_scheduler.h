@@ -1,0 +1,65 @@
+// ILP scheduling & binding -- the paper's Table 1 formulation with
+// objective (6), solved by the in-repo MILP solver.
+//
+// Faithful constraints:
+//   (1) uniqueness      sum_k s_ik = 1
+//   (2) duration        ts_i + u_i <= te_i
+//   (3) precedence      ts_j - te_i >= uc * (1 - same_ij)   for edges (i,j)
+//   (4) non-overlapping disjunctive big-M pairs per device
+//   (5) makespan        te_i <= tE
+//   (6) objective       min alpha*tE + beta * sum of cross-device u_ij
+//
+// Documented linearizations (DESIGN.md): the conditional constraint (4) is
+// realized with pairwise ordering binaries o_ij and big-M = horizon; the
+// paper's "d_i != d_j" objective filter is realized with per-device
+// same-assignment indicators z_ijk (z <= s_ik, z <= s_jk) and storage-time
+// variables w_ij >= ts_j - te_i - H*same_ij. Two problem reductions that do
+// not change the optimum: ordering binaries are omitted for
+// precedence-related pairs, and for pairs whose ASAP/ALAP windows cannot
+// overlap within the horizon.
+//
+// The solver is seeded with a heuristic warm start and a hard time limit;
+// on larger assays it returns the best-effort incumbent -- the same
+// protocol as the paper's 30-minute Gurobi budget.
+#pragma once
+
+#include <optional>
+
+#include "assay/sequencing_graph.h"
+#include "milp/solver.h"
+#include "sched/timing.h"
+
+namespace transtore::sched {
+
+struct ilp_scheduler_options {
+  int device_count = 1;
+  timing_options timing{};
+  double alpha = 1.0;
+  double beta = 0.15;
+  double time_limit_seconds = 30.0;
+  /// Scheduling horizon (upper bound on tE). 0 = derive from the warm
+  /// start's makespan, or a safe serial bound when no warm start is given.
+  int horizon = 0;
+  /// Known-good schedule used as the MILP incumbent.
+  std::optional<schedule> warm_start;
+  bool log_progress = false;
+};
+
+struct ilp_schedule_result {
+  schedule refined;          // extracted assignment/order, re-timed
+  milp::solve_status status = milp::solve_status::no_solution;
+  double ilp_objective = 0.0; // objective (6) value of the MILP incumbent
+  double ilp_bound = 0.0;     // dual bound on objective (6)
+  long nodes = 0;
+  double seconds = 0.0;
+  int variables = 0;
+  int constraints = 0;
+};
+
+/// Solve scheduling & binding with the paper's ILP. Throws
+/// invalid_input_error on malformed input; infeasibility cannot occur for a
+/// valid DAG with horizon >= serial bound (an internal_error otherwise).
+[[nodiscard]] ilp_schedule_result schedule_with_ilp(
+    const assay::sequencing_graph& graph, const ilp_scheduler_options& options);
+
+} // namespace transtore::sched

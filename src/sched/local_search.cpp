@@ -1,0 +1,105 @@
+#include "sched/local_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/prng.h"
+
+namespace transtore::sched {
+namespace {
+
+/// Can `op` legally sit at `position` in `queue` given the precedence
+/// relation? (No descendant earlier, no ancestor later.)
+bool position_feasible(const assay::sequencing_graph& graph,
+                       const std::vector<int>& queue, int op,
+                       std::size_t position) {
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (queue[i] == op) continue;
+    const std::size_t effective = i < position ? i : i + 1;
+    if (effective < position && graph.reaches(op, queue[i])) return false;
+    if (effective > position && graph.reaches(queue[i], op)) return false;
+  }
+  return true;
+}
+
+} // namespace
+
+schedule improve_schedule(const assay::sequencing_graph& graph,
+                          const schedule& start,
+                          const timing_options& timing,
+                          const local_search_options& options) {
+  require(options.iterations >= 0, "improve_schedule: negative iterations");
+  const int devices = start.device_count;
+  prng rng(options.seed);
+
+  binding current = extract_binding(start, devices);
+  double current_cost = start.objective(options.alpha, options.beta);
+  binding best = current;
+  double best_cost = current_cost;
+
+  double temperature = options.initial_temperature;
+  const double cooling =
+      options.iterations > 0
+          ? std::pow(0.05, 1.0 / options.iterations)
+          : 1.0;
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    binding candidate = current;
+    // Pick a random operation and a move.
+    const int op = static_cast<int>(rng.index(candidate.device_of.size()));
+    const int from_device = candidate.device_of[static_cast<std::size_t>(op)];
+    auto& from_queue =
+        candidate.device_order[static_cast<std::size_t>(from_device)];
+    const auto it = std::find(from_queue.begin(), from_queue.end(), op);
+    check(it != from_queue.end(), "improve_schedule: binding corrupt");
+    from_queue.erase(it);
+
+    const int to_device =
+        devices > 1 && rng.bernoulli(0.35)
+            ? static_cast<int>(rng.index(static_cast<std::size_t>(devices)))
+            : from_device;
+    auto& to_queue =
+        candidate.device_order[static_cast<std::size_t>(to_device)];
+    const std::size_t position = rng.index(to_queue.size() + 1);
+    if (!position_feasible(graph, to_queue, op, position)) {
+      // Undo and retry next iteration (cheap rejection).
+      auto& q = candidate.device_order[static_cast<std::size_t>(from_device)];
+      (void)q;
+      temperature *= cooling;
+      continue;
+    }
+    to_queue.insert(to_queue.begin() + static_cast<std::ptrdiff_t>(position),
+                    op);
+    candidate.device_of[static_cast<std::size_t>(op)] = to_device;
+
+    schedule timed;
+    try {
+      timed = refine_timing(graph, candidate, devices, timing);
+    } catch (const invalid_input_error&) {
+      temperature *= cooling;
+      continue; // cross-device deadlock; reject
+    }
+    const double cost = timed.objective(options.alpha, options.beta);
+    const double delta = cost - current_cost;
+    if (delta <= 0.0 ||
+        rng.uniform_real() < std::exp(-delta / std::max(1e-9, temperature))) {
+      current = std::move(candidate);
+      current_cost = cost;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = current;
+      }
+    }
+    temperature *= cooling;
+  }
+
+  schedule result = refine_timing(graph, best, devices, timing);
+  result.validate(graph);
+  // The annealer never returns something worse than its starting point.
+  if (result.objective(options.alpha, options.beta) >
+      start.objective(options.alpha, options.beta))
+    return start;
+  return result;
+}
+
+} // namespace transtore::sched

@@ -1,0 +1,35 @@
+// Simulated-annealing improvement of a schedule.
+//
+// The greedy list scheduler commits operations one at a time and cannot
+// undo an early mistake; the paper's ILP explores orders globally but only
+// within its solver budget. This pass bridges the gap: starting from any
+// valid schedule it perturbs the binding -- swapping adjacent operations on
+// a device, relocating an operation to another queue position, or moving
+// it to another device -- re-times each candidate with the full device-port
+// model, and anneals on objective (6). All moves preserve precedence
+// feasibility by construction; every accepted candidate is a valid
+// schedule. Deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/timing.h"
+
+namespace transtore::sched {
+
+struct local_search_options {
+  double alpha = 1.0;
+  double beta = 0.15;
+  int iterations = 6000;
+  double initial_temperature = 60.0; // in objective units (seconds-ish)
+  std::uint64_t seed = 1;
+};
+
+/// Anneal `start` and return the best schedule found (never worse than
+/// `start` under alpha/beta).
+[[nodiscard]] schedule improve_schedule(const assay::sequencing_graph& graph,
+                                        const schedule& start,
+                                        const timing_options& timing,
+                                        const local_search_options& options);
+
+} // namespace transtore::sched

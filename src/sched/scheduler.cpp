@@ -1,0 +1,111 @@
+#include "sched/scheduler.h"
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "sched/local_search.h"
+
+namespace transtore::sched {
+namespace {
+
+list_scheduler_options heuristic_options(const scheduler_options& o) {
+  list_scheduler_options lo;
+  lo.device_count = o.device_count;
+  lo.timing = o.timing;
+  lo.alpha = o.alpha;
+  lo.beta = o.beta;
+  lo.storage_aware = o.storage_aware;
+  lo.restarts = o.heuristic_restarts;
+  lo.seed = o.seed;
+  return lo;
+}
+
+ilp_scheduler_options ilp_options(const scheduler_options& o,
+                                  const schedule& warm) {
+  ilp_scheduler_options io;
+  io.device_count = o.device_count;
+  io.timing = o.timing;
+  io.alpha = o.alpha;
+  io.beta = o.storage_aware ? o.beta : 0.0;
+  io.time_limit_seconds = o.ilp_time_limit_seconds;
+  io.warm_start = warm;
+  io.log_progress = o.log_progress;
+  return io;
+}
+
+/// Estimated ILP row count before building the full model (cheap guard).
+long estimate_ilp_rows(const assay::sequencing_graph& graph,
+                       const scheduler_options& o) {
+  const long n = graph.operation_count();
+  long unrelated_pairs = 0;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (!graph.reaches(i, j) && !graph.reaches(j, i)) ++unrelated_pairs;
+  return 2 * n + n + graph.edge_count() * (2L * o.device_count + 2) +
+         unrelated_pairs * 2L * o.device_count + n;
+}
+
+} // namespace
+
+scheduling_result make_schedule(const assay::sequencing_graph& graph,
+                                const scheduler_options& options) {
+  stopwatch watch;
+  scheduling_result result;
+
+  // A heuristic schedule is always produced: it is either the answer, the
+  // ILP warm start, or both.
+  list_scheduler_options lo = heuristic_options(options);
+  if (options.engine == schedule_engine::ilp)
+    lo.restarts = 1; // single greedy pass, just to seed the ILP
+  schedule heuristic = schedule_with_list(graph, lo);
+
+  const double effective_beta = options.storage_aware ? options.beta : 0.0;
+
+  bool run_ilp = options.engine != schedule_engine::heuristic;
+  if (run_ilp) {
+    const long rows = estimate_ilp_rows(graph, options);
+    if (options.engine == schedule_engine::combined &&
+        rows > options.ilp_row_limit) {
+      log_at(log_level::info, "scheduler: skipping ILP (", rows,
+             " estimated rows > limit ", options.ilp_row_limit, ")");
+      result.ilp_skipped_too_large = true;
+      run_ilp = false;
+    }
+  }
+
+  if (run_ilp) {
+    const ilp_schedule_result ilp =
+        schedule_with_ilp(graph, ilp_options(options, heuristic));
+    result.used_ilp = true;
+    result.ilp_status = ilp.status;
+    result.ilp_objective = ilp.ilp_objective;
+    result.ilp_bound = ilp.ilp_bound;
+    result.ilp_variables = ilp.variables;
+    result.ilp_constraints = ilp.constraints;
+    // Keep whichever refined schedule scores better under objective (6);
+    // the ILP does not model device-port serialization, so its extraction
+    // can occasionally refine worse than the heuristic.
+    const double ilp_score =
+        ilp.refined.objective(options.alpha, effective_beta);
+    const double heuristic_score =
+        heuristic.objective(options.alpha, effective_beta);
+    result.best =
+        ilp_score <= heuristic_score ? ilp.refined : std::move(heuristic);
+  } else {
+    result.best = std::move(heuristic);
+  }
+
+  if (options.local_search_iterations > 0) {
+    local_search_options lso;
+    lso.alpha = options.alpha;
+    lso.beta = effective_beta;
+    lso.iterations = options.local_search_iterations;
+    lso.seed = options.seed;
+    result.best = improve_schedule(graph, result.best, options.timing, lso);
+  }
+
+  result.best.validate(graph);
+  result.seconds = watch.elapsed_seconds();
+  return result;
+}
+
+} // namespace transtore::sched

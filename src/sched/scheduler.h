@@ -1,0 +1,58 @@
+// Scheduling facade: heuristic, ILP, or the combined strategy used by the
+// synthesis flow (heuristic first, then the paper's ILP warm-started with
+// it, keeping whichever refined schedule scores better on objective (6)).
+#pragma once
+
+#include <cstdint>
+
+#include "assay/sequencing_graph.h"
+#include "milp/solver.h"
+#include "sched/ilp_scheduler.h"
+#include "sched/list_scheduler.h"
+
+namespace transtore::sched {
+
+enum class schedule_engine {
+  heuristic, // list scheduling only
+  ilp,       // paper ILP only (internally warm-started by one greedy pass)
+  combined,  // heuristic + ILP improvement, best refined schedule wins
+};
+
+struct scheduler_options {
+  int device_count = 1;
+  timing_options timing{};
+  double alpha = 1.0;
+  double beta = 0.15;
+  /// false reproduces the "optimize execution time only" baseline (Fig. 9).
+  bool storage_aware = true;
+  schedule_engine engine = schedule_engine::combined;
+  double ilp_time_limit_seconds = 10.0;
+  /// ILP models above this row count are skipped in combined mode (the
+  /// dense-basis simplex would thrash); the heuristic then carries the
+  /// instance, mirroring the paper's best-effort protocol on large assays.
+  int ilp_row_limit = 2500;
+  int heuristic_restarts = 24;
+  /// Simulated-annealing improvement after the constructive engines
+  /// (sched/local_search.h); 0 disables it.
+  int local_search_iterations = 6000;
+  std::uint64_t seed = 1;
+  bool log_progress = false;
+};
+
+struct scheduling_result {
+  schedule best;
+  double seconds = 0.0;
+  bool used_ilp = false;
+  bool ilp_skipped_too_large = false;
+  milp::solve_status ilp_status = milp::solve_status::no_solution;
+  double ilp_objective = 0.0;
+  double ilp_bound = 0.0;
+  int ilp_variables = 0;
+  int ilp_constraints = 0;
+};
+
+/// Produce a validated schedule for `graph` under `options`.
+[[nodiscard]] scheduling_result make_schedule(
+    const assay::sequencing_graph& graph, const scheduler_options& options);
+
+} // namespace transtore::sched

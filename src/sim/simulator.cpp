@@ -1,0 +1,201 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace transtore::sim {
+namespace {
+
+/// Location of a fluid token (one per sequencing-graph edge).
+enum class token_state { unborn, in_producer, in_transit, in_segment, in_consumer, consumed };
+
+struct token {
+  int transfer_index = -1;
+  token_state state = token_state::unborn;
+  bool state_visited_segment = false; // store leg already arrived
+};
+
+} // namespace
+
+sim_stats simulate(const assay::sequencing_graph& graph,
+                   const sched::schedule& s,
+                   const arch::routing_workload& workload,
+                   const arch::chip& chip) {
+  // Structural validation first (throws on violations).
+  s.validate(graph);
+  chip.validate(workload);
+
+  sim_stats stats;
+  stats.makespan = s.makespan();
+  stats.operations = graph.operation_count();
+  stats.transport_legs = static_cast<int>(s.legs.size());
+  stats.cached_samples = s.store_count();
+
+  // Token replay: walk events in time order and enforce the fluid life
+  // cycle per transfer.
+  // Event order at equal times: producer-end (0) before leg-arrival (1)
+  // before leg-departure (2) before consumer-start (3). Arrivals precede
+  // departures so that a zero-length hold (store arrival and fetch
+  // departure at the same instant) replays correctly.
+  struct event {
+    int time;
+    int order;
+    int transfer;
+  };
+  constexpr int ev_produced = 0;
+  constexpr int ev_arrival = 1;
+  constexpr int ev_departure = 2;
+  constexpr int ev_consume = 3;
+  std::vector<event> events;
+  for (std::size_t t = 0; t < s.transfers.size(); ++t) {
+    const sched::edge_transfer& tr = s.transfers[t];
+    const auto& src = s.ops[static_cast<std::size_t>(tr.source_op)];
+    const auto& dst = s.ops[static_cast<std::size_t>(tr.target_op)];
+    events.push_back({src.end, ev_produced, static_cast<int>(t)});
+    if (tr.kind == sched::transfer_kind::direct) {
+      const auto& leg = s.legs[static_cast<std::size_t>(tr.direct_leg)];
+      events.push_back({leg.window.begin, ev_departure, static_cast<int>(t)});
+      events.push_back({leg.window.end, ev_arrival, static_cast<int>(t)});
+    } else if (tr.kind == sched::transfer_kind::cached) {
+      const auto& store = s.legs[static_cast<std::size_t>(tr.store_leg)];
+      const auto& fetch = s.legs[static_cast<std::size_t>(tr.fetch_leg)];
+      events.push_back({store.window.begin, ev_departure,
+                        static_cast<int>(t)});
+      events.push_back({store.window.end, ev_arrival, static_cast<int>(t)});
+      events.push_back({fetch.window.begin, ev_departure,
+                        static_cast<int>(t)});
+      events.push_back({fetch.window.end, ev_arrival, static_cast<int>(t)});
+    }
+    events.push_back({dst.start, ev_consume, static_cast<int>(t)});
+  }
+  std::sort(events.begin(), events.end(), [](const event& a, const event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.order < b.order;
+  });
+
+  std::vector<token> tokens(s.transfers.size());
+  for (std::size_t t = 0; t < tokens.size(); ++t)
+    tokens[t].transfer_index = static_cast<int>(t);
+
+  for (const event& ev : events) {
+    token& tok = tokens[static_cast<std::size_t>(ev.transfer)];
+    const sched::edge_transfer& tr =
+        s.transfers[static_cast<std::size_t>(ev.transfer)];
+    switch (ev.order) {
+      case 0: // producer finished: token exists in producer device
+        check(tok.state == token_state::unborn,
+              "simulate: token produced twice");
+        tok.state = token_state::in_producer;
+        break;
+      case 2: // a leg departs: token must be at rest at its origin
+        check(tok.state == token_state::in_producer ||
+                  tok.state == token_state::in_segment,
+              "simulate: leg departs without its fluid at the origin");
+        tok.state = token_state::in_transit;
+        break;
+      case 1: // a leg arrives
+        check(tok.state == token_state::in_transit,
+              "simulate: leg arrives without a fluid in transit");
+        if (tr.kind == sched::transfer_kind::cached &&
+            !tok.state_visited_segment) {
+          tok.state = token_state::in_segment;
+          tok.state_visited_segment = true;
+        } else {
+          tok.state = token_state::in_consumer;
+        }
+        break;
+      case 3: // consumer starts: token must be present (or handoff)
+        if (tr.kind == sched::transfer_kind::handoff) {
+          check(tok.state == token_state::in_producer,
+                "simulate: handoff fluid left the device");
+        } else {
+          check(tok.state == token_state::in_consumer,
+                "simulate: operation starts before its operand arrived");
+        }
+        tok.state = token_state::consumed;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Channel utilization sampled at transport-time granularity.
+  const int step = std::max(1, s.transport_time);
+  long active_sum = 0;
+  int samples = 0;
+  for (int t = 0; t <= stats.makespan; t += step) {
+    int active = 0;
+    std::vector<bool> seen(static_cast<std::size_t>(chip.grid().edge_count()),
+                           false);
+    for (const auto& p : chip.paths)
+      if (p.window.contains(t))
+        for (int e : p.edges)
+          if (!seen[static_cast<std::size_t>(e)]) {
+            seen[static_cast<std::size_t>(e)] = true;
+            ++active;
+          }
+    for (const auto& cp : chip.caches)
+      if (cp.hold.contains(t) && !seen[static_cast<std::size_t>(cp.edge)]) {
+        seen[static_cast<std::size_t>(cp.edge)] = true;
+        ++active;
+      }
+    active_sum += active;
+    stats.max_active_segments = std::max(stats.max_active_segments, active);
+    ++samples;
+  }
+  stats.mean_active_segments =
+      samples > 0 ? static_cast<double>(active_sum) / samples : 0.0;
+
+  for (const auto& op : s.ops) stats.device_busy_time += op.end - op.start;
+  stats.device_utilization =
+      stats.makespan > 0
+          ? static_cast<double>(stats.device_busy_time) /
+                (static_cast<double>(stats.makespan) * s.device_count)
+          : 0.0;
+  return stats;
+}
+
+std::string snapshot(const assay::sequencing_graph& graph,
+                     const sched::schedule& s,
+                     const arch::routing_workload& workload,
+                     const arch::chip& chip, int t) {
+  std::ostringstream out;
+  out << chip.render_ascii(t);
+  out << "executing:";
+  bool any = false;
+  for (const auto& op : s.ops)
+    if (op.start <= t && t < op.end) {
+      out << " " << graph.at(op.op).name << "@d" << op.device + 1;
+      any = true;
+    }
+  if (!any) out << " (none)";
+  out << "\nin transit:";
+  any = false;
+  for (const auto& p : chip.paths)
+    if (p.window.contains(t)) {
+      const auto& task = workload.tasks[static_cast<std::size_t>(p.task_id)];
+      const auto& tr =
+          s.transfers[static_cast<std::size_t>(task.transfer_index)];
+      out << " " << graph.at(tr.source_op).name << "->"
+          << graph.at(tr.target_op).name;
+      any = true;
+    }
+  if (!any) out << " (none)";
+  out << "\nheld samples:";
+  any = false;
+  for (const auto& cp : chip.caches)
+    if (cp.hold.contains(t)) {
+      const auto& cr = workload.caches[static_cast<std::size_t>(cp.cache_id)];
+      const auto& tr =
+          s.transfers[static_cast<std::size_t>(cr.transfer_index)];
+      out << " " << graph.at(tr.source_op).name << "(for "
+          << graph.at(tr.target_op).name << ")";
+      any = true;
+    }
+  if (!any) out << " (none)";
+  out << "\n";
+  return out.str();
+}
+
+} // namespace transtore::sim

@@ -1,0 +1,48 @@
+// Chip execution simulator: an independent replay of a synthesized design.
+//
+// The simulator re-derives fluid movements from first principles -- tokens
+// are created at producer operations, travel along the routed paths, sit in
+// their storage segments, and must be present in the consuming device when
+// it starts -- and cross-checks every step against the schedule and the
+// chip. It is deliberately separate from the constructive code paths so
+// that a bug in the builder/router cannot hide itself.
+//
+// It also renders timestamped snapshots of the running chip (paper
+// Fig. 11) and collects channel-utilization statistics.
+#pragma once
+
+#include <string>
+
+#include "arch/chip.h"
+#include "assay/sequencing_graph.h"
+#include "sched/schedule.h"
+
+namespace transtore::sim {
+
+struct sim_stats {
+  int makespan = 0;
+  int operations = 0;
+  int transport_legs = 0;
+  int cached_samples = 0;
+  int max_active_segments = 0;   // peak of (path + held) segments
+  double mean_active_segments = 0.0;
+  long device_busy_time = 0;     // total device-seconds executing
+  double device_utilization = 0.0;
+};
+
+/// Verify a synthesized design end to end and collect statistics.
+/// Throws internal_error on any inconsistency between the schedule, the
+/// workload, and the chip.
+[[nodiscard]] sim_stats simulate(const assay::sequencing_graph& graph,
+                                 const sched::schedule& s,
+                                 const arch::routing_workload& workload,
+                                 const arch::chip& chip);
+
+/// Human-readable snapshot at time t: the ASCII chip plus the running
+/// operations, in-flight transports, and held samples.
+[[nodiscard]] std::string snapshot(const assay::sequencing_graph& graph,
+                                   const sched::schedule& s,
+                                   const arch::routing_workload& workload,
+                                   const arch::chip& chip, int t);
+
+} // namespace transtore::sim

@@ -1,0 +1,205 @@
+// Unit tests for src/common: prng determinism and distributions, stopwatch,
+// geometry, intervals, strings, and the text table renderer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/error.h"
+#include "common/geometry.h"
+#include "common/prng.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "common/text_table.h"
+
+namespace transtore {
+namespace {
+
+TEST(Prng, DeterministicForSameSeed) {
+  prng a(42);
+  prng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  prng a(1);
+  prng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Prng, UniformIntRespectsRange) {
+  prng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Prng, UniformIntCoversAllValues) {
+  prng r(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Prng, UniformIntSingletonRange) {
+  prng r(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(4, 4), 4);
+}
+
+TEST(Prng, UniformIntRejectsInvertedRange) {
+  prng r(3);
+  EXPECT_THROW(r.uniform_int(5, 4), invalid_input_error);
+}
+
+TEST(Prng, UniformRealInUnitInterval) {
+  prng r(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform_real();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Prng, UniformRealMeanIsPlausible) {
+  prng r(17);
+  double sum = 0.0;
+  constexpr int samples = 20000;
+  for (int i = 0; i < samples; ++i) sum += r.uniform_real();
+  EXPECT_NEAR(sum / samples, 0.5, 0.02);
+}
+
+TEST(Prng, BernoulliExtremes) {
+  prng r(19);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Prng, ShufflePreservesElements) {
+  prng r(23);
+  std::vector<int> values(50);
+  std::iota(values.begin(), values.end(), 0);
+  auto shuffled = values;
+  r.shuffle(shuffled);
+  EXPECT_NE(shuffled, values); // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Stopwatch, ElapsedIsMonotonic) {
+  stopwatch w;
+  const double a = w.elapsed_seconds();
+  const double b = w.elapsed_seconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(Deadline, UnlimitedNeverExpires) {
+  deadline d(0.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_seconds(), 1e12);
+}
+
+TEST(Deadline, TinyBudgetExpires) {
+  deadline d(1e-9);
+  // Spin briefly to pass the budget.
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1;
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_seconds(), 0.0);
+}
+
+TEST(Geometry, ManhattanDistance) {
+  EXPECT_EQ(manhattan_distance({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan_distance({-1, 2}, {-1, 2}), 0);
+  EXPECT_EQ(manhattan_distance({2, -3}, {-2, 3}), 10);
+}
+
+TEST(Geometry, RectContainsAndIntersects) {
+  const rect a{{0, 0}, {4, 4}};
+  EXPECT_TRUE(a.contains({0, 0}));
+  EXPECT_TRUE(a.contains({4, 4}));
+  EXPECT_FALSE(a.contains({5, 2}));
+  const rect b{{4, 4}, {6, 6}};
+  EXPECT_TRUE(a.intersects(b)); // inclusive edges touch
+  const rect c{{5, 5}, {6, 6}};
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(Geometry, RectExpansion) {
+  const rect a{{1, 1}, {2, 2}};
+  const rect grown = a.expanded_to({5, 0});
+  EXPECT_EQ(grown, (rect{{1, 0}, {5, 2}}));
+}
+
+TEST(TimeInterval, OverlapSemanticsAreHalfOpen) {
+  const time_interval a{0, 10};
+  const time_interval b{10, 20};
+  EXPECT_FALSE(a.overlaps(b)); // touching intervals do not overlap
+  const time_interval c{9, 11};
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(c.overlaps(b));
+  EXPECT_TRUE(a.contains(0));
+  EXPECT_FALSE(a.contains(10));
+}
+
+TEST(TimeInterval, EmptyAndLength) {
+  EXPECT_TRUE((time_interval{5, 5}).empty());
+  EXPECT_EQ((time_interval{2, 9}).length(), 7);
+}
+
+TEST(Strings, JoinAndSplitRoundTrip) {
+  const std::vector<std::string> parts{"a", "bb", "", "c"};
+  const std::string joined = join(parts, ",");
+  EXPECT_EQ(joined, "a,bb,,c");
+  EXPECT_EQ(split(joined, ','), parts);
+}
+
+TEST(Strings, FormatNumber) {
+  EXPECT_EQ(format_number(3.0), "3");
+  EXPECT_EQ(format_number(-17.0), "-17");
+  EXPECT_EQ(format_number(3.14159), "3.14");
+  EXPECT_EQ(format_double(2.5, 1), "2.5");
+}
+
+TEST(Strings, FormatDims) { EXPECT_EQ(format_dims(15, 10), "15x10"); }
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim(" \t\n "), "");
+}
+
+TEST(TextTable, AlignsColumnsAndDrawsHeaderRule) {
+  text_table t;
+  t.add_row({"Assay", "tE"});
+  t.add_row({"PCR", "290"});
+  t.add_row({"RA100", "1820"});
+  const std::string rendered = t.render();
+  EXPECT_NE(rendered.find("Assay"), std::string::npos);
+  EXPECT_NE(rendered.find("-----"), std::string::npos);
+  EXPECT_NE(rendered.find("RA100"), std::string::npos);
+  // Every data line must be at least as wide as the widest cell stack.
+  EXPECT_EQ(t.row_count(), 3u);
+}
+
+TEST(TextTable, EmptyRendersEmpty) {
+  text_table t;
+  EXPECT_EQ(t.render(), "");
+}
+
+TEST(Error, RequireThrowsInvalidInput) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "bad"), invalid_input_error);
+  EXPECT_THROW(check(false, "bug"), internal_error);
+}
+
+} // namespace
+} // namespace transtore

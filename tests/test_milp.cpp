@@ -1,0 +1,459 @@
+// Unit and property tests for the MILP substrate: model building, the
+// bounded-variable simplex (through milp::solve on pure LPs), and branch and
+// bound on integer programs with known optima.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/prng.h"
+#include "milp/model.h"
+#include "milp/solver.h"
+
+namespace transtore::milp {
+namespace {
+
+solver_options quick_options() {
+  solver_options o;
+  o.time_limit_seconds = 30.0;
+  return o;
+}
+
+TEST(Model, VariableAndConstraintBookkeeping) {
+  model m;
+  const variable x = m.add_continuous(0, 10, "x");
+  const variable y = m.add_binary("y");
+  const variable z = m.add_integer(-5, 5, "z");
+  EXPECT_EQ(m.variable_count(), 3);
+  EXPECT_EQ(m.integer_variable_count(), 2);
+  EXPECT_EQ(m.variable_at(x.index).name, "x");
+  EXPECT_EQ(m.variable_at(y.index).upper, 1.0);
+  EXPECT_EQ(m.variable_at(z.index).lower, -5.0);
+
+  m.add_constraint(linear_expr(x) + 2.0 * y, cmp::less_equal, 4.0, "r0");
+  EXPECT_EQ(m.constraint_count(), 1);
+  EXPECT_EQ(m.constraint_at(0).terms.size(), 2u);
+}
+
+TEST(Model, BinaryBoundsAreForced) {
+  model m;
+  const variable b = m.add_variable(var_kind::binary, -4, 9, "b");
+  EXPECT_EQ(m.variable_at(b.index).lower, 0.0);
+  EXPECT_EQ(m.variable_at(b.index).upper, 1.0);
+}
+
+TEST(Model, CrossingBoundsRejected) {
+  model m;
+  EXPECT_THROW(m.add_continuous(3, 2), invalid_input_error);
+}
+
+TEST(Model, ConstantsFoldIntoRhs) {
+  model m;
+  const variable x = m.add_continuous(0, 10, "x");
+  // x + 3 <= 7  =>  x <= 4
+  m.add_constraint(linear_expr(x) + 3.0, cmp::less_equal, 7.0);
+  m.set_objective(-1.0 * x, objective_sense::minimize); // maximize x
+  const solution s = solve(m, quick_options());
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_NEAR(s.value(x), 4.0, 1e-6);
+}
+
+TEST(Model, FeasibilityChecker) {
+  model m;
+  const variable x = m.add_integer(0, 5, "x");
+  m.add_constraint(linear_expr(x), cmp::greater_equal, 2.0);
+  EXPECT_TRUE(m.is_feasible({3.0}));
+  EXPECT_FALSE(m.is_feasible({1.0}));  // violates row
+  EXPECT_FALSE(m.is_feasible({2.5})); // violates integrality
+  EXPECT_FALSE(m.is_feasible({6.0})); // violates bound
+}
+
+TEST(Expr, OperatorAlgebra) {
+  model m;
+  const variable x = m.add_continuous(0, 1, "x");
+  const variable y = m.add_continuous(0, 1, "y");
+  linear_expr e = 2.0 * x + y - 3.0;
+  e += 0.5 * y;
+  e *= 2.0;
+  EXPECT_DOUBLE_EQ(e.constant(), -6.0);
+  EXPECT_DOUBLE_EQ(e.terms().at(x.index), 4.0);
+  EXPECT_DOUBLE_EQ(e.terms().at(y.index), 3.0);
+  const linear_expr neg = -e;
+  EXPECT_DOUBLE_EQ(neg.constant(), 6.0);
+  EXPECT_DOUBLE_EQ(neg.terms().at(x.index), -4.0);
+}
+
+// ---------------------------------------------------------------- pure LPs
+
+TEST(Lp, TwoVariableOptimum) {
+  // maximize 3x + 2y st x + y <= 4, x + 3y <= 6, x,y >= 0 -> (4,0), obj 12.
+  model m;
+  const variable x = m.add_continuous(0, infinity, "x");
+  const variable y = m.add_continuous(0, infinity, "y");
+  m.add_constraint(linear_expr(x) + y, cmp::less_equal, 4);
+  m.add_constraint(linear_expr(x) + 3.0 * y, cmp::less_equal, 6);
+  m.set_objective(3.0 * x + 2.0 * y, objective_sense::maximize);
+  const solution s = solve(m, quick_options());
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_NEAR(s.objective, 12.0, 1e-6);
+  EXPECT_NEAR(s.value(x), 4.0, 1e-6);
+  EXPECT_NEAR(s.value(y), 0.0, 1e-6);
+}
+
+TEST(Lp, EqualityConstraint) {
+  // minimize x + y st x + 2y = 3, 0 <= x,y <= 10 -> y=1.5, x=0, obj 1.5.
+  model m;
+  const variable x = m.add_continuous(0, 10, "x");
+  const variable y = m.add_continuous(0, 10, "y");
+  m.add_constraint(linear_expr(x) + 2.0 * y, cmp::equal, 3);
+  m.set_objective(linear_expr(x) + y, objective_sense::minimize);
+  const solution s = solve(m, quick_options());
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_NEAR(s.objective, 1.5, 1e-6);
+}
+
+TEST(Lp, RangeConstraint) {
+  model m;
+  const variable x = m.add_continuous(0, 100, "x");
+  m.add_range_constraint(linear_expr(x), 5.0, 8.0);
+  m.set_objective(linear_expr(x), objective_sense::minimize);
+  const solution s = solve(m, quick_options());
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_NEAR(s.value(x), 5.0, 1e-6);
+}
+
+TEST(Lp, NegativeLowerBounds) {
+  // minimize x st x >= -7 (bound), x >= -3 (row). Optimum -3.
+  model m;
+  const variable x = m.add_continuous(-7, 7, "x");
+  m.add_constraint(linear_expr(x), cmp::greater_equal, -3);
+  m.set_objective(linear_expr(x), objective_sense::minimize);
+  const solution s = solve(m, quick_options());
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_NEAR(s.objective, -3.0, 1e-6);
+}
+
+TEST(Lp, FreeVariable) {
+  // minimize y st y >= x - 4, y >= -x, x free in [-inf, inf].
+  // Optimum at x = 2, y = -2.
+  model m;
+  const variable x = m.add_continuous(-infinity, infinity, "x");
+  const variable y = m.add_continuous(-infinity, infinity, "y");
+  m.add_constraint(linear_expr(y) - x, cmp::greater_equal, -4);
+  m.add_constraint(linear_expr(y) + x, cmp::greater_equal, 0);
+  m.set_objective(linear_expr(y), objective_sense::minimize);
+  const solution s = solve(m, quick_options());
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_NEAR(s.objective, -2.0, 1e-6);
+  EXPECT_NEAR(s.value(x), 2.0, 1e-6);
+}
+
+TEST(Lp, InfeasibleDetected) {
+  model m;
+  const variable x = m.add_continuous(0, 1, "x");
+  m.add_constraint(linear_expr(x), cmp::greater_equal, 2);
+  m.set_objective(linear_expr(x), objective_sense::minimize);
+  const solution s = solve(m, quick_options());
+  EXPECT_EQ(s.status, solve_status::infeasible);
+}
+
+TEST(Lp, InfeasibleByConflictingRows) {
+  model m;
+  const variable x = m.add_continuous(-100, 100, "x");
+  const variable y = m.add_continuous(-100, 100, "y");
+  m.add_constraint(linear_expr(x) + y, cmp::greater_equal, 10);
+  m.add_constraint(linear_expr(x) + y, cmp::less_equal, 5);
+  m.set_objective(linear_expr(x), objective_sense::minimize);
+  const solution s = solve(m, quick_options());
+  EXPECT_EQ(s.status, solve_status::infeasible);
+}
+
+TEST(Lp, UnboundedDetected) {
+  model m;
+  const variable x = m.add_continuous(0, infinity, "x");
+  m.set_objective(linear_expr(x), objective_sense::maximize);
+  solver_options o = quick_options();
+  o.root_propagation = false;
+  const solution s = solve(m, o);
+  EXPECT_EQ(s.status, solve_status::unbounded);
+}
+
+TEST(Lp, DegenerateProblemTerminates) {
+  // Many redundant constraints through the optimum: classic degeneracy.
+  model m;
+  const variable x = m.add_continuous(0, infinity, "x");
+  const variable y = m.add_continuous(0, infinity, "y");
+  for (int k = 1; k <= 12; ++k)
+    m.add_constraint(static_cast<double>(k) * x + static_cast<double>(k) * y,
+                     cmp::less_equal, 10.0 * k);
+  m.set_objective(linear_expr(x) + y, objective_sense::maximize);
+  const solution s = solve(m, quick_options());
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_NEAR(s.objective, 10.0, 1e-6);
+}
+
+// ----------------------------------------------------------------- MILPs
+
+TEST(Milp, KnapsackSmall) {
+  // Classic 0-1 knapsack: values {60,100,120}, weights {10,20,30}, cap 50.
+  // Optimum: items 2+3 = 220.
+  model m;
+  const variable a = m.add_binary("a");
+  const variable b = m.add_binary("b");
+  const variable c = m.add_binary("c");
+  m.add_constraint(10.0 * a + 20.0 * b + 30.0 * c, cmp::less_equal, 50);
+  m.set_objective(60.0 * a + 100.0 * b + 120.0 * c, objective_sense::maximize);
+  const solution s = solve(m, quick_options());
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_NEAR(s.objective, 220.0, 1e-6);
+  EXPECT_NEAR(s.value(a), 0.0, 1e-6);
+  EXPECT_NEAR(s.value(b), 1.0, 1e-6);
+  EXPECT_NEAR(s.value(c), 1.0, 1e-6);
+}
+
+TEST(Milp, IntegerRounding) {
+  // maximize x st 2x <= 7, x integer -> 3 (LP gives 3.5).
+  model m;
+  const variable x = m.add_integer(0, 100, "x");
+  m.add_constraint(2.0 * x, cmp::less_equal, 7);
+  m.set_objective(linear_expr(x), objective_sense::maximize);
+  const solution s = solve(m, quick_options());
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-6);
+}
+
+TEST(Milp, AssignmentProblemIsIntegral) {
+  // 3x3 assignment; costs chosen so the optimum is the anti-diagonal.
+  const double cost[3][3] = {{5, 4, 1}, {6, 2, 7}, {1, 8, 9}};
+  model m;
+  variable x[3][3];
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) x[i][j] = m.add_binary();
+  for (int i = 0; i < 3; ++i) {
+    linear_expr row_sum, col_sum;
+    for (int j = 0; j < 3; ++j) {
+      row_sum += x[i][j];
+      col_sum += x[j][i];
+    }
+    m.add_constraint(row_sum, cmp::equal, 1);
+    m.add_constraint(col_sum, cmp::equal, 1);
+  }
+  linear_expr obj;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) obj += cost[i][j] * x[i][j];
+  m.set_objective(obj, objective_sense::minimize);
+  const solution s = solve(m, quick_options());
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_NEAR(s.objective, 1 + 2 + 1, 1e-6); // x02 + x11 + x20
+}
+
+TEST(Milp, BigMDisjunction) {
+  // Either x <= 2 or x >= 8, pick the cheaper side of cost |x - 6|-ish:
+  // minimize x with x >= 8 - M*(1-b), x <= 2 + M*b is SAT by b=0, x in [0,2].
+  model m;
+  const double big_m = 1000.0;
+  const variable x = m.add_continuous(0, 10, "x");
+  const variable b = m.add_binary("b");
+  m.add_constraint(linear_expr(x) + big_m * b, cmp::greater_equal, 8.0);
+  m.add_constraint(linear_expr(x) - big_m * (1.0 - b) * 1.0, cmp::less_equal,
+                   2.0);
+  // b=0 forces x >= 8; b=1 forces x <= 2. minimize x -> b=1, x=0.
+  m.set_objective(linear_expr(x), objective_sense::minimize);
+  const solution s = solve(m, quick_options());
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_NEAR(s.objective, 0.0, 1e-6);
+  EXPECT_NEAR(s.value(b), 1.0, 1e-6);
+}
+
+TEST(Milp, InfeasibleIntegerProgram) {
+  // 2 <= 2x <= 3 has no integer solution but a fractional one.
+  model m;
+  const variable x = m.add_integer(0, 10, "x");
+  m.add_range_constraint(2.0 * x, 2.9, 3.1);
+  m.set_objective(linear_expr(x), objective_sense::minimize);
+  const solution s = solve(m, quick_options());
+  EXPECT_EQ(s.status, solve_status::infeasible);
+}
+
+TEST(Milp, WarmStartAcceptedAndImproved) {
+  model m;
+  const variable x = m.add_integer(0, 10, "x");
+  m.add_constraint(2.0 * x, cmp::less_equal, 7);
+  m.set_objective(linear_expr(x), objective_sense::maximize);
+  solver_options o = quick_options();
+  o.warm_start = std::vector<double>{1.0}; // feasible but suboptimal
+  const solution s = solve(m, o);
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-6);
+}
+
+TEST(Milp, RejectedWarmStartIsIgnored) {
+  model m;
+  const variable x = m.add_integer(0, 3, "x");
+  m.add_constraint(linear_expr(x), cmp::greater_equal, 1);
+  m.set_objective(linear_expr(x), objective_sense::minimize);
+  solver_options o = quick_options();
+  o.warm_start = std::vector<double>{9.0}; // violates bound
+  const solution s = solve(m, o);
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_NEAR(s.objective, 1.0, 1e-6);
+}
+
+TEST(Milp, EqualityWithIntegers) {
+  // 3x + 5y = 19, x,y >= 0 integer -> (3,2). Minimize x.
+  model m;
+  const variable x = m.add_integer(0, 100, "x");
+  const variable y = m.add_integer(0, 100, "y");
+  m.add_constraint(3.0 * x + 5.0 * y, cmp::equal, 19);
+  m.set_objective(linear_expr(x), objective_sense::minimize);
+  const solution s = solve(m, quick_options());
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_NEAR(s.value(x), 3.0, 1e-6);
+  EXPECT_NEAR(s.value(y), 2.0, 1e-6);
+}
+
+TEST(Milp, PseudocostBranchingFindsSameOptimum) {
+  model m;
+  std::vector<variable> xs;
+  prng r(99);
+  linear_expr weight_sum, value_sum;
+  for (int i = 0; i < 14; ++i) {
+    xs.push_back(m.add_binary());
+    weight_sum += static_cast<double>(r.uniform_int(5, 30)) * xs.back();
+    value_sum += static_cast<double>(r.uniform_int(10, 60)) * xs.back();
+  }
+  m.add_constraint(weight_sum, cmp::less_equal, 90);
+  m.set_objective(value_sum, objective_sense::maximize);
+
+  solver_options most_frac = quick_options();
+  most_frac.branching = branch_rule::most_fractional;
+  solver_options pseudo = quick_options();
+  pseudo.branching = branch_rule::pseudocost;
+
+  const solution a = solve(m, most_frac);
+  const solution b = solve(m, pseudo);
+  ASSERT_EQ(a.status, solve_status::optimal);
+  ASSERT_EQ(b.status, solve_status::optimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-6);
+}
+
+TEST(Milp, TimeLimitReturnsBestEffort) {
+  // A knapsack big enough not to finish in ~0 seconds, with a warm start:
+  // the solver must return the incumbent, not fail.
+  model m;
+  prng r(123);
+  std::vector<variable> xs;
+  linear_expr weight, value;
+  std::vector<double> zeros;
+  for (int i = 0; i < 60; ++i) {
+    xs.push_back(m.add_binary());
+    weight += static_cast<double>(r.uniform_int(10, 40)) * xs.back();
+    value += (static_cast<double>(r.uniform_int(10, 40)) + 0.1 * i) * xs.back();
+    zeros.push_back(0.0);
+  }
+  m.add_constraint(weight, cmp::less_equal, 200);
+  m.set_objective(value, objective_sense::maximize);
+  solver_options o;
+  o.time_limit_seconds = 0.05;
+  o.warm_start = zeros;
+  const solution s = solve(m, o);
+  EXPECT_TRUE(s.status == solve_status::optimal ||
+              s.status == solve_status::feasible);
+  EXPECT_GE(s.objective, 0.0);
+}
+
+TEST(Milp, RootPropagationProvesInfeasibility) {
+  // x + y >= 10 with x,y in [0,4] is infeasible by interval arithmetic alone.
+  model m;
+  const variable x = m.add_integer(0, 4, "x");
+  const variable y = m.add_integer(0, 4, "y");
+  m.add_constraint(linear_expr(x) + y, cmp::greater_equal, 10);
+  m.set_objective(linear_expr(x), objective_sense::minimize);
+  const solution s = solve(m, quick_options());
+  EXPECT_EQ(s.status, solve_status::infeasible);
+}
+
+TEST(Milp, GapIsZeroWhenOptimal) {
+  model m;
+  const variable x = m.add_integer(0, 5, "x");
+  m.set_objective(linear_expr(x), objective_sense::maximize);
+  const solution s = solve(m, quick_options());
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_LE(s.gap(), 1e-6);
+  EXPECT_NEAR(s.best_bound, s.objective, 1e-6);
+}
+
+// Property sweep: random small knapsacks, solver vs exhaustive enumeration.
+class RandomKnapsack : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomKnapsack, MatchesBruteForce) {
+  prng r(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  const int items = static_cast<int>(r.uniform_int(4, 10));
+  std::vector<double> weights(items), values(items);
+  for (int i = 0; i < items; ++i) {
+    weights[i] = static_cast<double>(r.uniform_int(1, 20));
+    values[i] = static_cast<double>(r.uniform_int(1, 50));
+  }
+  const double capacity = static_cast<double>(r.uniform_int(10, 60));
+
+  model m;
+  std::vector<variable> xs;
+  linear_expr weight_sum, value_sum;
+  for (int i = 0; i < items; ++i) {
+    xs.push_back(m.add_binary());
+    weight_sum += weights[i] * xs.back();
+    value_sum += values[i] * xs.back();
+  }
+  m.add_constraint(weight_sum, cmp::less_equal, capacity);
+  m.set_objective(value_sum, objective_sense::maximize);
+  const solution s = solve(m, quick_options());
+  ASSERT_EQ(s.status, solve_status::optimal);
+
+  double brute_best = 0.0;
+  for (int mask = 0; mask < (1 << items); ++mask) {
+    double w = 0.0, v = 0.0;
+    for (int i = 0; i < items; ++i)
+      if (mask & (1 << i)) {
+        w += weights[i];
+        v += values[i];
+      }
+    if (w <= capacity) brute_best = std::max(brute_best, v);
+  }
+  EXPECT_NEAR(s.objective, brute_best, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomKnapsack, ::testing::Range(0, 20));
+
+// Property sweep: random LPs never report optimal with an infeasible point.
+class RandomLp : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLp, OptimalPointIsFeasible) {
+  prng r(static_cast<std::uint64_t>(GetParam()) * 104729 + 13);
+  const int nvars = static_cast<int>(r.uniform_int(2, 8));
+  const int nrows = static_cast<int>(r.uniform_int(1, 10));
+  model m;
+  std::vector<variable> xs;
+  for (int j = 0; j < nvars; ++j)
+    xs.push_back(m.add_continuous(0, r.uniform_int(1, 20)));
+  for (int i = 0; i < nrows; ++i) {
+    linear_expr e;
+    for (int j = 0; j < nvars; ++j)
+      if (r.bernoulli(0.6))
+        e += static_cast<double>(r.uniform_int(-5, 5)) * xs[j];
+    if (e.empty()) continue;
+    // Right-hand side chosen >= 0 so x = 0 keeps <= rows feasible.
+    m.add_constraint(e, cmp::less_equal, static_cast<double>(r.uniform_int(0, 40)));
+  }
+  linear_expr obj;
+  for (int j = 0; j < nvars; ++j)
+    obj += static_cast<double>(r.uniform_int(-10, 10)) * xs[j];
+  m.set_objective(obj, objective_sense::maximize);
+  const solution s = solve(m, quick_options());
+  ASSERT_EQ(s.status, solve_status::optimal) << "seed case " << GetParam();
+  EXPECT_TRUE(m.is_feasible(s.values, 1e-5));
+  EXPECT_NEAR(m.evaluate_objective(s.values), s.objective, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomLp, ::testing::Range(0, 25));
+
+} // namespace
+} // namespace transtore::milp

@@ -1,0 +1,371 @@
+// Tests for scheduling: the timing model (including exact reproduction of
+// the paper's Fig. 2 numbers), the list scheduler, the ILP scheduler, and
+// schedule validation.
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.h"
+#include "sched/ilp_scheduler.h"
+#include "sched/list_scheduler.h"
+#include "sched/schedule.h"
+#include "sched/scheduler.h"
+#include "sched/timing.h"
+
+namespace transtore::sched {
+namespace {
+
+using assay::make_benchmark;
+using assay::make_fig4_example;
+using assay::make_pcr;
+using assay::sequencing_graph;
+
+binding pcr_order(const std::vector<int>& order) {
+  binding b;
+  b.device_of.assign(7, 0);
+  b.device_order = {order};
+  return b;
+}
+
+// ---------------------------------------------------------- Fig. 2 numbers
+
+TEST(Timing, Fig2bScheduleGives290With4StoresCapacity3) {
+  // Paper Fig. 2(b): order o1 o2 o3 o4 o6 o5 o7 on one mixer.
+  const sequencing_graph g = make_pcr();
+  const schedule s =
+      refine_timing(g, pcr_order({0, 1, 2, 3, 5, 4, 6}), 1, timing_options{});
+  s.validate(g);
+  EXPECT_EQ(s.makespan(), 290);
+  EXPECT_EQ(s.store_count(), 4);
+  EXPECT_EQ(s.peak_concurrent_caches(), 3);
+}
+
+TEST(Timing, Fig2cScheduleGives270With3StoresCapacity2) {
+  // Paper Fig. 2(c): order o1 o2 o5 o3 o4 o6 o7 -- fewer stores, shorter.
+  const sequencing_graph g = make_pcr();
+  const schedule s =
+      refine_timing(g, pcr_order({0, 1, 4, 2, 3, 5, 6}), 1, timing_options{});
+  s.validate(g);
+  EXPECT_EQ(s.makespan(), 270);
+  EXPECT_EQ(s.store_count(), 3);
+  EXPECT_EQ(s.peak_concurrent_caches(), 2);
+}
+
+TEST(Timing, HandoffsDetectedInFig2c) {
+  const sequencing_graph g = make_pcr();
+  const schedule s =
+      refine_timing(g, pcr_order({0, 1, 4, 2, 3, 5, 6}), 1, timing_options{});
+  int handoffs = 0;
+  for (const auto& t : s.transfers)
+    if (t.kind == transfer_kind::handoff) ++handoffs;
+  EXPECT_EQ(handoffs, 3); // o2->o5, o4->o6, o6->o7
+}
+
+TEST(Timing, ReagentLoadsExtendTheTimeline) {
+  const sequencing_graph g = make_pcr();
+  timing_options with_loads;
+  with_loads.count_reagent_loads = true;
+  const schedule a =
+      refine_timing(g, pcr_order({0, 1, 4, 2, 3, 5, 6}), 1, timing_options{});
+  const schedule b =
+      refine_timing(g, pcr_order({0, 1, 4, 2, 3, 5, 6}), 1, with_loads);
+  b.validate(g);
+  EXPECT_GT(b.makespan(), a.makespan());
+  // 8 reagent loads at 10s each, all serialized on the single mixer.
+  EXPECT_EQ(b.makespan() - a.makespan(), 80);
+}
+
+TEST(Timing, TwoDevicesAllowDirectTransfers) {
+  // a -> b across devices with nothing else going on: the transfer is a
+  // single direct leg of uc.
+  sequencing_graph g("direct");
+  const int a = g.add_operation("a", 30);
+  const int b = g.add_operation("b", 30);
+  g.add_dependency(a, b);
+  binding bind;
+  bind.device_of = {0, 1};
+  bind.device_order = {{a}, {b}};
+  const schedule s = refine_timing(g, bind, 2, timing_options{});
+  s.validate(g);
+  ASSERT_EQ(s.transfers.size(), 1u);
+  EXPECT_EQ(s.transfers[0].kind, transfer_kind::direct);
+  EXPECT_EQ(s.ops[1].start, 40); // 30s mix + 10s transport
+  EXPECT_EQ(s.makespan(), 70);
+}
+
+TEST(Timing, SameDeviceConsecutiveParentIsHandoff) {
+  sequencing_graph g("handoff");
+  const int a = g.add_operation("a", 30);
+  const int b = g.add_operation("b", 30);
+  g.add_dependency(a, b);
+  binding bind;
+  bind.device_of = {0, 0};
+  bind.device_order = {{a, b}};
+  const schedule s = refine_timing(g, bind, 1, timing_options{});
+  s.validate(g);
+  EXPECT_EQ(s.transfers[0].kind, transfer_kind::handoff);
+  EXPECT_EQ(s.makespan(), 60); // back to back, no transport at all
+}
+
+TEST(Timing, InterveningOpForcesCaching) {
+  // a ... x ... b on one device, b consumes a: a's result must be cached
+  // while x runs.
+  sequencing_graph g("cache");
+  const int a = g.add_operation("a", 30);
+  const int x = g.add_operation("x", 30);
+  const int b = g.add_operation("b", 30);
+  g.add_dependency(a, b);
+  binding bind;
+  bind.device_of = {0, 0, 0};
+  bind.device_order = {{a, x, b}};
+  const schedule s = refine_timing(g, bind, 1, timing_options{});
+  s.validate(g);
+  const edge_transfer& t = s.transfers[0];
+  EXPECT_EQ(t.kind, transfer_kind::cached);
+  // store [30,40), x [40,70), fetch [70,80), b [80,110).
+  EXPECT_EQ(t.cache_hold.begin, 40);
+  EXPECT_EQ(t.cache_hold.end, 70);
+  EXPECT_EQ(s.makespan(), 110);
+}
+
+TEST(Timing, TwoChildrenGetSeparateStores) {
+  // Fig. 4 discussion: a result consumed by two later ops creates two
+  // storage requirements.
+  sequencing_graph g("twokids");
+  const int a = g.add_operation("a", 30);
+  const int x = g.add_operation("x", 30);
+  const int c1 = g.add_operation("c1", 30);
+  const int c2 = g.add_operation("c2", 30);
+  g.add_dependency(a, c1);
+  g.add_dependency(a, c2);
+  binding bind;
+  bind.device_of = {0, 0, 0, 0};
+  bind.device_order = {{a, x, c1, c2}};
+  const schedule s = refine_timing(g, bind, 1, timing_options{});
+  s.validate(g);
+  (void)x;
+  int cached = 0;
+  for (const auto& t : s.transfers)
+    if (t.kind == transfer_kind::cached) ++cached;
+  EXPECT_EQ(cached, 2);
+  EXPECT_EQ(s.peak_concurrent_caches(), 2);
+}
+
+TEST(Timing, RejectsMalformedBindings) {
+  const sequencing_graph g = make_pcr();
+  binding b;
+  b.device_of.assign(7, 0);
+  b.device_order = {{0, 1, 2, 3, 4, 5}}; // missing op 6
+  EXPECT_THROW(refine_timing(g, b, 1, timing_options{}), invalid_input_error);
+
+  binding dup;
+  dup.device_of.assign(7, 0);
+  dup.device_order = {{0, 1, 2, 3, 4, 5, 6, 0}};
+  EXPECT_THROW(refine_timing(g, dup, 1, timing_options{}),
+               invalid_input_error);
+}
+
+TEST(Timing, DetectsCrossDeviceDeadlock) {
+  // d0: [b, a], d1: [d, c] with a->c... craft a cyclic wait:
+  // a (d0, after b), b needs d's output; d (d1, after c), c needs a's output.
+  sequencing_graph g("deadlock");
+  const int a = g.add_operation("a", 10);
+  const int b = g.add_operation("b", 10);
+  const int c = g.add_operation("c", 10);
+  const int d = g.add_operation("d", 10);
+  g.add_dependency(a, c);
+  g.add_dependency(d, b);
+  binding bind;
+  bind.device_of = {0, 0, 1, 1};
+  bind.device_order = {{b, a}, {c, d}};
+  EXPECT_THROW(refine_timing(g, bind, 2, timing_options{}),
+               invalid_input_error);
+}
+
+TEST(Timing, ExtractBindingRoundTrips) {
+  const sequencing_graph g = make_pcr();
+  const schedule s =
+      refine_timing(g, pcr_order({0, 1, 4, 2, 3, 5, 6}), 1, timing_options{});
+  const binding b = extract_binding(s, 1);
+  const schedule s2 = refine_timing(g, b, 1, timing_options{});
+  EXPECT_EQ(s2.makespan(), s.makespan());
+  EXPECT_EQ(s2.store_count(), s.store_count());
+}
+
+// ------------------------------------------------------------ list scheduler
+
+TEST(ListScheduler, FindsTheGoodPcrOrder) {
+  // Storage-aware greedy must do at least as well as Fig. 2(c).
+  list_scheduler_options o;
+  o.device_count = 1;
+  o.storage_aware = true;
+  const schedule s = schedule_with_list(make_pcr(), o);
+  EXPECT_LE(s.makespan(), 270);
+  EXPECT_LE(s.store_count(), 3);
+}
+
+TEST(ListScheduler, StorageAwareBeatsTimeOnlyOnStores) {
+  list_scheduler_options aware;
+  aware.device_count = 1;
+  aware.storage_aware = true;
+  list_scheduler_options blind = aware;
+  blind.storage_aware = false;
+  blind.restarts = 1; // pure makespan greedy
+  const schedule sa = schedule_with_list(make_pcr(), aware);
+  const schedule sb = schedule_with_list(make_pcr(), blind);
+  EXPECT_LE(sa.total_cache_time(), sb.total_cache_time());
+}
+
+TEST(ListScheduler, MoreDevicesNeverWorse) {
+  const sequencing_graph g = make_benchmark("IVD");
+  list_scheduler_options one;
+  one.device_count = 1;
+  list_scheduler_options two;
+  two.device_count = 2;
+  const int m1 = schedule_with_list(g, one).makespan();
+  const int m2 = schedule_with_list(g, two).makespan();
+  EXPECT_LE(m2, m1);
+}
+
+TEST(ListScheduler, DeterministicForSeed) {
+  list_scheduler_options o;
+  o.device_count = 2;
+  o.seed = 99;
+  const schedule a = schedule_with_list(make_benchmark("RA30"), o);
+  const schedule b = schedule_with_list(make_benchmark("RA30"), o);
+  EXPECT_EQ(a.makespan(), b.makespan());
+  EXPECT_EQ(a.store_count(), b.store_count());
+}
+
+TEST(ListScheduler, RejectsBadOptions) {
+  list_scheduler_options o;
+  o.device_count = 0;
+  EXPECT_THROW(schedule_with_list(make_pcr(), o), invalid_input_error);
+  o.device_count = 1;
+  o.restarts = 0;
+  EXPECT_THROW(schedule_with_list(make_pcr(), o), invalid_input_error);
+}
+
+TEST(ListScheduler, MakespanNeverBelowCriticalPath) {
+  for (const char* name : {"PCR", "IVD", "RA30"}) {
+    const sequencing_graph g = make_benchmark(name);
+    list_scheduler_options o;
+    o.device_count = 3;
+    const schedule s = schedule_with_list(g, o);
+    EXPECT_GE(s.makespan(), g.critical_path_duration()) << name;
+  }
+}
+
+// ------------------------------------------------------------- ILP scheduler
+
+TEST(IlpScheduler, SolvesTinyChainOptimally) {
+  sequencing_graph g("chain");
+  const int a = g.add_operation("a", 30);
+  const int b = g.add_operation("b", 30);
+  g.add_dependency(a, b);
+  ilp_scheduler_options o;
+  o.device_count = 1;
+  o.time_limit_seconds = 10;
+  const ilp_schedule_result r = schedule_with_ilp(g, o);
+  EXPECT_EQ(r.refined.makespan(), 60); // handoff, no transport
+  EXPECT_TRUE(r.status == milp::solve_status::optimal ||
+              r.status == milp::solve_status::feasible);
+}
+
+TEST(IlpScheduler, PcrOneMixerMatchesHeuristic) {
+  ilp_scheduler_options o;
+  o.device_count = 1;
+  o.time_limit_seconds = 20;
+  // Warm-start with the heuristic like the combined engine does.
+  list_scheduler_options lo;
+  lo.device_count = 1;
+  o.warm_start = schedule_with_list(make_pcr(), lo);
+  const ilp_schedule_result r = schedule_with_ilp(make_pcr(), o);
+  r.refined.validate(make_pcr());
+  EXPECT_LE(r.refined.makespan(), 290);
+}
+
+TEST(IlpScheduler, TwoDevicesShortenPcr) {
+  ilp_scheduler_options o;
+  o.device_count = 2;
+  o.time_limit_seconds = 20;
+  list_scheduler_options lo;
+  lo.device_count = 2;
+  o.warm_start = schedule_with_list(make_pcr(), lo);
+  const ilp_schedule_result r = schedule_with_ilp(make_pcr(), o);
+  EXPECT_LT(r.refined.makespan(), 270); // beats the 1-mixer optimum
+}
+
+TEST(IlpScheduler, ReportsModelSize) {
+  ilp_scheduler_options o;
+  o.device_count = 2;
+  o.time_limit_seconds = 5;
+  const ilp_schedule_result r = schedule_with_ilp(make_fig4_example(), o);
+  EXPECT_GT(r.variables, 10);
+  EXPECT_GT(r.constraints, 10);
+}
+
+// ---------------------------------------------------------------- facade
+
+TEST(Scheduler, CombinedPicksBestAndValidates) {
+  scheduler_options o;
+  o.device_count = 2;
+  o.ilp_time_limit_seconds = 10;
+  const scheduling_result r = make_schedule(make_benchmark("IVD"), o);
+  EXPECT_TRUE(r.used_ilp);
+  EXPECT_GT(r.best.makespan(), 0);
+}
+
+TEST(Scheduler, HeuristicOnlySkipsIlp) {
+  scheduler_options o;
+  o.engine = schedule_engine::heuristic;
+  const scheduling_result r = make_schedule(make_pcr(), o);
+  EXPECT_FALSE(r.used_ilp);
+}
+
+TEST(Scheduler, RowLimitSkipsIlpOnLargeAssays) {
+  scheduler_options o;
+  o.device_count = 3;
+  o.ilp_row_limit = 100; // force the skip
+  const scheduling_result r = make_schedule(make_benchmark("RA30"), o);
+  EXPECT_FALSE(r.used_ilp);
+  EXPECT_TRUE(r.ilp_skipped_too_large);
+}
+
+// Property sweep: random assays, random device counts -- every schedule
+// passes full structural validation and beats no trivial lower bound.
+class ScheduleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleSweep, AlwaysValidAndBounded) {
+  const int case_id = GetParam();
+  const int n = 5 + (case_id * 7) % 40;
+  const int devices = 1 + case_id % 4;
+  const sequencing_graph g =
+      assay::make_random_assay(n, 5000 + static_cast<std::uint64_t>(case_id));
+  list_scheduler_options o;
+  o.device_count = devices;
+  o.seed = static_cast<std::uint64_t>(case_id);
+  o.restarts = 4;
+  const schedule s = schedule_with_list(g, o);
+  s.validate(g); // throws on any structural violation
+  EXPECT_GE(s.makespan(), g.critical_path_duration());
+  // Serial upper bound with full transport overhead on every edge/op.
+  EXPECT_LE(s.makespan(),
+            g.total_duration() + 10 * (2 * g.edge_count() + 2 * n));
+  // Storage analytics consistency: the peak counts transfers with
+  // non-empty holds (a zero-length hold is a store immediately followed by
+  // its fetch and never occupies storage at any instant).
+  long hold_sum = 0;
+  int nonempty_holds = 0;
+  for (const auto& t : s.transfers)
+    if (t.kind == transfer_kind::cached) {
+      hold_sum += t.cache_hold.length();
+      if (!t.cache_hold.empty()) ++nonempty_holds;
+    }
+  EXPECT_EQ(hold_sum, s.total_cache_time());
+  EXPECT_GE(s.peak_concurrent_caches(), nonempty_holds > 0 ? 1 : 0);
+  EXPECT_LE(s.peak_concurrent_caches(), nonempty_holds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ScheduleSweep, ::testing::Range(0, 24));
+
+} // namespace
+} // namespace transtore::sched
