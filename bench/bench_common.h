@@ -16,6 +16,72 @@
 
 namespace transtore::bench {
 
+// ------------------------------------------------------------ bench JSON
+//
+// Machine-readable result dumps (BENCH_<tool>.json) so the performance
+// trajectory can be tracked across PRs without scraping stdout.
+
+/// One (assay, configuration) measurement.
+struct bench_record {
+  std::string assay;
+  std::string config;   // e.g. "dual_devex" / "primal_only"
+  double seconds = 0.0; // wall time of the solve
+  long nodes = 0;
+  long simplex_iterations = 0;
+  long dual_iterations = 0;
+  long strong_branch_probes = 0;
+  double objective = 0.0;
+  std::string status;
+  int variables = 0;
+  int constraints = 0;
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Writes `records` as {"tool": ..., "results": [...]} to `path`.
+/// Returns false (with a message on stderr) when the file cannot be opened.
+inline bool write_bench_json(const std::string& path, const std::string& tool,
+                             const std::vector<bench_record>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"tool\": \"%s\",\n  \"results\": [\n",
+               json_escape(tool).c_str());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const bench_record& r = records[i];
+    std::fprintf(f,
+                 "    {\"assay\": \"%s\", \"config\": \"%s\", "
+                 "\"seconds\": %.6f, \"nodes\": %ld, "
+                 "\"simplex_iterations\": %ld, \"dual_iterations\": %ld, "
+                 "\"strong_branch_probes\": %ld, \"objective\": %.9g, "
+                 "\"status\": \"%s\", \"variables\": %d, "
+                 "\"constraints\": %d}%s\n",
+                 json_escape(r.assay).c_str(), json_escape(r.config).c_str(),
+                 r.seconds, r.nodes, r.simplex_iterations, r.dual_iterations,
+                 r.strong_branch_probes, r.objective,
+                 json_escape(r.status).c_str(), r.variables, r.constraints,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
 struct assay_config {
   std::string name;
   int devices;

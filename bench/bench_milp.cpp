@@ -1,130 +1,256 @@
-// Micro-benchmarks of the MILP substrate (google-benchmark): LP solve
-// scaling, knapsack branch-and-bound, and the branching-rule ablation
-// called out in DESIGN.md.
-#include <benchmark/benchmark.h>
+// MILP substrate benchmark: solves the paper's Table 2 scheduling
+// formulations (Table 1 model, objective (6)) with the new dual-simplex /
+// devex / pseudocost configuration and with the seed-equivalent
+// primal-only ablation, reports iterations, nodes and wall time per assay,
+// and dumps BENCH_milp.json for cross-PR tracking.
+//
+//   bench_milp [--seconds S] [--assays PCR,IVD,...] [--row-limit R]
+//              [--out FILE] [--smoke]
+//
+// --smoke is the CI configuration: small assays, 1 s per solve.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
-#include "common/prng.h"
-#include "milp/model.h"
+#include "bench_common.h"
+#include "common/stopwatch.h"
 #include "milp/solver.h"
+#include "sched/ilp_scheduler.h"
+#include "sched/list_scheduler.h"
 
 namespace {
 
 using namespace transtore;
-using namespace transtore::milp;
 
-/// Random dense-ish LP with `vars` columns and `rows` constraints.
-model random_lp(int vars, int rows, std::uint64_t seed) {
-  prng r(seed);
-  model m;
-  std::vector<variable> xs;
-  for (int j = 0; j < vars; ++j) xs.push_back(m.add_continuous(0, 50));
-  for (int i = 0; i < rows; ++i) {
-    linear_expr e;
-    for (int j = 0; j < vars; ++j)
-      if (r.bernoulli(0.4))
-        e += static_cast<double>(r.uniform_int(1, 9)) * xs[static_cast<std::size_t>(j)];
-    if (!e.empty())
-      m.add_constraint(e, cmp::less_equal,
-                       static_cast<double>(r.uniform_int(50, 400)));
+std::string status_name(milp::solve_status s) {
+  switch (s) {
+    case milp::solve_status::optimal: return "optimal";
+    case milp::solve_status::feasible: return "feasible";
+    case milp::solve_status::infeasible: return "infeasible";
+    case milp::solve_status::unbounded: return "unbounded";
+    case milp::solve_status::no_solution: return "no_solution";
   }
-  linear_expr obj;
-  for (int j = 0; j < vars; ++j)
-    obj += static_cast<double>(r.uniform_int(1, 20)) * xs[static_cast<std::size_t>(j)];
-  m.set_objective(obj, objective_sense::maximize);
-  return m;
+  return "unknown";
 }
 
-model random_knapsack(int items, std::uint64_t seed) {
-  prng r(seed);
-  model m;
-  linear_expr weight, value;
-  for (int i = 0; i < items; ++i) {
-    const variable x = m.add_binary();
-    weight += static_cast<double>(r.uniform_int(5, 40)) * x;
-    value += static_cast<double>(r.uniform_int(5, 60)) * x;
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const char c : csv) {
+    if (c == ',') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
   }
-  m.add_constraint(weight, cmp::less_equal, items * 8.0);
-  m.set_objective(value, objective_sense::maximize);
-  return m;
+  if (!current.empty()) out.push_back(current);
+  return out;
 }
-
-void bm_lp_solve(benchmark::State& state) {
-  const int vars = static_cast<int>(state.range(0));
-  const model m = random_lp(vars, vars, 7);
-  solver_options o;
-  o.time_limit_seconds = 60;
-  for (auto _ : state) {
-    const solution s = solve(m, o);
-    benchmark::DoNotOptimize(s.objective);
-  }
-  state.counters["vars"] = vars;
-}
-BENCHMARK(bm_lp_solve)->Arg(10)->Arg(40)->Arg(120)->Unit(benchmark::kMillisecond);
-
-void bm_knapsack(benchmark::State& state) {
-  const int items = static_cast<int>(state.range(0));
-  const model m = random_knapsack(items, 11);
-  solver_options o;
-  o.time_limit_seconds = 60;
-  for (auto _ : state) {
-    const solution s = solve(m, o);
-    benchmark::DoNotOptimize(s.objective);
-  }
-}
-BENCHMARK(bm_knapsack)->Arg(12)->Arg(20)->Unit(benchmark::kMillisecond);
-
-void bm_branch_rule(benchmark::State& state) {
-  const model m = random_knapsack(18, 23);
-  solver_options o;
-  o.time_limit_seconds = 60;
-  o.branching = state.range(0) == 0 ? branch_rule::most_fractional
-                                    : branch_rule::pseudocost;
-  long nodes = 0;
-  for (auto _ : state) {
-    const solution s = solve(m, o);
-    nodes = s.nodes_explored;
-    benchmark::DoNotOptimize(s.objective);
-  }
-  state.counters["nodes"] = static_cast<double>(nodes);
-  state.SetLabel(state.range(0) == 0 ? "most_fractional" : "pseudocost");
-}
-BENCHMARK(bm_branch_rule)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
-
-void bm_root_propagation(benchmark::State& state) {
-  // Big-M disjunction chain: propagation shrinks the boxes dramatically.
-  const bool enabled = state.range(0) != 0;
-  model m;
-  prng r(5);
-  std::vector<variable> ts;
-  const double big_m = 10000.0;
-  for (int i = 0; i < 12; ++i) ts.push_back(m.add_continuous(0, big_m));
-  linear_expr makespan_expr;
-  const variable makespan = m.add_continuous(0, big_m);
-  for (int i = 0; i + 1 < 12; ++i) {
-    const variable o = m.add_binary();
-    m.add_constraint(linear_expr(ts[static_cast<std::size_t>(i + 1)]) -
-                         ts[static_cast<std::size_t>(i)] +
-                         big_m * (1.0 - linear_expr(o)),
-                     cmp::greater_equal, 30.0);
-    m.add_constraint(linear_expr(ts[static_cast<std::size_t>(i)]) -
-                         ts[static_cast<std::size_t>(i + 1)] +
-                         big_m * linear_expr(o),
-                     cmp::greater_equal, 30.0);
-    m.add_constraint(linear_expr(makespan) - ts[static_cast<std::size_t>(i)],
-                     cmp::greater_equal, 30.0);
-  }
-  m.set_objective(linear_expr(makespan), objective_sense::minimize);
-  solver_options o;
-  o.time_limit_seconds = 20;
-  o.root_propagation = enabled;
-  for (auto _ : state) {
-    const solution s = solve(m, o);
-    benchmark::DoNotOptimize(s.status);
-  }
-  state.SetLabel(enabled ? "propagation on" : "propagation off");
-}
-BENCHMARK(bm_root_propagation)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  double seconds = 5.0;
+  int row_limit = 2500; // the scheduling pipeline's ILP viability bound
+  std::string out_path = "BENCH_milp.json";
+  // Table 2 assays that fit the dense-basis simplex, plus two mid-size
+  // seeded random assays (same generator as RA30) small enough to be
+  // solved to proven optimality -- the apples-to-apples subset for the
+  // iteration-reduction headline.
+  std::vector<std::string> assays = {"PCR", "RA12", "RA16", "IVD", "RA30",
+                                     "CPA"};
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> const char* {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (arg == "--seconds") {
+      seconds = std::atof(next());
+    } else if (arg == "--assays") {
+      assays = split_csv(next());
+    } else if (arg == "--row-limit") {
+      row_limit = std::atoi(next());
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--smoke") {
+      seconds = 1.0;
+      assays = {"PCR", "RA12"};
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_milp [--seconds S] [--assays CSV] "
+                   "[--row-limit R] [--out FILE] [--smoke]\n");
+      return 2;
+    }
+  }
+
+  std::vector<bench::bench_record> records;
+  long total_iters_new = 0;
+  long total_iters_old = 0;
+  long total_nodes_new = 0;
+  long total_nodes_old = 0;
+  double total_secs_new = 0.0;
+  double total_secs_old = 0.0;
+  // Equal-work subset: assays both configurations solve to proven
+  // optimality (under a time limit, total iterations are budget-bound and
+  // meaningless to compare).
+  long optimal_iters_new = 0;
+  long optimal_iters_old = 0;
+  double optimal_secs_new = 0.0;
+  double optimal_secs_old = 0.0;
+  int optimal_assays = 0;
+  bool objectives_match = true;
+
+  std::printf("%-7s %-12s %10s %8s %10s %10s %8s %12s %s\n", "assay",
+              "config", "rows", "nodes", "iters", "dual", "probes",
+              "objective", "time");
+
+  for (const std::string& name : assays) {
+    const auto configs = bench::table2_configs();
+    int devices = 0;
+    for (const auto& c : configs)
+      if (c.name == name) devices = c.devices;
+
+    assay::sequencing_graph graph;
+    if (devices > 0) {
+      graph = assay::make_benchmark(name);
+    } else if (name.size() > 2 && name.compare(0, 2, "RA") == 0) {
+      // Extra seeded random assays outside Table 2 (e.g. RA12): same
+      // layered-DAG generator, two devices.
+      const int ops = std::atoi(name.c_str() + 2);
+      graph = assay::make_random_assay(ops, static_cast<std::uint64_t>(ops));
+      devices = 2;
+    } else {
+      std::fprintf(stderr, "unknown assay %s\n", name.c_str());
+      return 2;
+    }
+
+    // Mirror the synthesis pipeline: a heuristic warm start bounds the
+    // horizon and seeds the incumbent.
+    sched::list_scheduler_options lo;
+    lo.device_count = devices;
+    const sched::schedule warm = sched::schedule_with_list(graph, lo);
+
+    sched::ilp_scheduler_options so;
+    so.device_count = devices;
+    so.warm_start = warm;
+    const sched::scheduling_ilp ilp = sched::build_scheduling_ilp(graph, so);
+    const int rows = ilp.model.constraint_count();
+    if (rows > row_limit) {
+      std::printf("%-7s skipped: %d rows exceed --row-limit %d "
+                  "(dense-basis viability bound)\n",
+                  name.c_str(), rows, row_limit);
+      continue;
+    }
+
+    struct config_spec {
+      const char* label;
+      milp::solver_options options;
+    };
+    milp::solver_options fresh;
+    std::vector<config_spec> specs = {
+        {"dual_devex", fresh},
+        {"primal_only", milp::classic_primal_only_options()},
+    };
+    double objective[2] = {0.0, 0.0};
+    milp::solution sols[2];
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      milp::solver_options& o = specs[s].options;
+      o.time_limit_seconds = seconds;
+      o.warm_start = ilp.warm_assignment;
+      stopwatch watch;
+      const milp::solution sol = milp::solve(ilp.model, o);
+      const double elapsed = watch.elapsed_seconds();
+      objective[s] = sol.objective;
+      sols[s] = sol;
+
+      bench::bench_record r;
+      r.assay = name;
+      r.config = specs[s].label;
+      r.seconds = elapsed;
+      r.nodes = sol.nodes_explored;
+      r.simplex_iterations = sol.simplex_iterations;
+      r.dual_iterations = sol.dual_simplex_iterations;
+      r.strong_branch_probes = sol.strong_branch_probes;
+      r.objective = sol.objective;
+      r.status = status_name(sol.status);
+      r.variables = ilp.model.variable_count();
+      r.constraints = rows;
+      records.push_back(r);
+
+      if (s == 0) {
+        total_iters_new += sol.simplex_iterations;
+        total_nodes_new += sol.nodes_explored;
+        total_secs_new += elapsed;
+      } else {
+        total_iters_old += sol.simplex_iterations;
+        total_nodes_old += sol.nodes_explored;
+        total_secs_old += elapsed;
+      }
+      std::printf("%-7s %-12s %10d %8ld %10ld %10ld %8ld %12.3f %.3fs (%s)\n",
+                  name.c_str(), specs[s].label, rows, sol.nodes_explored,
+                  sol.simplex_iterations, sol.dual_simplex_iterations,
+                  sol.strong_branch_probes, sol.objective, elapsed,
+                  status_name(sol.status).c_str());
+    }
+    const bool both_optimal =
+        sols[0].status == milp::solve_status::optimal &&
+        sols[1].status == milp::solve_status::optimal;
+    if (both_optimal) {
+      ++optimal_assays;
+      optimal_iters_new += sols[0].simplex_iterations;
+      optimal_iters_old += sols[1].simplex_iterations;
+      optimal_secs_new += sols[0].seconds;
+      optimal_secs_old += sols[1].seconds;
+      if (std::abs(objective[0] - objective[1]) >
+          1e-6 * std::max(1.0, std::abs(objective[1]))) {
+        objectives_match = false;
+        std::printf("%-7s ERROR: optimal objectives differ "
+                    "(%.6f vs %.6f)\n",
+                    name.c_str(), objective[0], objective[1]);
+      }
+    } else if (std::abs(objective[0] - objective[1]) >
+               1e-6 * std::max(1.0, std::abs(objective[1]))) {
+      std::printf("%-7s note: incumbents differ under the time limit "
+                  "(%.3f vs %.3f)\n",
+                  name.c_str(), objective[0], objective[1]);
+    }
+  }
+
+  if (total_iters_old > 0 && total_nodes_new > 0 && total_nodes_old > 0) {
+    std::printf("\niterations/node:   dual_devex=%.1f primal_only=%.1f "
+                "(%.2fx fewer LP iterations per node)\n",
+                static_cast<double>(total_iters_new) /
+                    static_cast<double>(total_nodes_new),
+                static_cast<double>(total_iters_old) /
+                    static_cast<double>(total_nodes_old),
+                static_cast<double>(total_iters_old) * total_nodes_new /
+                    (static_cast<double>(total_iters_new) * total_nodes_old));
+    std::printf("totals:            dual_devex=%ld iters %.3fs | "
+                "primal_only=%ld iters %.3fs\n",
+                total_iters_new, total_secs_new, total_iters_old,
+                total_secs_old);
+  }
+  if (optimal_assays > 0 && optimal_iters_new > 0) {
+    std::printf("proven-optimal subset (%d assays, equal work): "
+                "dual_devex=%ld iters %.3fs | primal_only=%ld iters %.3fs "
+                "(%.2fx iteration reduction), objectives %s\n",
+                optimal_assays, optimal_iters_new, optimal_secs_new,
+                optimal_iters_old, optimal_secs_old,
+                static_cast<double>(optimal_iters_old) /
+                    static_cast<double>(optimal_iters_new),
+                objectives_match ? "identical" : "DIFFER");
+  }
+
+  if (!bench::write_bench_json(out_path, "bench_milp", records)) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

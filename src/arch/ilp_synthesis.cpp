@@ -245,6 +245,17 @@ ilp_synthesis_result synthesize_with_ilp(const connection_grid& grid,
         if (!in_far.empty())
           m.add_constraint(in_far + exit[1], cmp::less_equal, 1.0);
       }
+      // Neither flow may route over the chosen segment edge itself: the
+      // realized paths traverse it via the appended/prepended hop, so a
+      // flow using it too would double-use the edge (an alternate optimum
+      // the extraction cannot realize, e.g. a segment incident to the
+      // source with the flow arriving through it).
+      for (const std::size_t task_r : {store_r, fetch_r}) {
+        const linear_expr on_segment = edge_use(task_r, e);
+        if (!on_segment.empty())
+          m.add_constraint(on_segment + cv.sigma.back(), cmp::less_equal,
+                           1.0);
+      }
     }
     m.add_constraint(sigma_sum, cmp::equal, 1.0,
                      "sigma_one_" + std::to_string(c));

@@ -11,7 +11,10 @@
 namespace transtore::arch {
 namespace {
 
-/// Interval reservations on grid elements.
+/// Interval reservations on grid elements. Each element's busy set is kept
+/// sorted by start time with overlapping/adjacent intervals coalesced, so
+/// the free probes inside A* are a single binary search (O(log k)) instead
+/// of a linear scan over every reservation.
 class occupancy {
 public:
   occupancy(int nodes, int edges)
@@ -19,23 +22,58 @@ public:
         edge_busy_(static_cast<std::size_t>(edges)) {}
 
   [[nodiscard]] bool node_free(int node, const time_interval& w) const {
-    for (const auto& iv : node_busy_[static_cast<std::size_t>(node)])
-      if (iv.overlaps(w)) return false;
-    return true;
+    return free_in(node_busy_[static_cast<std::size_t>(node)], w);
   }
   [[nodiscard]] bool edge_free(int edge, const time_interval& w) const {
-    for (const auto& iv : edge_busy_[static_cast<std::size_t>(edge)])
-      if (iv.overlaps(w)) return false;
-    return true;
+    return free_in(edge_busy_[static_cast<std::size_t>(edge)], w);
   }
   void reserve_node(int node, const time_interval& w) {
-    if (!w.empty()) node_busy_[static_cast<std::size_t>(node)].push_back(w);
+    if (!w.empty()) insert(node_busy_[static_cast<std::size_t>(node)], w);
   }
   void reserve_edge(int edge, const time_interval& w) {
-    if (!w.empty()) edge_busy_[static_cast<std::size_t>(edge)].push_back(w);
+    if (!w.empty()) insert(edge_busy_[static_cast<std::size_t>(edge)], w);
   }
 
 private:
+  [[nodiscard]] static bool free_in(const std::vector<time_interval>& busy,
+                                    const time_interval& w) {
+    // An empty window occupies no time and can never conflict (a cache
+    // whose fetch departs the instant its store arrives has such a hold).
+    if (w.empty()) return true;
+    // Intervals are disjoint and sorted by begin; only the last interval
+    // starting before w.end can overlap w.
+    auto it = std::lower_bound(
+        busy.begin(), busy.end(), w,
+        [](const time_interval& iv, const time_interval& probe) {
+          return iv.begin < probe.end;
+        });
+    if (it == busy.begin()) return true;
+    return (it - 1)->end <= w.begin;
+  }
+
+  static void insert(std::vector<time_interval>& busy, time_interval w) {
+    // Coalescing keeps the disjoint-sorted invariant (reservations only
+    // ever block, so merging cannot change any free_in answer) and keeps
+    // the sets small under heavy reuse of the same element.
+    auto first = std::lower_bound(
+        busy.begin(), busy.end(), w,
+        [](const time_interval& iv, const time_interval& probe) {
+          return iv.end < probe.begin;
+        });
+    auto last = first;
+    while (last != busy.end() && last->begin <= w.end) {
+      w.begin = std::min(w.begin, last->begin);
+      w.end = std::max(w.end, last->end);
+      ++last;
+    }
+    if (first == last) {
+      busy.insert(first, w);
+    } else {
+      *first = w;
+      busy.erase(first + 1, last);
+    }
+  }
+
   std::vector<std::vector<time_interval>> node_busy_;
   std::vector<std::vector<time_interval>> edge_busy_;
 };

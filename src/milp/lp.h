@@ -48,7 +48,9 @@ struct lp_result {
   lp_status status = lp_status::iteration_limit;
   double objective = std::numeric_limits<double>::infinity();
   std::vector<double> x; // structural variable values (size num_vars)
-  long iterations = 0;
+  long iterations = 0;       // total simplex iterations of this solve
+  long dual_iterations = 0;  // subset taken by the dual method
+  bool used_dual = false;    // the solve entered the dual simplex
 };
 
 } // namespace transtore::milp

@@ -44,9 +44,12 @@ simplex_solver::simplex_solver(const lp_problem& problem,
   status_.assign(total_columns(), status::at_lower);
   x_.assign(total_columns(), 0.0);
   binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+  devex_weight_.assign(total_columns(), 1.0);
   work_col_.assign(m_, 0.0);
   work_row_.assign(m_, 0.0);
   work_cost_.assign(m_, 0.0);
+  work_rho_.assign(m_, 0.0);
+  work_pos_.assign(m_, 0.0);
 }
 
 void simplex_solver::set_variable_bounds(int var, double lower, double upper) {
@@ -90,7 +93,13 @@ void simplex_solver::reset_to_slack_basis() {
   }
   // Slack basis matrix is -I, so its inverse is -I as well.
   std::fill(binv_.begin(), binv_.end(), 0.0);
-  for (int i = 0; i < m_; ++i) binv_[static_cast<std::size_t>(i) * m_ + i] = -1.0;
+  for (int i = 0; i < m_; ++i)
+    binv_[static_cast<std::size_t>(i) * m_ + i] = -1.0;
+  etas_.clear();
+  eta_nonzeros_ = 0;
+  reset_devex();
+  candidates_.clear();
+  pricing_cursor_ = 0;
   basis_valid_ = true;
 }
 
@@ -128,15 +137,12 @@ void simplex_solver::compute_basic_values() {
       rhs[j - n_] += v; // slack column is -e_row
     }
   }
-  for (int p = 0; p < m_; ++p) {
-    const double* row = &binv_[static_cast<std::size_t>(p) * m_];
-    double sum = 0.0;
-    for (int i = 0; i < m_; ++i) sum += row[i] * rhs[i];
-    x_[basis_[p]] = sum;
-  }
+  dense_ftran(rhs, work_pos_);
+  apply_etas_ftran(work_pos_);
+  for (int p = 0; p < m_; ++p) x_[basis_[p]] = work_pos_[p];
 }
 
-void simplex_solver::refactorize() {
+bool simplex_solver::refactorize() {
   // Assemble the basis matrix and invert it by Gauss-Jordan elimination with
   // partial pivoting.
   std::vector<double> a(static_cast<std::size_t>(m_) * m_, 0.0);
@@ -152,7 +158,8 @@ void simplex_solver::refactorize() {
     }
   }
   std::fill(binv_.begin(), binv_.end(), 0.0);
-  for (int i = 0; i < m_; ++i) binv_[static_cast<std::size_t>(i) * m_ + i] = 1.0;
+  for (int i = 0; i < m_; ++i)
+    binv_[static_cast<std::size_t>(i) * m_ + i] = 1.0;
 
   for (int k = 0; k < m_; ++k) {
     int pivot_row = k;
@@ -164,8 +171,7 @@ void simplex_solver::refactorize() {
         pivot_row = r;
       }
     }
-    if (best < 1e-12)
-      throw internal_error("simplex: singular basis during refactorization");
+    if (best < 1e-12) return false; // singular: caller repairs the basis
     if (pivot_row != k) {
       for (int c = 0; c < m_; ++c) {
         std::swap(a[static_cast<std::size_t>(pivot_row) * m_ + c],
@@ -193,7 +199,59 @@ void simplex_solver::refactorize() {
   }
   // binv_ now holds B^{-1} in "basis position" row order: row p gives the
   // coefficients expressing basis position p in terms of constraint rows.
+  etas_.clear();
+  eta_nonzeros_ = 0;
+  ++stats_.refactorizations;
   compute_basic_values();
+  return true;
+}
+
+// ----------------------------------------------------- basis inverse algebra
+
+void simplex_solver::apply_etas_ftran(std::vector<double>& v) const {
+  // B^-1 = E_k^-1 ... E_1^-1 B0^-1: the dense part was applied by the
+  // caller, so run the etas in chronological order. Solving E z = v with E
+  // equal to identity except column r (the spike w): z_r = v_r / w_r,
+  // z_i = v_i - w_i z_r.
+  for (const eta_vector& e : etas_) {
+    const double t = v[e.pivot_pos] / e.pivot_value;
+    if (t != 0.0) {
+      for (const auto& [pos, val] : e.entries) v[pos] -= val * t;
+    }
+    v[e.pivot_pos] = t;
+  }
+}
+
+void simplex_solver::apply_etas_btran(std::vector<double>& z) const {
+  // Row-vector counterpart: z := z E^-1 changes only component r, with
+  // z_r' = (z_r - sum_{i != r} z_i w_i) / w_r; etas run newest-first.
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double s = z[it->pivot_pos];
+    for (const auto& [pos, val] : it->entries) s -= z[pos] * val;
+    z[it->pivot_pos] = s / it->pivot_value;
+  }
+}
+
+void simplex_solver::dense_ftran(const std::vector<double>& rhs,
+                                 std::vector<double>& v) const {
+  v.assign(m_, 0.0);
+  for (int i = 0; i < m_; ++i) {
+    const double r = rhs[i];
+    if (r == 0.0) continue;
+    for (int p = 0; p < m_; ++p)
+      v[p] += binv_[static_cast<std::size_t>(p) * m_ + i] * r;
+  }
+}
+
+void simplex_solver::dense_btran(const std::vector<double>& z,
+                                 std::vector<double>& y) const {
+  y.assign(m_, 0.0);
+  for (int p = 0; p < m_; ++p) {
+    const double c = z[p];
+    if (c == 0.0) continue;
+    const double* row = &binv_[static_cast<std::size_t>(p) * m_];
+    for (int i = 0; i < m_; ++i) y[i] += c * row[i];
+  }
 }
 
 void simplex_solver::ftran(int column, std::vector<double>& w) const {
@@ -211,29 +269,88 @@ void simplex_solver::ftran(int column, std::vector<double>& w) const {
     for (int p = 0; p < m_; ++p)
       w[p] = -binv_[static_cast<std::size_t>(p) * m_ + row_of_slack];
   }
+  apply_etas_ftran(w);
 }
+
+void simplex_solver::btran_row(int position, std::vector<double>& rho) const {
+  work_pos_.assign(m_, 0.0);
+  work_pos_[position] = 1.0;
+  apply_etas_btran(work_pos_);
+  dense_btran(work_pos_, rho);
+}
+
+void simplex_solver::record_basis_update(int leaving_pos, double pivot_element,
+                                         const std::vector<double>& w) {
+  int nnz = 0;
+  for (int p = 0; p < m_; ++p)
+    if (w[p] != 0.0) ++nnz;
+
+  if (etas_.empty() && 2 * nnz > m_) {
+    // Dense spike with no pending etas: sparsity-aware in-place update of
+    // the explicit inverse (work ~ nnz(w) x nnz(pivot row)).
+    double* pivot_row = &binv_[static_cast<std::size_t>(leaving_pos) * m_];
+    const double inv_pivot = 1.0 / pivot_element;
+    static thread_local std::vector<int> row_nonzeros;
+    row_nonzeros.clear();
+    for (int i = 0; i < m_; ++i) {
+      pivot_row[i] *= inv_pivot;
+      if (pivot_row[i] != 0.0) row_nonzeros.push_back(i);
+    }
+    for (int p = 0; p < m_; ++p) {
+      if (p == leaving_pos) continue;
+      const double f = w[p];
+      if (f == 0.0) continue;
+      double* row = &binv_[static_cast<std::size_t>(p) * m_];
+      for (const int i : row_nonzeros) row[i] -= f * pivot_row[i];
+    }
+    return;
+  }
+
+  // Product-form update: append the spike as an eta vector, O(fill-in).
+  eta_vector e;
+  e.pivot_pos = leaving_pos;
+  e.pivot_value = pivot_element;
+  e.entries.reserve(static_cast<std::size_t>(nnz > 0 ? nnz - 1 : 0));
+  for (int p = 0; p < m_; ++p) {
+    if (p == leaving_pos || w[p] == 0.0) continue;
+    e.entries.emplace_back(p, w[p]);
+  }
+  eta_nonzeros_ += e.entries.size() + 1;
+  etas_.push_back(std::move(e));
+}
+
+bool simplex_solver::should_refactor(int pivots_since_refactor) const {
+  if (pivots_since_refactor >= options_.refactor_interval) return true;
+  if (static_cast<int>(etas_.size()) >= options_.refactor_interval) return true;
+  const std::size_t nnz_cap = std::max<std::size_t>(
+      1024, static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_) / 8);
+  return eta_nonzeros_ > nnz_cap;
+}
+
+// ------------------------------------------------------------ reduced costs
 
 void simplex_solver::compute_duals(const std::vector<double>& basic_cost,
                                    std::vector<double>& y) const {
-  std::fill(y.begin(), y.end(), 0.0);
-  for (int p = 0; p < m_; ++p) {
-    const double c = basic_cost[p];
-    if (c == 0.0) continue;
-    const double* row = &binv_[static_cast<std::size_t>(p) * m_];
-    for (int i = 0; i < m_; ++i) y[i] += c * row[i];
-  }
+  work_pos_.assign(basic_cost.begin(), basic_cost.end());
+  apply_etas_btran(work_pos_);
+  dense_btran(work_pos_, y);
 }
 
 double simplex_solver::reduced_cost(int column,
                                     const std::vector<double>& y) const {
+  return -column_dot(column, y); // caller adds the column's own cost
+}
+
+double simplex_solver::column_dot(int column,
+                                  const std::vector<double>& y) const {
   if (column < n_) {
     double dot = 0.0;
     for (int k = problem_.col_start[column]; k < problem_.col_start[column + 1];
          ++k)
       dot += y[problem_.row_index[k]] * problem_.value[k];
-    return -dot; // caller adds the column's own cost
+    return dot;
   }
-  return y[column - n_]; // slack column is -e_row with zero cost
+  return -y[column - n_]; // slack column is -e_row
 }
 
 double simplex_solver::column_cost_phase2(int column) const {
@@ -260,10 +377,150 @@ bool simplex_solver::basic_feasible() const {
   return true;
 }
 
+bool simplex_solver::dual_feasible(const std::vector<double>& y) const {
+  const double tol = options_.optimality_tolerance * 10.0;
+  for (int j = 0; j < total_columns(); ++j) {
+    const status s = status_[j];
+    if (s == status::basic) continue;
+    const double d = column_cost_phase2(j) + reduced_cost(j, y);
+    if (s == status::at_lower && d < -tol) return false;
+    if (s == status::at_upper && d > tol) return false;
+    if (s == status::free_zero && std::abs(d) > tol) return false;
+  }
+  return true;
+}
+
+// ----------------------------------------------------------------- pricing
+
+double simplex_solver::pricing_violation(int column, double reduced,
+                                         int& direction) const {
+  const double opt_tol = options_.optimality_tolerance;
+  const status s = status_[column];
+  if (s == status::at_lower && reduced < -opt_tol) {
+    direction = 1;
+    return -reduced;
+  }
+  if (s == status::at_upper && reduced > opt_tol) {
+    direction = -1;
+    return reduced;
+  }
+  if (s == status::free_zero && std::abs(reduced) > opt_tol) {
+    direction = reduced < 0.0 ? 1 : -1;
+    return std::abs(reduced);
+  }
+  return 0.0;
+}
+
+simplex_solver::entering_choice simplex_solver::price_full_scan(
+    bool phase1, bool bland, const std::vector<double>& y) {
+  entering_choice choice;
+  double best_violation = options_.optimality_tolerance;
+  for (int j = 0; j < total_columns(); ++j) {
+    if (status_[j] == status::basic) continue;
+    const double own_cost = phase1 ? 0.0 : column_cost_phase2(j);
+    const double d = own_cost + reduced_cost(j, y);
+    int dir = 0;
+    const double violation = pricing_violation(j, d, dir);
+    if (dir == 0) continue;
+    if (bland) {
+      choice.column = j;
+      choice.direction = dir;
+      return choice;
+    }
+    if (violation > best_violation) {
+      best_violation = violation;
+      choice.column = j;
+      choice.direction = dir;
+    }
+  }
+  return choice;
+}
+
+void simplex_solver::refill_candidates(bool phase1,
+                                       const std::vector<double>& y) {
+  candidates_.clear();
+  const int total = total_columns();
+  int list_size = options_.partial_pricing_size;
+  if (list_size <= 0)
+    list_size = std::clamp(total / 8, 16, 256);
+  for (int t = 0; t < total; ++t) {
+    const int j = pricing_cursor_ + t < total ? pricing_cursor_ + t
+                                              : pricing_cursor_ + t - total;
+    if (status_[j] == status::basic) continue;
+    const double own_cost = phase1 ? 0.0 : column_cost_phase2(j);
+    const double d = own_cost + reduced_cost(j, y);
+    int dir = 0;
+    if (pricing_violation(j, d, dir) <= 0.0) continue;
+    candidates_.push_back(j);
+    if (static_cast<int>(candidates_.size()) >= list_size) {
+      pricing_cursor_ = j + 1 < total ? j + 1 : 0;
+      return;
+    }
+  }
+  // Full wrap completed: the list (possibly empty) is a certificate that no
+  // column outside it is attractive.
+}
+
+simplex_solver::entering_choice simplex_solver::price_devex(
+    bool phase1, const std::vector<double>& y) {
+  entering_choice choice;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    double best_score = 0.0;
+    std::size_t keep = 0;
+    for (const int j : candidates_) {
+      if (status_[j] == status::basic) continue;
+      const double own_cost = phase1 ? 0.0 : column_cost_phase2(j);
+      const double d = own_cost + reduced_cost(j, y);
+      int dir = 0;
+      if (pricing_violation(j, d, dir) <= 0.0) continue;
+      candidates_[keep++] = j; // compact: keep attractive entries, in order
+      const double score = d * d / devex_weight_[j];
+      if (score > best_score ||
+          (score == best_score && choice.column >= 0 && j < choice.column)) {
+        best_score = score;
+        choice.column = j;
+        choice.direction = dir;
+      }
+    }
+    candidates_.resize(keep);
+    if (choice.column >= 0) return choice;
+    refill_candidates(phase1, y);
+    if (candidates_.empty()) return choice; // full scan found nothing: optimal
+  }
+  return choice;
+}
+
+void simplex_solver::update_devex_weights(int entering, int leaving_pos,
+                                          double pivot_element, bool phase1) {
+  (void)phase1;
+  if (options_.pricing != pricing_rule::devex) return;
+  btran_row(leaving_pos, work_rho_);
+  const double weight_q = devex_weight_[entering];
+  const double inv_pivot_sq = 1.0 / (pivot_element * pivot_element);
+  double max_weight = 0.0;
+  for (const int j : candidates_) {
+    if (j == entering || status_[j] == status::basic) continue;
+    const double alpha = column_dot(j, work_rho_);
+    if (alpha == 0.0) continue;
+    const double cand = alpha * alpha * inv_pivot_sq * weight_q;
+    if (cand > devex_weight_[j]) devex_weight_[j] = cand;
+    max_weight = std::max(max_weight, devex_weight_[j]);
+  }
+  // The leaving column re-enters the nonbasic pool with the transformed
+  // reference weight.
+  devex_weight_[basis_[leaving_pos]] = std::max(1.0, weight_q * inv_pivot_sq);
+  if (max_weight > 1e7) reset_devex(); // start a new reference framework
+}
+
+void simplex_solver::reset_devex() {
+  std::fill(devex_weight_.begin(), devex_weight_.end(), 1.0);
+}
+
+// ---------------------------------------------------------- primal simplex
+
 simplex_solver::pivot_outcome simplex_solver::iterate(bool phase1,
                                                       bool bland) {
   const double feas_tol = options_.feasibility_tolerance;
-  const double opt_tol = options_.optimality_tolerance;
   const double pivot_tol = options_.pivot_tolerance;
 
   // Phase-dependent basic costs.
@@ -282,39 +539,15 @@ simplex_solver::pivot_outcome simplex_solver::iterate(bool phase1,
   }
   compute_duals(work_cost_, work_row_);
 
-  // Entering column selection.
-  int entering = -1;
-  int direction = 0;
-  double best_violation = opt_tol;
-  for (int j = 0; j < total_columns(); ++j) {
-    const status s = status_[j];
-    if (s == status::basic) continue;
-    const double own_cost = phase1 ? 0.0 : column_cost_phase2(j);
-    const double d = own_cost + reduced_cost(j, work_row_);
-    int dir = 0;
-    double violation = 0.0;
-    if (s == status::at_lower && d < -opt_tol) {
-      dir = 1;
-      violation = -d;
-    } else if (s == status::at_upper && d > opt_tol) {
-      dir = -1;
-      violation = d;
-    } else if (s == status::free_zero && std::abs(d) > opt_tol) {
-      dir = d < 0.0 ? 1 : -1;
-      violation = std::abs(d);
-    }
-    if (dir == 0) continue;
-    if (bland) {
-      entering = j;
-      direction = dir;
-      break;
-    }
-    if (violation > best_violation) {
-      best_violation = violation;
-      entering = j;
-      direction = dir;
-    }
-  }
+  // Entering column selection: devex over the partial-pricing candidate
+  // list, unless Bland's anti-cycling rule or the Dantzig ablation forces a
+  // full scan.
+  const entering_choice choice =
+      (bland || options_.pricing == pricing_rule::dantzig)
+          ? price_full_scan(phase1, bland, work_row_)
+          : price_devex(phase1, work_row_);
+  const int entering = choice.column;
+  const int direction = choice.direction;
 
   pivot_outcome outcome;
   if (entering < 0) {
@@ -393,6 +626,10 @@ simplex_solver::pivot_outcome simplex_solver::iterate(bool phase1,
     return outcome;
   }
 
+  if (leaving_pos >= 0 && !bland &&
+      options_.pricing == pricing_rule::devex)
+    update_devex_weights(entering, leaving_pos, best_pivot, phase1);
+
   apply_pivot(entering, direction, best_step, leaving_pos, best_pivot,
               work_col_, leaving_to_upper);
   outcome.moved = true;
@@ -432,23 +669,232 @@ void simplex_solver::apply_pivot(int entering, int direction, double step,
   basic_position_[entering] = leaving_pos;
   status_[entering] = status::basic;
 
-  // Product-form update of the basis inverse.
-  double* pivot_row = &binv_[static_cast<std::size_t>(leaving_pos) * m_];
-  const double inv_pivot = 1.0 / pivot_element;
-  for (int i = 0; i < m_; ++i) pivot_row[i] *= inv_pivot;
-  for (int p = 0; p < m_; ++p) {
-    if (p == leaving_pos) continue;
-    const double f = w[p];
-    if (f == 0.0) continue;
-    double* row = &binv_[static_cast<std::size_t>(p) * m_];
-    for (int i = 0; i < m_; ++i) row[i] -= f * pivot_row[i];
-  }
+  record_basis_update(leaving_pos, pivot_element, w);
 }
 
-lp_result simplex_solver::solve(const deadline& time_budget, bool warm_start) {
-  lp_result result;
+// ------------------------------------------------------------ dual simplex
 
-  if (!warm_start || !basis_valid_) {
+simplex_solver::dual_outcome simplex_solver::dual_iterate() {
+  const double feas_tol = options_.feasibility_tolerance;
+  const double opt_tol = options_.optimality_tolerance;
+  const double pivot_tol = options_.pivot_tolerance;
+  dual_outcome out;
+
+  // Duals for the phase-2 objective.
+  for (int p = 0; p < m_; ++p) work_cost_[p] = column_cost_phase2(basis_[p]);
+  compute_duals(work_cost_, work_row_);
+
+  // Leaving-row selection: the basic variable with the largest bound
+  // violation (tie-break: lowest position, deterministic).
+  int leave_pos = -1;
+  bool below = false;
+  double best_violation = feas_tol;
+  for (int p = 0; p < m_; ++p) {
+    const int col = basis_[p];
+    if (x_[col] < lower_[col] - feas_tol) {
+      const double violation = lower_[col] - x_[col];
+      if (violation > best_violation) {
+        best_violation = violation;
+        leave_pos = p;
+        below = true;
+      }
+    } else if (x_[col] > upper_[col] + feas_tol) {
+      const double violation = x_[col] - upper_[col];
+      if (violation > best_violation) {
+        best_violation = violation;
+        leave_pos = p;
+        below = false;
+      }
+    }
+  }
+  if (leave_pos < 0) {
+    out.optimal = true;
+    return out;
+  }
+
+  const int leave_col = basis_[leave_pos];
+  // Signed change of x[leave_col] needed to land on its violated bound:
+  // positive when below the lower bound, negative when above the upper.
+  double delta = below ? lower_[leave_col] - x_[leave_col]
+                       : upper_[leave_col] - x_[leave_col];
+
+  // Pivot row of the tableau.
+  btran_row(leave_pos, work_rho_);
+
+  // Eligible entering candidates with their dual ratios. The entering
+  // variable j moves by delta_j = -delta / alpha_j, so eligibility is the
+  // sign pattern that moves x[leave_col] toward its bound while delta_j
+  // respects j's own bound direction.
+  struct dual_candidate {
+    int col;
+    double alpha;
+    double mag; // dual-feasibility slack of the reduced cost, clamped >= 0
+    double ratio;
+  };
+  static thread_local std::vector<dual_candidate> cands;
+  cands.clear();
+  for (int j = 0; j < total_columns(); ++j) {
+    const status s = status_[j];
+    if (s == status::basic) continue;
+    // A fixed column (lower == upper) imposes no dual breakpoint: both
+    // bound statuses are dual feasible for any reduced-cost sign, so it
+    // can neither enter nor restrict the dual step. Admitting it causes
+    // zero-step churn at branch-and-bound nodes where binaries are fixed.
+    if (upper_[j] - lower_[j] <= feas_tol && s != status::free_zero) continue;
+    const double alpha = column_dot(j, work_rho_);
+    if (std::abs(alpha) <= pivot_tol) continue;
+    bool eligible = false;
+    if (s == status::free_zero) {
+      eligible = true;
+    } else if (delta > 0.0) { // leave_col must rise
+      eligible = (s == status::at_lower && alpha < 0.0) ||
+                 (s == status::at_upper && alpha > 0.0);
+    } else { // leave_col must fall
+      eligible = (s == status::at_lower && alpha > 0.0) ||
+                 (s == status::at_upper && alpha < 0.0);
+    }
+    if (!eligible) continue;
+    const double d = column_cost_phase2(j) + reduced_cost(j, work_row_);
+    double mag;
+    if (s == status::at_lower)
+      mag = std::max(0.0, d);
+    else if (s == status::at_upper)
+      mag = std::max(0.0, -d);
+    else
+      mag = std::abs(d);
+    cands.push_back({j, alpha, mag, mag / std::abs(alpha)});
+  }
+  if (cands.empty()) {
+    // Dual unbounded: the primal has no feasible point in this subproblem.
+    out.infeasible = true;
+    return out;
+  }
+
+  // Bound-flipping (long-step) ratio test: walk the dual breakpoints in
+  // ratio order; boxed columns whose full range cannot absorb the remaining
+  // infeasibility flip to their opposite bound and the walk continues.
+  std::sort(cands.begin(), cands.end(),
+            [](const dual_candidate& a, const dual_candidate& b) {
+              if (a.ratio != b.ratio) return a.ratio < b.ratio;
+              return a.col < b.col;
+            });
+
+  static thread_local std::vector<std::pair<int, double>> flips; // (col, move)
+  flips.clear();
+  double delta_rem = delta;
+  int chosen = -1;
+  for (std::size_t c = 0; c < cands.size(); ++c) {
+    const dual_candidate& cand = cands[c];
+    const double needed = -delta_rem / cand.alpha;
+    const double range = upper_[cand.col] - lower_[cand.col];
+    if (range == inf || std::abs(needed) <= range + feas_tol) {
+      // Harris-style second pass: among near-tied breakpoints that can also
+      // absorb the remaining infeasibility, prefer the largest pivot.
+      chosen = static_cast<int>(c);
+      for (std::size_t k = c + 1; k < cands.size(); ++k) {
+        if (cands[k].ratio > cand.ratio + opt_tol) break;
+        const double k_needed = -delta_rem / cands[k].alpha;
+        const double k_range = upper_[cands[k].col] - lower_[cands[k].col];
+        if (k_range != inf && std::abs(k_needed) > k_range + feas_tol)
+          continue;
+        if (std::abs(cands[k].alpha) > std::abs(cands[chosen].alpha))
+          chosen = static_cast<int>(k);
+      }
+      break;
+    }
+    // Flip: the column traverses its whole (finite) range. Eligibility
+    // fixed the direction, so the flip cannot overshoot the bound.
+    const double move = status_[cand.col] == status::at_lower ? range : -range;
+    flips.emplace_back(cand.col, move);
+    delta_rem += cand.alpha * move;
+  }
+
+  if (chosen < 0 && std::abs(delta_rem) > feas_tol) {
+    // Breakpoints exhausted with infeasibility left: dual unbounded.
+    out.infeasible = true;
+    return out;
+  }
+
+  // Apply the accumulated bound flips with one batched ftran.
+  if (!flips.empty()) {
+    std::vector<double> rhs(m_, 0.0);
+    for (const auto& [col, move] : flips) {
+      if (col < n_) {
+        for (int k = problem_.col_start[col]; k < problem_.col_start[col + 1];
+             ++k)
+          rhs[problem_.row_index[k]] += problem_.value[k] * move;
+      } else {
+        rhs[col - n_] -= move; // slack column is -e_row
+      }
+      status_[col] = status_[col] == status::at_lower ? status::at_upper
+                                                      : status::at_lower;
+      x_[col] = status_[col] == status::at_lower ? lower_[col] : upper_[col];
+    }
+    dense_ftran(rhs, work_pos_);
+    apply_etas_ftran(work_pos_);
+    for (int p = 0; p < m_; ++p) {
+      if (work_pos_[p] != 0.0) x_[basis_[p]] -= work_pos_[p];
+    }
+    stats_.dual_bound_flips += static_cast<long>(flips.size());
+  }
+
+  if (chosen < 0) {
+    // The flips alone absorbed the infeasibility (within tolerance).
+    x_[leave_col] = below ? lower_[leave_col] : upper_[leave_col];
+    out.moved = true;
+    out.step = flips.empty() ? 0.0 : cands[flips.size() - 1].ratio;
+    return out;
+  }
+
+  const dual_candidate entering = cands[static_cast<std::size_t>(chosen)];
+  ftran(entering.col, work_col_);
+  const double pivot = work_col_[leave_pos];
+  if (std::abs(pivot) <= std::max(pivot_tol, 1e-7) ||
+      std::abs(pivot - entering.alpha) >
+          1e-6 * std::max(1.0, std::abs(entering.alpha))) {
+    // The ftran'd pivot disagrees with the btran'd row: the factorization
+    // has drifted. Abort; the caller refactorizes and retries.
+    out.aborted = true;
+    return out;
+  }
+
+  const double step = -delta_rem / pivot;
+  x_[entering.col] += step;
+  if (step != 0.0) {
+    for (int p = 0; p < m_; ++p) {
+      if (work_col_[p] == 0.0) continue;
+      x_[basis_[p]] -= step * work_col_[p];
+    }
+  }
+  x_[leave_col] = below ? lower_[leave_col] : upper_[leave_col];
+  status_[leave_col] = below ? status::at_lower : status::at_upper;
+  basic_position_[leave_col] = -1;
+  basis_[leave_pos] = entering.col;
+  basic_position_[entering.col] = leave_pos;
+  status_[entering.col] = status::basic;
+  devex_weight_[leave_col] = 1.0;
+
+  record_basis_update(leave_pos, pivot, work_col_);
+
+  out.moved = true;
+  // Progress is measured by the DUAL step (the entering column's ratio):
+  // the dual objective strictly increases iff it is positive. Measuring the
+  // primal violation instead masks dual-degenerate cycling, where large
+  // violations ping-pong while the dual objective never moves.
+  out.step = entering.ratio;
+  return out;
+}
+
+// ------------------------------------------------------------------- solve
+
+lp_result simplex_solver::solve(const deadline& time_budget, bool warm_start,
+                                long iteration_limit) {
+  lp_result result;
+  const long max_iters =
+      iteration_limit >= 0 ? iteration_limit : options_.max_iterations;
+
+  const bool warmed = warm_start && basis_valid_;
+  if (!warmed) {
     reset_to_slack_basis();
   } else {
     clamp_nonbasic_to_bounds();
@@ -456,21 +902,56 @@ lp_result simplex_solver::solve(const deadline& time_budget, bool warm_start) {
   compute_basic_values();
 
   long iterations = 0;
+  long dual_iterations = 0;
   int pivots_since_refactor = 0;
   int degenerate_run = 0;
   bool bland = false;
   int phase1_retries = 0;
+  int dual_aborts = 0;
+  long dual_stall = 0;
 
+  enum class mode { dual_method, phase1, phase2 };
+  mode state = basic_feasible() ? mode::phase2 : mode::phase1;
+
+  auto repair_basis = [&]() {
+    // Singular basis: rebuild from the slack basis and restart the primal
+    // from phase 1 (correct, if slow; singularity is rare).
+    if (state == mode::dual_method) ++stats_.primal_fallbacks;
+    reset_to_slack_basis();
+    compute_basic_values();
+    pivots_since_refactor = 0;
+    state = basic_feasible() ? mode::phase2 : mode::phase1;
+  };
   auto maybe_refactor = [&]() {
-    if (pivots_since_refactor >= options_.refactor_interval) {
-      refactorize();
-      pivots_since_refactor = 0;
+    if (should_refactor(pivots_since_refactor)) {
+      if (refactorize())
+        pivots_since_refactor = 0;
+      else
+        repair_basis();
     }
   };
 
-  bool phase1_done = basic_feasible();
+  // A warm-started basis after branching keeps its reduced costs, so when
+  // primal feasibility broke but dual feasibility survived, the dual
+  // simplex re-solves in a handful of pivots.
+  if (options_.allow_dual && warmed && state == mode::phase1) {
+    for (int p = 0; p < m_; ++p)
+      work_cost_[p] = column_cost_phase2(basis_[p]);
+    compute_duals(work_cost_, work_row_);
+    if (dual_feasible(work_row_)) {
+      state = mode::dual_method;
+      result.used_dual = true;
+      ++stats_.dual_solves;
+    }
+  }
+
+  auto leave_dual = [&](bool count_fallback) {
+    if (count_fallback) ++stats_.primal_fallbacks;
+    state = basic_feasible() ? mode::phase2 : mode::phase1;
+  };
+
   while (true) {
-    if (iterations >= options_.max_iterations) {
+    if (iterations >= max_iters) {
       result.status = lp_status::iteration_limit;
       break;
     }
@@ -488,27 +969,74 @@ lp_result simplex_solver::solve(const deadline& time_budget, bool warm_start) {
       }
     };
 
-    if (!phase1_done) {
+    if (state == mode::dual_method) {
+      const dual_outcome out = dual_iterate();
+      ++iterations;
+      ++dual_iterations;
+      ++stats_.dual_iterations;
+      if (out.optimal) {
+        // Primal feasibility regained; let the primal phase-2 loop certify
+        // optimality (it terminates immediately when no candidate prices).
+        state = mode::phase2;
+        continue;
+      }
+      if (out.infeasible) {
+        // Dual unboundedness proofs rest on alphas computed through the
+        // eta file; accept them only from a fresh factorization so drift
+        // cannot falsely prune a feasible branch-and-bound node.
+        if (!etas_.empty()) {
+          if (refactorize())
+            pivots_since_refactor = 0;
+          else
+            repair_basis();
+          continue;
+        }
+        result.status = lp_status::infeasible;
+        break;
+      }
+      if (out.aborted) {
+        if (refactorize()) {
+          pivots_since_refactor = 0;
+          if (++dual_aborts > 2) leave_dual(/*count_fallback=*/true);
+        } else {
+          repair_basis();
+        }
+        continue;
+      }
+      ++pivots_since_refactor;
+      maybe_refactor();
+      if (out.step <= 1e-11) {
+        if (++dual_stall > options_.degenerate_switch)
+          leave_dual(/*count_fallback=*/true); // primal Bland breaks the tie
+      } else {
+        dual_stall = 0;
+      }
+      continue;
+    }
+
+    if (state == mode::phase1) {
       const pivot_outcome out = iterate(true, bland);
       ++iterations;
+      ++stats_.primal_iterations;
       if (out.no_candidate) {
         if (infeasibility_sum() >
             options_.feasibility_tolerance * (m_ + 1) * 16.0) {
           result.status = lp_status::infeasible;
           break;
         }
-        phase1_done = true; // residual infeasibility is numerical noise
+        state = mode::phase2; // residual infeasibility is numerical noise
         continue;
       }
       note_step(out.step);
       ++pivots_since_refactor;
       maybe_refactor();
-      if (basic_feasible()) phase1_done = true;
+      if (basic_feasible()) state = mode::phase2;
       continue;
     }
 
     const pivot_outcome out = iterate(false, bland);
     ++iterations;
+    ++stats_.primal_iterations;
     if (out.no_candidate) {
       // Optimal -- but verify primal feasibility survived the arithmetic.
       if (!basic_feasible()) {
@@ -516,9 +1044,12 @@ lp_result simplex_solver::solve(const deadline& time_budget, bool warm_start) {
           result.status = lp_status::infeasible;
           break;
         }
-        refactorize();
-        pivots_since_refactor = 0;
-        phase1_done = basic_feasible();
+        if (refactorize()) {
+          pivots_since_refactor = 0;
+          state = basic_feasible() ? mode::phase2 : mode::phase1;
+        } else {
+          repair_basis();
+        }
         continue;
       }
       result.status = lp_status::optimal;
@@ -535,6 +1066,7 @@ lp_result simplex_solver::solve(const deadline& time_budget, bool warm_start) {
 
   total_iterations_ += iterations;
   result.iterations = iterations;
+  result.dual_iterations = dual_iterations;
   result.x.assign(x_.begin(), x_.begin() + n_);
   double objective = 0.0;
   for (int j = 0; j < n_; ++j) objective += problem_.cost[j] * x_[j];

@@ -1,20 +1,30 @@
-// Bounded-variable primal simplex.
+// Bounded-variable primal/dual simplex.
 //
-// Implements the textbook primal simplex for variables with (possibly
-// infinite) lower and upper bounds, with:
-//   * composite phase 1 -- basic-variable bound violations are priced with
-//     +/-1 costs and driven to zero without artificial columns, which makes
-//     warm starts after branch-and-bound bound changes trivial;
-//   * bound flips for nonbasic variables whose own range is binding;
-//   * Dantzig pricing with an automatic switch to Bland's rule after a run
-//     of degenerate steps (anti-cycling);
-//   * an explicit dense basis inverse refreshed by periodic refactorization.
+// The LP engine behind branch and bound. Architecture (see
+// src/milp/README.md for the long-form description):
 //
-// The dense inverse caps practical problem size at a few thousand rows; the
-// synthesis formulations in this repository stay well below that, matching
-// the paper's instance sizes (Table 2).
+//   * primal simplex with a composite phase 1 (basic bound violations are
+//     priced with +/-1 costs, no artificial columns) for cold starts and
+//     numerical recovery;
+//   * dual simplex with a bound-flipping (long-step) two-pass ratio test
+//     for warm re-solves after branch-and-bound bound changes, where the
+//     previous optimal basis stays dual feasible;
+//   * devex reference-weight pricing over a rotating partial-pricing
+//     candidate list (Dantzig available for ablations, Bland's rule as the
+//     anti-cycling fallback after a run of degenerate steps);
+//   * a dense basis inverse refreshed by periodic refactorization and kept
+//     current between refactorizations by product-form (eta) updates --
+//     sparse spikes append O(fill-in) eta vectors, dense spikes fall back
+//     to a sparsity-aware in-place inverse update.
+//
+// solve() picks the method automatically: a warm-started basis that lost
+// primal feasibility (branching) but kept dual feasibility re-solves with
+// the dual method; everything else goes through the primal path. All
+// tie-breaking is by lowest index and all decisions are seed/time
+// independent, so repeated solves are bit-identical.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "common/stopwatch.h"
@@ -22,14 +32,34 @@
 
 namespace transtore::milp {
 
+enum class pricing_rule : unsigned char { dantzig, devex };
+
 /// Tunables for one simplex solve.
 struct simplex_options {
   long max_iterations = 200000;
   double feasibility_tolerance = 1e-7;
   double optimality_tolerance = 1e-7;
   double pivot_tolerance = 1e-9;
-  int refactor_interval = 120;
+  int refactor_interval = 200;
   int degenerate_switch = 400; // consecutive degenerate steps before Bland
+  /// Use the dual simplex on warm starts whose basis is dual feasible but
+  /// primal infeasible (the branch-and-bound re-solve pattern). false
+  /// reproduces the primal-only seed behaviour for ablations.
+  bool allow_dual = true;
+  pricing_rule pricing = pricing_rule::devex;
+  /// Partial-pricing candidate list size; 0 derives it from the column
+  /// count. Ignored under Dantzig/Bland pricing (full scans).
+  int partial_pricing_size = 0;
+};
+
+/// Cumulative counters across all solves of one simplex_solver.
+struct simplex_stats {
+  long primal_iterations = 0;
+  long dual_iterations = 0;
+  long dual_bound_flips = 0;  // nonbasic flips taken by the dual ratio test
+  long refactorizations = 0;
+  long dual_solves = 0;       // solves that entered the dual method
+  long primal_fallbacks = 0;  // dual aborts recovered by the primal path
 };
 
 /// Stateful solver: keeps the basis between solves so that branch-and-bound
@@ -46,11 +76,15 @@ public:
   [[nodiscard]] double variable_upper(int var) const;
 
   /// Solve from the current basis when `warm_start` is true (and a basis
-  /// exists), otherwise from the all-slack basis.
-  lp_result solve(const deadline& time_budget, bool warm_start);
+  /// exists), otherwise from the all-slack basis. `iteration_limit`
+  /// overrides options.max_iterations when >= 0 (strong-branching probes).
+  lp_result solve(const deadline& time_budget, bool warm_start,
+                  long iteration_limit = -1);
 
   /// Number of rows (basis dimension).
   [[nodiscard]] int rows() const { return m_; }
+
+  [[nodiscard]] const simplex_stats& stats() const { return stats_; }
 
 private:
   enum class status : unsigned char { basic, at_lower, at_upper, free_zero };
@@ -68,30 +102,81 @@ private:
   std::vector<int> basic_position_; // size n_+m_: position in basis_ or -1
   std::vector<status> status_;      // size n_+m_
   std::vector<double> x_;           // size n_+m_: current values
-  std::vector<double> binv_;        // row-major m_ x m_ basis inverse
   bool basis_valid_ = false;
   long total_iterations_ = 0;
+  simplex_stats stats_;
+
+  // Basis inverse representation: dense B0^-1 at the last refactorization
+  // (row-major m_ x m_, row p = basis position p) composed with a
+  // product-form eta file for pivots since then.
+  std::vector<double> binv_;
+  struct eta_vector {
+    int pivot_pos;
+    double pivot_value;
+    std::vector<std::pair<int, double>> entries; // (position, value), != pivot
+  };
+  std::vector<eta_vector> etas_;
+  std::size_t eta_nonzeros_ = 0;
+
+  // Devex pricing state.
+  std::vector<double> devex_weight_; // size n_+m_
+  std::vector<int> candidates_;      // partial-pricing candidate list
+  int pricing_cursor_ = 0;
 
   // Scratch buffers.
   std::vector<double> work_col_;  // w = B^-1 a_j
-  std::vector<double> work_row_;  // y = c_B B^-1
+  std::vector<double> work_row_;  // y = c_B B^-1 (constraint-row space)
   std::vector<double> work_cost_; // phase-dependent basic costs
+  std::vector<double> work_rho_;  // pivot row e_r B^-1
+  mutable std::vector<double> work_pos_; // position-space scratch (const helpers)
 
   [[nodiscard]] int total_columns() const { return n_ + m_; }
 
   void reset_to_slack_basis();
   void clamp_nonbasic_to_bounds();
   void compute_basic_values();
-  void refactorize();
+  /// Rebuilds the dense inverse from the current basis; false when the
+  /// basis is (numerically) singular -- the caller must repair, e.g. by
+  /// resetting to the slack basis.
+  [[nodiscard]] bool refactorize();
+
+  // Basis-inverse application helpers.
+  void apply_etas_ftran(std::vector<double>& v) const;
+  void apply_etas_btran(std::vector<double>& z) const;
+  void dense_ftran(const std::vector<double>& rhs, std::vector<double>& v) const;
+  void dense_btran(const std::vector<double>& z, std::vector<double>& y) const;
   void ftran(int column, std::vector<double>& w) const; // w = B^-1 a_col
+  void btran_row(int position, std::vector<double>& rho) const; // e_r B^-1
+  void record_basis_update(int leaving_pos, double pivot_element,
+                           const std::vector<double>& w);
+  [[nodiscard]] bool should_refactor(int pivots_since_refactor) const;
+
   void compute_duals(const std::vector<double>& basic_cost,
                      std::vector<double>& y) const;
   [[nodiscard]] double reduced_cost(int column,
                                     const std::vector<double>& y) const;
+  [[nodiscard]] double column_dot(int column,
+                                  const std::vector<double>& y) const;
   [[nodiscard]] double column_cost_phase2(int column) const;
 
   [[nodiscard]] double infeasibility_sum() const;
   [[nodiscard]] bool basic_feasible() const;
+  [[nodiscard]] bool dual_feasible(const std::vector<double>& y) const;
+
+  // Pricing.
+  struct entering_choice {
+    int column = -1;
+    int direction = 0;
+  };
+  [[nodiscard]] double pricing_violation(int column, double reduced,
+                                         int& direction) const;
+  entering_choice price_full_scan(bool phase1, bool bland,
+                                  const std::vector<double>& y);
+  entering_choice price_devex(bool phase1, const std::vector<double>& y);
+  void refill_candidates(bool phase1, const std::vector<double>& y);
+  void update_devex_weights(int entering, int leaving_pos, double pivot_element,
+                            bool phase1);
+  void reset_devex();
 
   struct pivot_outcome {
     bool moved = false;        // any progress (step or bound flip)
@@ -99,12 +184,24 @@ private:
     bool unbounded = false;
     double step = 0.0;         // step length taken (0 => degenerate pivot)
   };
-  /// One simplex iteration; phase1 selects the infeasibility objective.
+  /// One primal simplex iteration; phase1 selects the infeasibility
+  /// objective.
   pivot_outcome iterate(bool phase1, bool bland);
 
   void apply_pivot(int entering, int direction, double step, int leaving_pos,
                    double pivot_element, const std::vector<double>& w,
                    bool leaving_to_upper);
+
+  struct dual_outcome {
+    bool moved = false;      // performed a pivot (possibly with flips)
+    bool optimal = false;    // no primal-infeasible basic variable remains
+    bool infeasible = false; // dual unbounded => primal infeasible
+    bool aborted = false;    // numerical trouble: fall back to primal
+    double step = 0.0;       // dual step taken (0 => dual-degenerate pivot)
+  };
+  /// One dual simplex iteration (leaving-row selection, bound-flipping
+  /// two-pass ratio test, pivot).
+  dual_outcome dual_iterate();
 };
 
 } // namespace transtore::milp

@@ -163,6 +163,9 @@ struct bb_node {
   std::vector<bound_change> changes; // path from root
   double parent_bound;               // LP bound of the parent (min-form)
   long id;                           // for best-bound bookkeeping
+  /// Fractional distance the branch moved the variable (frac for a down
+  /// child, 1-frac for an up child); pseudocosts are recorded per unit.
+  double branch_distance = 1.0;
 };
 
 /// Pseudocost bookkeeping per integer variable and direction.
@@ -196,6 +199,16 @@ struct pseudocost_table {
 
 } // namespace
 
+solver_options classic_primal_only_options() {
+  solver_options o;
+  o.branching = branch_rule::most_fractional;
+  o.reliability = 0;
+  o.lp.allow_dual = false;
+  o.lp.pricing = pricing_rule::dantzig;
+  o.lp.refactor_interval = 120; // the seed's dense-update cadence
+  return o;
+}
+
 double solution::gap() const {
   if (!has_solution()) return inf;
   const double incumbent = objective;
@@ -225,7 +238,7 @@ solution solve(const model& m, const solver_options& options) {
   const std::vector<double> root_lower = sf.lp.lower;
   const std::vector<double> root_upper = sf.lp.upper;
 
-  simplex_solver lp(sf.lp);
+  simplex_solver lp(sf.lp, options.lp);
 
   const double int_tol = options.integrality_tolerance;
   auto fractional_part = [&](double v) { return std::abs(v - std::round(v)); };
@@ -271,6 +284,8 @@ solution solve(const model& m, const solver_options& options) {
 
   long nodes = 0;
   long simplex_iterations = 0;
+  long dual_iterations = 0;
+  long probes = 0;
   bool hit_limit = false;
   bool unbounded = false;
   stopwatch log_watch;
@@ -315,6 +330,7 @@ solution solve(const model& m, const solver_options& options) {
     const lp_result relax = lp.solve(time_budget, /*warm_start=*/true);
     ++nodes;
     simplex_iterations += relax.iterations;
+    dual_iterations += relax.dual_iterations;
 
     if (options.log_progress && log_watch.elapsed_seconds() > 2.0) {
       log_watch.reset();
@@ -345,25 +361,108 @@ solution solve(const model& m, const solver_options& options) {
     if (have_incumbent && node_bound >= incumbent_obj - options.absolute_gap)
       continue;
 
-    // Find branching candidate.
-    int branch_var = -1;
-    double branch_frac = 0.0;
-    double best_score = -1.0;
+    // Collect fractional branching candidates.
+    std::vector<std::pair<double, int>> fractional; // (closeness to 0.5, var)
     for (int j = 0; j < n; ++j) {
       if (!sf.is_integer[j]) continue;
       const double frac = fractional_part(relax.x[j]);
       if (frac <= int_tol) continue;
+      fractional.emplace_back(0.5 - std::abs(frac - 0.5), j);
+    }
+
+    // Reliability initialization: before trusting pseudocosts, seed them
+    // with limited strong-branching probes -- warm-started dual re-solves
+    // with a tight iteration cap. An infeasible probe direction prunes that
+    // child outright.
+    bool down_infeasible = false;
+    bool up_infeasible = false;
+    int probed_infeasible_var = -1;
+    if (options.branching == branch_rule::pseudocost &&
+        options.reliability > 0 && probes < options.strong_branch_limit &&
+        !fractional.empty()) {
+      std::vector<std::pair<double, int>> order = fractional;
+      std::sort(order.begin(), order.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return a.second < b.second;
+                });
+      if (static_cast<int>(order.size()) > options.strong_branch_candidates)
+        order.resize(static_cast<std::size_t>(options.strong_branch_candidates));
+      for (const auto& [closeness, j] : order) {
+        (void)closeness;
+        if (probes >= options.strong_branch_limit) break;
+        if (std::min(pseudocosts.up_count[j], pseudocosts.down_count[j]) >=
+            options.reliability)
+          continue;
+        const double value = relax.x[j];
+        const double floor_val = std::floor(value);
+        const double frac = value - floor_val;
+        const double node_lower = lp.variable_lower(j);
+        const double node_upper = lp.variable_upper(j);
+        bool local_down_infeasible = false;
+        bool local_up_infeasible = false;
+        for (const bool up : {false, true}) {
+          if (time_budget.expired()) break;
+          if (up)
+            lp.set_variable_bounds(j, floor_val + 1.0, node_upper);
+          else
+            lp.set_variable_bounds(j, node_lower, floor_val);
+          const lp_result probe = lp.solve(
+              time_budget, /*warm_start=*/true,
+              options.strong_branch_iteration_limit);
+          lp.set_variable_bounds(j, node_lower, node_upper);
+          ++probes;
+          simplex_iterations += probe.iterations;
+          dual_iterations += probe.dual_iterations;
+          if (probe.status == lp_status::optimal) {
+            const double degradation =
+                std::max(0.0, probe.objective - node_bound);
+            const double distance = up ? 1.0 - frac : frac;
+            pseudocosts.record(j, up,
+                               degradation / std::max(distance, 1e-6));
+          } else if (probe.status == lp_status::infeasible) {
+            // Infeasibility holds only under this node's bound set, so it
+            // must not pollute the search-global pseudocost averages; the
+            // child is pruned below instead.
+            if (up)
+              local_up_infeasible = true;
+            else
+              local_down_infeasible = true;
+          }
+          // Iteration/time-limited probes carry no trustworthy bound.
+        }
+        if (local_down_infeasible || local_up_infeasible) {
+          probed_infeasible_var = j;
+          down_infeasible = local_down_infeasible;
+          up_infeasible = local_up_infeasible;
+        }
+      }
+    }
+
+    // Pick the branching variable.
+    int branch_var = -1;
+    double branch_frac = 0.0;
+    double best_score = -1.0;
+    for (const auto& [closeness, j] : fractional) {
       double score;
       if (options.branching == branch_rule::pseudocost) {
         score = pseudocosts.score(j, relax.x[j] - std::floor(relax.x[j]), 1.0);
       } else {
-        score = 0.5 - std::abs(frac - 0.5); // most fractional
+        score = closeness; // most fractional
       }
       if (score > best_score) {
         best_score = score;
         branch_var = j;
         branch_frac = relax.x[j];
       }
+    }
+    // A probe that proved one side infeasible makes its variable the best
+    // branch: one child is pruned before it is ever solved.
+    if (probed_infeasible_var >= 0) {
+      branch_var = probed_infeasible_var;
+      branch_frac = relax.x[branch_var];
+    } else {
+      down_infeasible = up_infeasible = false;
     }
 
     if (branch_var < 0) {
@@ -375,13 +474,15 @@ solution solve(const model& m, const solver_options& options) {
       continue;
     }
 
-    // Record pseudocost data for the parent of this node.
+    // Record pseudocost data for the parent of this node (per unit of
+    // fractional distance, matching the strong-branching probes).
     if (!node.changes.empty()) {
       const bound_change& last = node.changes.back();
       const double degradation = node_bound - node.parent_bound;
       if (node.parent_bound != -inf && degradation >= 0.0)
         pseudocosts.record(last.var, last.lower > root_lower[last.var],
-                           degradation);
+                           degradation /
+                               std::max(node.branch_distance, 1e-6));
     }
 
     const double floor_val = std::floor(branch_frac);
@@ -393,6 +494,7 @@ solution solve(const model& m, const solver_options& options) {
         {branch_var, lp.variable_lower(branch_var), floor_val});
     down_child.parent_bound = node_bound;
     down_child.id = next_node_id++;
+    down_child.branch_distance = frac;
 
     bb_node up_child;
     up_child.changes = node.changes;
@@ -400,22 +502,27 @@ solution solve(const model& m, const solver_options& options) {
         {branch_var, floor_val + 1.0, lp.variable_upper(branch_var)});
     up_child.parent_bound = node_bound;
     up_child.id = next_node_id++;
+    up_child.branch_distance = 1.0 - frac;
 
     // Plunge: explore the child nearest the LP value first (LIFO stack).
+    // Children whose side a strong-branching probe proved infeasible are
+    // never queued.
     if (frac <= 0.5) {
-      stack.push_back(std::move(up_child));
-      stack.push_back(std::move(down_child));
+      if (!up_infeasible) stack.push_back(std::move(up_child));
+      if (!down_infeasible) stack.push_back(std::move(down_child));
     } else {
-      stack.push_back(std::move(down_child));
-      stack.push_back(std::move(up_child));
+      if (!down_infeasible) stack.push_back(std::move(down_child));
+      if (!up_infeasible) stack.push_back(std::move(up_child));
     }
-    open_bounds.insert(node_bound);
-    open_bounds.insert(node_bound);
+    if (!down_infeasible) open_bounds.insert(node_bound);
+    if (!up_infeasible) open_bounds.insert(node_bound);
   }
 
   // Assemble the user-facing result.
   result.nodes_explored = nodes;
   result.simplex_iterations = simplex_iterations;
+  result.dual_simplex_iterations = dual_iterations;
+  result.strong_branch_probes = probes;
   result.seconds = total_watch.elapsed_seconds();
 
   const double open_bound = stack.empty() ? inf : best_open_bound();

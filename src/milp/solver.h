@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "milp/model.h"
+#include "milp/simplex.h"
 
 namespace transtore::milp {
 
@@ -40,12 +41,30 @@ struct solver_options {
   double integrality_tolerance = 1e-6;
   double relative_gap = 1e-6;
   double absolute_gap = 1e-9;
-  branch_rule branching = branch_rule::most_fractional;
+  branch_rule branching = branch_rule::pseudocost;
   bool root_propagation = true;
   bool log_progress = false;
+  /// LP engine tunables, forwarded to the simplex (allow_dual / pricing are
+  /// the ablation switches back to the primal-only seed behaviour).
+  simplex_options lp;
+  /// Pseudocost reliability: a variable's pseudocosts are initialized by
+  /// strong-branching probes (cheap dual re-solves) until each direction
+  /// has this many observations. 0 disables probing.
+  int reliability = 4;
+  /// Per-direction iteration cap of one strong-branching probe.
+  long strong_branch_iteration_limit = 100;
+  /// Total strong-branching probes allowed across the whole search.
+  long strong_branch_limit = 100;
+  /// Fractional candidates probed per node (most fractional first).
+  int strong_branch_candidates = 8;
   /// Optional known-feasible assignment used as the initial incumbent.
   std::optional<std::vector<double>> warm_start;
 };
+
+/// Seed-equivalent configuration for ablations/benchmarks: primal-only
+/// simplex with Dantzig pricing and most-fractional branching, no
+/// strong-branching probes.
+[[nodiscard]] solver_options classic_primal_only_options();
 
 struct solution {
   solve_status status = solve_status::no_solution;
@@ -53,7 +72,9 @@ struct solution {
   double best_bound = 0.0;  // user-sense dual bound
   std::vector<double> values;
   long nodes_explored = 0;
-  long simplex_iterations = 0;
+  long simplex_iterations = 0;       // total, including probes
+  long dual_simplex_iterations = 0;  // subset taken by the dual method
+  long strong_branch_probes = 0;     // reliability-initialization re-solves
   double seconds = 0.0;
 
   [[nodiscard]] bool has_solution() const {

@@ -36,8 +36,8 @@ std::vector<int> alap_finishes(const assay::sequencing_graph& graph,
 
 } // namespace
 
-ilp_schedule_result schedule_with_ilp(const assay::sequencing_graph& graph,
-                                      const ilp_scheduler_options& options) {
+scheduling_ilp build_scheduling_ilp(const assay::sequencing_graph& graph,
+                                    const ilp_scheduler_options& options) {
   graph.validate();
   require(options.device_count > 0, "ilp scheduler: device count");
   const int n = graph.operation_count();
@@ -57,12 +57,16 @@ ilp_schedule_result schedule_with_ilp(const assay::sequencing_graph& graph,
   const std::vector<int> est = asap_starts(graph);
   const std::vector<int> lft = alap_finishes(graph, horizon);
 
-  milp::model m;
+  scheduling_ilp ilp;
+  milp::model& m = ilp.model;
 
   // Assignment binaries s_ik and time variables ts_i, te_i.
-  std::vector<std::vector<milp::variable>> s(static_cast<std::size_t>(n));
-  std::vector<milp::variable> ts(static_cast<std::size_t>(n));
-  std::vector<milp::variable> te(static_cast<std::size_t>(n));
+  auto& s = ilp.assign;
+  auto& ts = ilp.start;
+  auto& te = ilp.end;
+  s.resize(static_cast<std::size_t>(n));
+  ts.resize(static_cast<std::size_t>(n));
+  te.resize(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     for (int k = 0; k < devices; ++k)
       s[static_cast<std::size_t>(i)].push_back(
@@ -76,8 +80,9 @@ ilp_schedule_result schedule_with_ilp(const assay::sequencing_graph& graph,
         est[static_cast<std::size_t>(i)] + graph.at(i).duration,
         lft[static_cast<std::size_t>(i)], "te_" + std::to_string(i));
   }
-  const milp::variable t_end = m.add_continuous(
+  ilp.makespan = m.add_continuous(
       graph.critical_path_duration(), horizon, "tE");
+  const milp::variable t_end = ilp.makespan;
 
   // (1) uniqueness.
   for (int i = 0; i < n; ++i) {
@@ -190,9 +195,6 @@ ilp_schedule_result schedule_with_ilp(const assay::sequencing_graph& graph,
   m.set_objective(objective, milp::objective_sense::minimize);
 
   // Warm start: translate the heuristic schedule into a full assignment.
-  milp::solver_options solver_options;
-  solver_options.time_limit_seconds = options.time_limit_seconds;
-  solver_options.log_progress = options.log_progress;
   if (options.warm_start) {
     const schedule& ws = *options.warm_start;
     require(static_cast<int>(ws.ops.size()) == n,
@@ -237,14 +239,31 @@ ilp_schedule_result schedule_with_ilp(const assay::sequencing_graph& graph,
           oi.start < oj.start || (oi.start == oj.start && pr.i < pr.j);
       set(pr.order, i_first ? 1.0 : 0.0);
     }
-    solver_options.warm_start = std::move(assignment);
+    ilp.warm_assignment = std::move(assignment);
   }
+
+  return ilp;
+}
+
+ilp_schedule_result schedule_with_ilp(const assay::sequencing_graph& graph,
+                                      const ilp_scheduler_options& options) {
+  const int n = graph.operation_count();
+  const int devices = options.device_count;
+
+  scheduling_ilp ilp = build_scheduling_ilp(graph, options);
+  const milp::model& m = ilp.model;
+
+  milp::solver_options solver_options = options.milp;
+  solver_options.time_limit_seconds = options.time_limit_seconds;
+  solver_options.log_progress = options.log_progress;
+  solver_options.warm_start = std::move(ilp.warm_assignment);
 
   const milp::solution sol = milp::solve(m, solver_options);
 
   ilp_schedule_result result;
   result.status = sol.status;
   result.nodes = sol.nodes_explored;
+  result.simplex_iterations = sol.simplex_iterations;
   result.seconds = sol.seconds;
   result.variables = m.variable_count();
   result.constraints = m.constraint_count();
@@ -261,12 +280,12 @@ ilp_schedule_result schedule_with_ilp(const assay::sequencing_graph& graph,
   std::vector<std::pair<double, int>> starts;
   for (int i = 0; i < n; ++i) {
     for (int k = 0; k < devices; ++k)
-      if (sol.value(s[static_cast<std::size_t>(i)]
-                     [static_cast<std::size_t>(k)]) > 0.5)
+      if (sol.value(ilp.assign[static_cast<std::size_t>(i)]
+                              [static_cast<std::size_t>(k)]) > 0.5)
         b.device_of[static_cast<std::size_t>(i)] = k;
     check(b.device_of[static_cast<std::size_t>(i)] >= 0,
           "ilp scheduler: op left unassigned");
-    starts.emplace_back(sol.value(ts[static_cast<std::size_t>(i)]), i);
+    starts.emplace_back(sol.value(ilp.start[static_cast<std::size_t>(i)]), i);
   }
   std::sort(starts.begin(), starts.end());
   for (const auto& [start, op] : starts)

@@ -43,6 +43,9 @@ struct ilp_scheduler_options {
   /// Known-good schedule used as the MILP incumbent.
   std::optional<schedule> warm_start;
   bool log_progress = false;
+  /// Base MILP solver configuration (branching rule, LP engine ablations).
+  /// time_limit_seconds / log_progress / warm_start above take precedence.
+  milp::solver_options milp{};
 };
 
 struct ilp_schedule_result {
@@ -51,10 +54,29 @@ struct ilp_schedule_result {
   double ilp_objective = 0.0; // objective (6) value of the MILP incumbent
   double ilp_bound = 0.0;     // dual bound on objective (6)
   long nodes = 0;
+  long simplex_iterations = 0;
   double seconds = 0.0;
   int variables = 0;
   int constraints = 0;
 };
+
+/// The Table 1 formulation as a standalone MILP, for callers that want to
+/// solve it with custom solver options (benchmarks, ablations) instead of
+/// running the full scheduling pipeline.
+struct scheduling_ilp {
+  milp::model model;
+  std::vector<std::vector<milp::variable>> assign; // s_ik per op, device
+  std::vector<milp::variable> start;               // ts_i
+  std::vector<milp::variable> end;                 // te_i
+  milp::variable makespan;                         // tE
+  /// Warm-start assignment derived from options.warm_start (when given).
+  std::optional<std::vector<double>> warm_assignment;
+};
+
+/// Build the paper's scheduling & binding MILP (Table 1, objective (6))
+/// without solving it.
+[[nodiscard]] scheduling_ilp build_scheduling_ilp(
+    const assay::sequencing_graph& graph, const ilp_scheduler_options& options);
 
 /// Solve scheduling & binding with the paper's ILP. Throws
 /// invalid_input_error on malformed input; infeasibility cannot occur for a

@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/prng.h"
 #include "milp/model.h"
+#include "milp/simplex.h"
 #include "milp/solver.h"
 
 namespace transtore::milp {
@@ -380,6 +382,232 @@ TEST(Milp, GapIsZeroWhenOptimal) {
   ASSERT_EQ(s.status, solve_status::optimal);
   EXPECT_LE(s.gap(), 1e-6);
   EXPECT_NEAR(s.best_bound, s.objective, 1e-6);
+}
+
+// ------------------------------------------------- simplex engine (LP level)
+
+namespace {
+
+/// Random bounded LP in computational form: all variables boxed, rows
+/// `lo <= a'x <= hi` with x = 0 feasible. Deterministic in `seed`.
+lp_problem random_bounded_lp(std::uint64_t seed, int nvars, int nrows) {
+  prng r(seed);
+  lp_problem p;
+  p.num_vars = nvars;
+  p.num_rows = nrows;
+  p.cost.resize(nvars);
+  p.lower.assign(nvars, 0.0);
+  p.upper.resize(nvars);
+  for (int j = 0; j < nvars; ++j) {
+    p.cost[j] = static_cast<double>(r.uniform_int(-10, 10));
+    p.upper[j] = static_cast<double>(r.uniform_int(1, 12));
+  }
+  // Build CSC column by column.
+  p.col_start.assign(nvars + 1, 0);
+  std::vector<std::vector<std::pair<int, double>>> cols(nvars);
+  for (int i = 0; i < nrows; ++i) {
+    bool any = false;
+    for (int j = 0; j < nvars; ++j) {
+      if (!r.bernoulli(0.5)) continue;
+      const double coeff = static_cast<double>(r.uniform_int(-5, 5));
+      if (coeff == 0.0) continue;
+      cols[j].emplace_back(i, coeff);
+      any = true;
+    }
+    if (!any) cols[0].emplace_back(i, 1.0);
+    p.row_lower.push_back(-static_cast<double>(r.uniform_int(5, 60)));
+    p.row_upper.push_back(static_cast<double>(r.uniform_int(5, 60)));
+  }
+  for (int j = 0; j < nvars; ++j)
+    p.col_start[j + 1] = p.col_start[j] + static_cast<int>(cols[j].size());
+  for (int j = 0; j < nvars; ++j)
+    for (const auto& [row, coeff] : cols[j]) {
+      p.row_index.push_back(row);
+      p.value.push_back(coeff);
+    }
+  return p;
+}
+
+} // namespace
+
+TEST(Simplex, DualWarmStartMatchesPrimalOnRandomBoundedLps) {
+  // After a branching-style bound change, the dual re-solve must reach the
+  // same objective as a primal-only solve of the modified problem.
+  const deadline no_limit(0.0);
+  long dual_solves_seen = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    prng r(seed * 7919);
+    const int nvars = static_cast<int>(r.uniform_int(3, 10));
+    const int nrows = static_cast<int>(r.uniform_int(2, 8));
+    lp_problem p = random_bounded_lp(seed, nvars, nrows);
+
+    simplex_options dual_on;
+    simplex_solver warm(p, dual_on);
+    const lp_result root = warm.solve(no_limit, /*warm_start=*/false);
+    ASSERT_EQ(root.status, lp_status::optimal) << "seed " << seed;
+
+    // Tighten variable boxes through the LP optimum (what branching does):
+    // cutting below a variable's optimal value breaks primal feasibility
+    // of the basis while leaving it dual feasible -- the dual re-solve
+    // pattern.
+    int tightened_vars = 0;
+    for (int var = 0; var < nvars && tightened_vars < 2; ++var) {
+      const double at = root.x[static_cast<std::size_t>(var)];
+      if (at <= warm.variable_lower(var) + 0.5) continue;
+      const double cut = std::max(warm.variable_lower(var),
+                                  std::ceil(at) - 1.0);
+      warm.set_variable_bounds(var, warm.variable_lower(var), cut);
+      ++tightened_vars;
+    }
+    const lp_result resolved = warm.solve(no_limit, /*warm_start=*/true);
+    if (resolved.used_dual) ++dual_solves_seen;
+
+    lp_problem tightened = p;
+    for (int j = 0; j < nvars; ++j) {
+      tightened.lower[j] = warm.variable_lower(j);
+      tightened.upper[j] = warm.variable_upper(j);
+    }
+    simplex_options primal_only;
+    primal_only.allow_dual = false;
+    primal_only.pricing = pricing_rule::dantzig;
+    simplex_solver reference(tightened, primal_only);
+    const lp_result expected = reference.solve(no_limit, false);
+
+    ASSERT_EQ(resolved.status, expected.status) << "seed " << seed;
+    if (expected.status == lp_status::optimal)
+      EXPECT_NEAR(resolved.objective, expected.objective, 1e-5)
+          << "seed " << seed;
+  }
+  // The sweep must actually exercise the dual path, not just fall back.
+  EXPECT_GT(dual_solves_seen, 10);
+}
+
+TEST(Simplex, DualRatioTestBoundFlip) {
+  // minimize x1 + 3 x2 + 0 x3  st  x1 + x2 + x3 >= 10,
+  // x1 in [0,1], x2,x3 in [0,20]. The root optimum is x3 = 10 (basic).
+  // Branching x3 <= 4 leaves a dual-feasible basis with x3 six units above
+  // its new upper bound; the dual ratio test must FLIP x1 (range 1 cannot
+  // absorb the infeasibility) and then enter x2: x = (1, 5, 4), cost 16.
+  lp_problem p;
+  p.num_vars = 3;
+  p.num_rows = 1;
+  p.cost = {1.0, 3.0, 0.0};
+  p.lower = {0.0, 0.0, 0.0};
+  p.upper = {1.0, 20.0, 20.0};
+  p.row_lower = {10.0};
+  p.row_upper = {std::numeric_limits<double>::infinity()};
+  p.col_start = {0, 1, 2, 3};
+  p.row_index = {0, 0, 0};
+  p.value = {1.0, 1.0, 1.0};
+
+  const deadline no_limit(0.0);
+  simplex_solver solver(p, simplex_options{});
+  const lp_result root = solver.solve(no_limit, false);
+  ASSERT_EQ(root.status, lp_status::optimal);
+  EXPECT_NEAR(root.objective, 0.0, 1e-9);
+  EXPECT_NEAR(root.x[2], 10.0, 1e-9);
+
+  solver.set_variable_bounds(2, 0.0, 4.0);
+  const lp_result resolved = solver.solve(no_limit, /*warm_start=*/true);
+  ASSERT_EQ(resolved.status, lp_status::optimal);
+  EXPECT_TRUE(resolved.used_dual);
+  EXPECT_GE(solver.stats().dual_bound_flips, 1);
+  EXPECT_NEAR(resolved.objective, 16.0, 1e-7);
+  EXPECT_NEAR(resolved.x[0], 1.0, 1e-7);
+  EXPECT_NEAR(resolved.x[1], 5.0, 1e-7);
+  EXPECT_NEAR(resolved.x[2], 4.0, 1e-7);
+}
+
+TEST(Simplex, DualDetectsInfeasibleBoundChange) {
+  // x1 + x2 >= 5 with both boxes shrunk to [0,1] is infeasible; the dual
+  // re-solve must prove it (dual unbounded), matching the primal verdict.
+  lp_problem p;
+  p.num_vars = 2;
+  p.num_rows = 1;
+  p.cost = {-1.0, 1.0};
+  p.lower = {0.0, 0.0};
+  p.upper = {10.0, 10.0};
+  p.row_lower = {5.0};
+  p.row_upper = {std::numeric_limits<double>::infinity()};
+  p.col_start = {0, 1, 2};
+  p.row_index = {0, 0};
+  p.value = {1.0, 1.0};
+
+  const deadline no_limit(0.0);
+  simplex_solver solver(p, simplex_options{});
+  ASSERT_EQ(solver.solve(no_limit, false).status, lp_status::optimal);
+  solver.set_variable_bounds(0, 0.0, 1.0);
+  solver.set_variable_bounds(1, 0.0, 1.0);
+  EXPECT_EQ(solver.solve(no_limit, true).status, lp_status::infeasible);
+}
+
+TEST(Simplex, RepeatedSolvesAreBitIdentical) {
+  // Two fresh solvers over the same problem must take the exact same
+  // pivots: equal iteration counts and bit-identical objectives.
+  for (std::uint64_t seed : {3u, 17u, 29u}) {
+    lp_problem p = random_bounded_lp(seed, 8, 6);
+    const deadline no_limit(0.0);
+    simplex_solver a(p, simplex_options{});
+    simplex_solver b(p, simplex_options{});
+    const lp_result ra = a.solve(no_limit, false);
+    const lp_result rb = b.solve(no_limit, false);
+    EXPECT_EQ(ra.iterations, rb.iterations);
+    EXPECT_EQ(ra.status, rb.status);
+    EXPECT_EQ(ra.objective, rb.objective); // bit-identical, not just close
+    EXPECT_EQ(ra.x, rb.x);
+  }
+}
+
+TEST(Milp, BranchAndBoundIsDeterministic) {
+  // Two consecutive full solves: same incumbent, node count, and iteration
+  // counts (covers dual re-solves, devex pricing, and pseudocost probes).
+  model m;
+  prng r(77);
+  std::vector<variable> xs;
+  linear_expr weight, value;
+  for (int i = 0; i < 22; ++i) {
+    xs.push_back(m.add_binary());
+    weight += static_cast<double>(r.uniform_int(5, 35)) * xs.back();
+    value += static_cast<double>(r.uniform_int(5, 55)) * xs.back();
+  }
+  m.add_constraint(weight, cmp::less_equal, 170.0);
+  m.set_objective(value, objective_sense::maximize);
+
+  const solution a = solve(m, quick_options());
+  const solution b = solve(m, quick_options());
+  ASSERT_EQ(a.status, solve_status::optimal);
+  ASSERT_EQ(b.status, solve_status::optimal);
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.nodes_explored, b.nodes_explored);
+  EXPECT_EQ(a.simplex_iterations, b.simplex_iterations);
+  EXPECT_EQ(a.dual_simplex_iterations, b.dual_simplex_iterations);
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST(Milp, PrimalOnlyAblationMatchesDefault) {
+  // The seed-equivalent ablation must agree with the new configuration on
+  // instances solved to optimality.
+  for (std::uint64_t seed : {5u, 23u, 41u}) {
+    model m;
+    prng r(seed);
+    std::vector<variable> xs;
+    linear_expr weight, value;
+    for (int i = 0; i < 15; ++i) {
+      xs.push_back(m.add_binary());
+      weight += static_cast<double>(r.uniform_int(4, 30)) * xs.back();
+      value += static_cast<double>(r.uniform_int(5, 50)) * xs.back();
+    }
+    m.add_constraint(weight, cmp::less_equal, 120.0);
+    m.set_objective(value, objective_sense::maximize);
+
+    solver_options classic = classic_primal_only_options();
+    classic.time_limit_seconds = 30.0;
+    const solution a = solve(m, quick_options());
+    const solution b = solve(m, classic);
+    ASSERT_EQ(a.status, solve_status::optimal);
+    ASSERT_EQ(b.status, solve_status::optimal);
+    EXPECT_NEAR(a.objective, b.objective, 1e-6) << "seed " << seed;
+  }
 }
 
 // Property sweep: random small knapsacks, solver vs exhaustive enumeration.
