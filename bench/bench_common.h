@@ -11,7 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "api/pipeline.h"
 #include "assay/benchmarks.h"
+#include "common/json.h"
 #include "core/flow.h"
 
 namespace transtore::bench {
@@ -36,22 +38,8 @@ struct bench_record {
   int constraints = 0;
 };
 
-inline std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
-/// Writes `records` as {"tool": ..., "results": [...]} to `path`.
+/// Writes `records` as {"tool": ..., "results": [...]} to `path`, using
+/// the shared json_writer (common/json.h) for correct escaping.
 /// Returns false (with a message on stderr) when the file cannot be opened.
 inline bool write_bench_json(const std::string& path, const std::string& tool,
                              const std::vector<bench_record>& records) {
@@ -60,24 +48,30 @@ inline bool write_bench_json(const std::string& path, const std::string& tool,
     std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
     return false;
   }
-  std::fprintf(f, "{\n  \"tool\": \"%s\",\n  \"results\": [\n",
-               json_escape(tool).c_str());
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const bench_record& r = records[i];
-    std::fprintf(f,
-                 "    {\"assay\": \"%s\", \"config\": \"%s\", "
-                 "\"seconds\": %.6f, \"nodes\": %ld, "
-                 "\"simplex_iterations\": %ld, \"dual_iterations\": %ld, "
-                 "\"strong_branch_probes\": %ld, \"objective\": %.9g, "
-                 "\"status\": \"%s\", \"variables\": %d, "
-                 "\"constraints\": %d}%s\n",
-                 json_escape(r.assay).c_str(), json_escape(r.config).c_str(),
-                 r.seconds, r.nodes, r.simplex_iterations, r.dual_iterations,
-                 r.strong_branch_probes, r.objective,
-                 json_escape(r.status).c_str(), r.variables, r.constraints,
-                 i + 1 < records.size() ? "," : "");
+  json_writer w;
+  w.begin_object();
+  w.field("tool", tool);
+  w.begin_array("results");
+  for (const bench_record& r : records) {
+    w.begin_object();
+    w.field("assay", r.assay);
+    w.field("config", r.config);
+    w.field("seconds", r.seconds);
+    w.field("nodes", r.nodes);
+    w.field("simplex_iterations", r.simplex_iterations);
+    w.field("dual_iterations", r.dual_iterations);
+    w.field("strong_branch_probes", r.strong_branch_probes);
+    w.field("objective", r.objective);
+    w.field("status", r.status);
+    w.field("variables", r.variables);
+    w.field("constraints", r.constraints);
+    w.end_object();
   }
-  std::fprintf(f, "  ]\n}\n");
+  w.end_array();
+  w.end_object();
+  const std::string doc = w.str();
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fputc('\n', f);
   std::fclose(f);
   return true;
 }
@@ -88,12 +82,14 @@ struct assay_config {
   int grid; // grid is grid x grid
 };
 
-/// Table 2 rows, largest first (matches the paper's ordering).
+/// Table 2 rows, largest first (matches the paper's ordering). Sourced
+/// from the shared assay::benchmark_resource_table so the benches and the
+/// CLI's batch mode cannot drift apart.
 inline std::vector<assay_config> table2_configs() {
-  return {
-      {"RA100", 4, 5}, {"RA70", 3, 4}, {"CPA", 3, 4},
-      {"RA30", 2, 4},  {"IVD", 2, 4},  {"PCR", 1, 4},
-  };
+  std::vector<assay_config> configs;
+  for (const assay::benchmark_resources& r : assay::benchmark_resource_table())
+    configs.push_back({r.name, r.devices, r.grid});
+  return configs;
 }
 
 /// Default flow options for a config; `storage_aware` toggles the paper's
@@ -112,25 +108,54 @@ inline core::flow_options make_options(const assay_config& c,
   return o;
 }
 
-/// Run the flow, retrying with a one-step-larger grid when the paper's
-/// grid cannot hold the workload. Returns the result and notes the grid
-/// actually used in `grid_used`.
+/// Run the flow through the staged api::pipeline, letting the synthesize
+/// stage retry with a one-step-larger grid (up to +2) when the paper's grid
+/// cannot hold the workload. Returns the result and notes the grid actually
+/// used in `grid_used`. Throws capacity_error when even the largest retry
+/// fails (the historical bench contract).
 inline core::flow_result run_config(const assay_config& c,
                                     core::flow_options o, int& grid_used) {
-  grid_used = c.grid;
-  for (;;) {
-    try {
-      o.grid_width = grid_used;
-      o.grid_height = grid_used;
-      return core::run_flow(assay::make_benchmark(c.name), o);
-    } catch (const capacity_error&) {
-      ++grid_used;
-      if (grid_used > c.grid + 2) throw;
-      std::fprintf(stderr, "[bench] %s: grid %dx%d too small, retrying %dx%d\n",
-                   c.name.c_str(), grid_used - 1, grid_used - 1, grid_used,
-                   grid_used);
+  o.grid_width = c.grid;
+  o.grid_height = c.grid;
+  o.grid_growth = 2;
+  auto outcome = api::pipeline(assay::make_benchmark(c.name), o).run();
+  if (!outcome.has_value()) {
+    // Re-raise under the exception type the old blocking flow would have
+    // thrown, so failures keep their meaning for callers and readers.
+    switch (outcome.code()) {
+      case api::status::capacity: throw capacity_error(outcome.message());
+      case api::status::invalid_input:
+        throw invalid_input_error(outcome.message());
+      case api::status::infeasible: throw infeasible_error(outcome.message());
+      default: throw internal_error(outcome.message());
     }
   }
+  core::flow_result r = std::move(outcome).take();
+  grid_used = r.architecture.result.grid().width();
+  if (grid_used != c.grid)
+    std::fprintf(stderr, "[bench] %s: paper grid %dx%d too small, used %dx%d\n",
+                 c.name.c_str(), c.grid, c.grid, grid_used, grid_used);
+  return r;
+}
+
+/// Flatten a flow run into the shared bench-JSON record shape so every
+/// harness lands in the same BENCH_<tool>.json trail.
+inline bench_record flow_record(const assay_config& c, int grid_used,
+                                const core::flow_result& r) {
+  bench_record rec;
+  rec.assay = c.name;
+  rec.config = "d" + std::to_string(c.devices) + "_g" +
+               std::to_string(grid_used) + "x" + std::to_string(grid_used);
+  rec.seconds = r.total_seconds;
+  rec.objective = r.scheduling.best.makespan();
+  rec.status = r.scheduling.used_ilp
+                   ? (r.scheduling.ilp_status == milp::solve_status::optimal
+                          ? "ilp_optimal"
+                          : "ilp_feasible")
+                   : "heuristic";
+  rec.variables = r.scheduling.ilp_variables;
+  rec.constraints = r.scheduling.ilp_constraints;
+  return rec;
 }
 
 } // namespace transtore::bench

@@ -1,13 +1,24 @@
-// Micro-benchmarks of the architecture engines (google-benchmark): router
-// scaling with grid size, placement annealing, and the end-to-end flow on
-// the paper's assays.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks of the architecture engines: router scaling with grid
+// size, placement annealing, the end-to-end staged pipeline on the paper's
+// assays, and list-scheduler scaling. Self-timed (no external benchmark
+// library) so it always builds, and emits BENCH_router.json through the
+// shared bench_common JSON trail so perf trajectories are tracked across
+// PRs alongside BENCH_milp.json / BENCH_table2.json.
+//
+//   ./bench_router [--smoke]    (--smoke: single repetition per case)
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "api/pipeline.h"
 #include "arch/placement.h"
 #include "arch/router.h"
 #include "arch/synthesis.h"
 #include "assay/benchmarks.h"
-#include "core/flow.h"
+#include "bench_common.h"
+#include "common/stopwatch.h"
 #include "sched/list_scheduler.h"
 
 namespace {
@@ -21,61 +32,104 @@ sched::schedule make_schedule(const char* name, int devices) {
   return sched::schedule_with_list(assay::make_benchmark(name), o);
 }
 
-void bm_route_grid(benchmark::State& state) {
-  const int grid = static_cast<int>(state.range(0));
-  const sched::schedule s = make_schedule("RA30", 2);
-  const arch::routing_workload w = arch::derive_workload(s);
-  const arch::connection_grid g(grid, grid);
-  const auto nodes = arch::place_devices(g, w, arch::placement_options{});
-  for (auto _ : state) {
-    const arch::chip c = arch::route_workload(g, w, nodes, arch::router_options{});
-    benchmark::DoNotOptimize(c.used_edge_count());
-  }
-  state.counters["grid"] = grid;
+/// Run `body` repeatedly until ~0.2s elapsed (or once under --smoke);
+/// returns mean seconds per repetition.
+double time_case(bool smoke, const std::function<void()>& body) {
+  body(); // warm-up, untimed
+  const int max_reps = smoke ? 1 : 200;
+  stopwatch watch;
+  int reps = 0;
+  do {
+    body();
+    ++reps;
+  } while (reps < max_reps && watch.elapsed_seconds() < 0.2);
+  return watch.elapsed_seconds() / reps;
 }
-BENCHMARK(bm_route_grid)->Arg(4)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
-
-void bm_placement(benchmark::State& state) {
-  const sched::schedule s = make_schedule("RA30", 3);
-  const arch::routing_workload w = arch::derive_workload(s);
-  const arch::connection_grid g(5, 5);
-  for (auto _ : state) {
-    const auto nodes = arch::place_devices(g, w, arch::placement_options{});
-    benchmark::DoNotOptimize(nodes.size());
-  }
-}
-BENCHMARK(bm_placement)->Unit(benchmark::kMillisecond);
-
-void bm_full_flow(benchmark::State& state) {
-  const char* names[] = {"PCR", "IVD", "RA30"};
-  const int devices[] = {1, 2, 2};
-  const int idx = static_cast<int>(state.range(0));
-  const auto graph = assay::make_benchmark(names[idx]);
-  core::flow_options o;
-  o.device_count = devices[idx];
-  o.schedule_engine = sched::schedule_engine::heuristic;
-  for (auto _ : state) {
-    const core::flow_result r = core::run_flow(graph, o);
-    benchmark::DoNotOptimize(r.scheduling.best.makespan());
-  }
-  state.SetLabel(names[idx]);
-}
-BENCHMARK(bm_full_flow)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
-
-void bm_list_scheduler(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const auto graph = assay::make_random_assay(n, 42);
-  sched::list_scheduler_options o;
-  o.device_count = 3;
-  o.restarts = 1;
-  for (auto _ : state) {
-    const sched::schedule s = sched::schedule_with_list(graph, o);
-    benchmark::DoNotOptimize(s.makespan());
-  }
-  state.counters["ops"] = n;
-}
-BENCHMARK(bm_list_scheduler)->Arg(30)->Arg(70)->Arg(100)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  std::vector<bench::bench_record> records;
+
+  auto add = [&](const std::string& assay, const std::string& config,
+                 double seconds, double objective) {
+    bench::bench_record r;
+    r.assay = assay;
+    r.config = config;
+    r.seconds = seconds;
+    r.objective = objective;
+    r.status = "ok";
+    records.push_back(r);
+    std::printf("%-8s %-16s %10.3f ms  (objective %.0f)\n", assay.c_str(),
+                config.c_str(), seconds * 1e3, objective);
+  };
+
+  // --- router scaling with grid size (RA30 workload, fixed placement).
+  {
+    const sched::schedule s = make_schedule("RA30", 2);
+    const arch::routing_workload w = arch::derive_workload(s);
+    for (const int grid : {4, 6, 8}) {
+      const arch::connection_grid g(grid, grid);
+      const auto nodes = arch::place_devices(g, w, arch::placement_options{});
+      long edges = 0;
+      const double seconds = time_case(smoke, [&] {
+        const arch::chip c =
+            arch::route_workload(g, w, nodes, arch::router_options{});
+        edges = c.used_edge_count();
+      });
+      add("RA30", "route_grid" + std::to_string(grid), seconds,
+          static_cast<double>(edges));
+    }
+  }
+
+  // --- placement annealing (RA30, 3 devices, 5x5).
+  {
+    const sched::schedule s = make_schedule("RA30", 3);
+    const arch::routing_workload w = arch::derive_workload(s);
+    const arch::connection_grid g(5, 5);
+    std::size_t placed = 0;
+    const double seconds = time_case(smoke, [&] {
+      placed = arch::place_devices(g, w, arch::placement_options{}).size();
+    });
+    add("RA30", "placement_5x5", seconds, static_cast<double>(placed));
+  }
+
+  // --- end-to-end staged pipeline (heuristic engines).
+  {
+    const char* names[] = {"PCR", "IVD", "RA30"};
+    const int devices[] = {1, 2, 2};
+    for (int i = 0; i < 3; ++i) {
+      const auto graph = assay::make_benchmark(names[i]);
+      api::pipeline_options o;
+      o.device_count = devices[i];
+      o.schedule_engine = sched::schedule_engine::heuristic;
+      o.grid_growth = 2;
+      const api::pipeline p(graph, o);
+      int makespan = 0;
+      const double seconds = time_case(smoke, [&] {
+        auto r = p.run();
+        if (r.has_value()) makespan = r->scheduling.best.makespan();
+      });
+      add(names[i], "full_flow", seconds, static_cast<double>(makespan));
+    }
+  }
+
+  // --- list-scheduler scaling with operation count.
+  for (const int n : {30, 70, 100}) {
+    const auto graph = assay::make_random_assay(n, 42);
+    sched::list_scheduler_options o;
+    o.device_count = 3;
+    o.restarts = 1;
+    int makespan = 0;
+    const double seconds = time_case(smoke, [&] {
+      makespan = sched::schedule_with_list(graph, o).makespan();
+    });
+    add("RAND" + std::to_string(n), "list_scheduler", seconds,
+        static_cast<double>(makespan));
+  }
+
+  if (!bench::write_bench_json("BENCH_router.json", "bench_router", records))
+    return 1;
+  return 0;
+}

@@ -21,11 +21,13 @@ int main() {
   table.add_row({"Assay", "|O|", "tE", "ts(s)", "G", "ne", "nv", "tr(s)",
                  "dr", "de", "dp", "tp(s)"});
 
+  std::vector<bench::bench_record> records;
   for (const auto& config : bench::table2_configs()) {
     const auto graph = assay::make_benchmark(config.name);
     int grid_used = config.grid;
     const core::flow_result r =
         bench::run_config(config, bench::make_options(config), grid_used);
+    records.push_back(bench::flow_record(config, grid_used, r));
     const auto& layout = r.layout;
     table.add_row({
         config.name,
@@ -45,6 +47,8 @@ int main() {
     });
   }
   std::printf("%s\n", table.render().c_str());
+  if (!bench::write_bench_json("BENCH_table2.json", "bench_table2", records))
+    return 1;
   std::printf("Paper (3.2 GHz CPU, Gurobi, 30 min solver budget):\n"
               "  RA100 tE=1820 G=5x5 ne=32 nv=58 dr=20x20 de=26x26 dp=16x16\n"
               "  RA70  tE=1180 G=4x4 ne=20 nv=38 dr=15x15 de=21x21 dp=11x12\n"

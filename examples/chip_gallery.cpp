@@ -1,11 +1,15 @@
 // Gallery: synthesize every benchmark assay of the paper and render each
 // chip as ASCII art plus an SVG layout file. A quick visual tour of what
 // the library produces.
+//
+// Uses the staged api::pipeline: each assay is scheduled once, and the
+// synthesize stage transparently grows the grid one step at a time when
+// the paper's grid cannot hold the storage-heavy workload (grid_growth).
 #include <cstdio>
 #include <fstream>
 
+#include "api/pipeline.h"
 #include "assay/benchmarks.h"
-#include "core/flow.h"
 #include "phys/layout.h"
 
 int main() {
@@ -23,22 +27,28 @@ int main() {
 
   for (const entry& e : entries) {
     const auto graph = assay::make_benchmark(e.name);
-    core::flow_options o;
+    api::pipeline_options o;
     o.device_count = e.devices;
     o.grid_width = e.grid;
     o.grid_height = e.grid;
     o.schedule_engine = sched::schedule_engine::heuristic;
+    o.grid_growth = 2; // retry up to two sizes up instead of failing
 
-    core::flow_result r = [&] {
-      for (int grid = e.grid;; ++grid) {
-        try {
-          o.grid_width = o.grid_height = grid;
-          return core::run_flow(graph, o);
-        } catch (const capacity_error&) {
-          if (grid > e.grid + 2) throw;
-        }
-      }
-    }();
+    const api::pipeline pipeline(graph, o);
+    auto scheduled = pipeline.schedule();
+    auto synthesized = scheduled ? scheduled->synthesize()
+                                 : scheduled.propagate<api::synthesized>();
+    auto compressed = synthesized ? synthesized->compress()
+                                  : synthesized.propagate<api::compressed>();
+    auto verified = compressed ? compressed->verify()
+                               : compressed.propagate<api::verified>();
+    if (!verified) {
+      std::fprintf(stderr, "%s: synthesis failed (%s): %s\n", e.name,
+                   api::to_string(verified.code()),
+                   verified.message().c_str());
+      return 1;
+    }
+    const api::flow_result r = verified->result();
 
     std::printf("==== %s ====\n%s", e.name, r.report(graph).c_str());
     // Render the chip at the midpoint of the assay.

@@ -10,8 +10,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "api/pipeline.h"
 #include "assay/io.h"
-#include "core/flow.h"
 #include "phys/layout.h"
 
 namespace {
@@ -49,10 +49,16 @@ int main(int argc, char** argv) {
               graph.name().c_str(), graph.operation_count(),
               graph.edge_count());
 
-  core::flow_options options;
+  api::pipeline_options options;
   options.device_count = devices;
   options.run_baseline = true;
-  const core::flow_result result = core::run_flow(graph, options);
+  auto outcome = api::pipeline(graph, options).run();
+  if (!outcome) {
+    std::fprintf(stderr, "synthesis failed (%s): %s\n",
+                 api::to_string(outcome.code()), outcome.message().c_str());
+    return 1;
+  }
+  const api::flow_result result = std::move(outcome).take();
   std::printf("\n%s\n", result.report(graph).c_str());
 
   const std::string svg =

@@ -2,13 +2,15 @@
 //
 //   $ ./examples/quickstart
 //
-// Builds the sequencing graph, runs the full flow (storage-aware
-// scheduling -> distributed-channel-storage architecture -> compacted
-// layout), prints the report and an execution snapshot.
+// Builds the sequencing graph and walks the staged pipeline explicitly --
+// storage-aware scheduling -> distributed-channel-storage architecture ->
+// compacted layout -> simulator verification -- printing the report and an
+// execution snapshot. Each stage is a value; a failure surfaces as a
+// structured status instead of an exception.
 #include <cstdio>
 
+#include "api/pipeline.h"
 #include "assay/benchmarks.h"
-#include "core/flow.h"
 #include "sim/simulator.h"
 
 int main() {
@@ -18,12 +20,27 @@ int main() {
   const assay::sequencing_graph graph = assay::make_pcr();
   std::printf("%s", graph.to_dot().c_str());
 
-  // 2. Synthesis: one mixer on a 4x4 connection grid (the paper's setup).
-  core::flow_options options;
+  // 2. Synthesis, stage by stage: one mixer on a 4x4 connection grid (the
+  //    paper's setup).
+  api::pipeline_options options;
   options.device_count = 1;
   options.grid_width = 4;
   options.grid_height = 4;
-  const core::flow_result result = core::run_flow(graph, options);
+  const api::pipeline pipeline(graph, options);
+
+  auto scheduled = pipeline.schedule();
+  auto synthesized = scheduled ? scheduled->synthesize()
+                               : scheduled.propagate<api::synthesized>();
+  auto compressed = synthesized ? synthesized->compress()
+                                : synthesized.propagate<api::compressed>();
+  auto verified = compressed ? compressed->verify()
+                             : compressed.propagate<api::verified>();
+  if (!verified) {
+    std::fprintf(stderr, "synthesis failed (%s): %s\n",
+                 api::to_string(verified.code()), verified.message().c_str());
+    return 1;
+  }
+  const api::flow_result result = verified->result();
 
   // 3. Results.
   std::printf("\n%s\n", result.report(graph).c_str());

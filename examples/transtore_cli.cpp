@@ -1,30 +1,44 @@
-// transtore_cli: command-line front end for the whole library.
+// transtore_cli: command-line front end for the whole library, built on the
+// staged api::pipeline / api::executor surface.
 //
 //   transtore_cli synth  <assay|file.sg> [options]   full synthesis flow
+//   transtore_cli synth  --all [options]             every built-in assay
+//                                                    through the batch executor
 //   transtore_cli sched  <assay|file.sg> [options]   scheduling only
 //   transtore_cli show   <assay|file.sg>             print the DAG (DOT)
 //   transtore_cli bench-names                        list built-in assays
 //
 // Options:
-//   --devices N     mixers on the chip (default 1)
-//   --grid WxH      connection grid (default 4x4)
+//   --devices N     mixers on the chip (default 1; per-assay table for --all)
+//   --grid WxH      connection grid (default 4x4; per-assay table for --all)
+//   --engine E      scheduling engine: heuristic|ilp|combined (default)
 //   --beta B        storage weight in objective (6) (default 0.15)
 //   --time-only     disable storage optimization (Fig. 9 baseline)
 //   --baseline      also evaluate the dedicated-storage unit
-//   --json FILE     write the machine-readable report
+//   --json FILE|-   write the machine-readable report ("-" = stdout)
 //   --svg FILE      write the compacted layout
 //   --seed S        random seed (default 1)
+//   --deadline S    wall-clock budget in seconds; a hit returns the
+//                   best-effort result and exits 3 (distinct from errors)
+//   --workers N     executor worker threads for --all (default 2)
+//
+// Exit codes: 0 success; 1 synthesis failure (capacity/infeasible/internal);
+// 2 usage or input errors; 3 deadline hit / cancelled (best-effort results,
+// when available, are still printed).
 //
 // <assay> is a built-in name (PCR, IVD, CPA, RA30, RA70, RA100) or a path
 // to a sequencing-graph file in the src/assay/io.h text format.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "api/executor.h"
+#include "api/pipeline.h"
 #include "assay/benchmarks.h"
 #include "assay/io.h"
-#include "core/flow.h"
 #include "core/report.h"
 #include "phys/layout.h"
 
@@ -32,18 +46,292 @@ namespace {
 
 using namespace transtore;
 
-assay::sequencing_graph load_assay(const std::string& spec) {
-  for (const char* name : {"PCR", "IVD", "CPA", "RA30", "RA70", "RA100"})
-    if (spec == name) return assay::make_benchmark(spec);
-  return assay::load_sequencing_graph(spec);
+bool is_builtin(const std::string& spec) {
+  for (const assay::benchmark_resources& r : assay::benchmark_resource_table())
+    if (spec == r.name) return true;
+  return false;
 }
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: transtore_cli <synth|sched|show|bench-names> "
-               "[assay] [--devices N] [--grid WxH] [--beta B] [--time-only] "
-               "[--baseline] [--json FILE] [--svg FILE] [--seed S]\n");
+  std::fprintf(
+      stderr,
+      "usage: transtore_cli <synth|sched|show|bench-names> [assay|--all]\n"
+      "       [--devices N] [--grid WxH] [--engine heuristic|ilp|combined]\n"
+      "       [--beta B] [--time-only] [--baseline] [--json FILE|-]\n"
+      "       [--svg FILE] [--seed S] [--deadline S] [--workers N]\n");
   return 2;
+}
+
+std::optional<assay::sequencing_graph> load_assay(const std::string& spec) {
+  if (is_builtin(spec)) return assay::make_benchmark(spec);
+  try {
+    return assay::load_sequencing_graph(spec);
+  } catch (const ts_error& e) {
+    std::fprintf(stderr,
+                 "error: cannot load assay '%s': %s\n"
+                 "       (expected a built-in name -- PCR IVD CPA RA30 RA70 "
+                 "RA100 -- or a readable .sg file)\n",
+                 spec.c_str(), e.what());
+    return std::nullopt;
+  }
+}
+
+struct cli_args {
+  std::string assay_spec;
+  bool all = false;
+  api::pipeline_options options = [] {
+    api::pipeline_options o;
+    // Storage-heavy assays (RA70) cannot route on the paper's grid with
+    // every seed; retry up to two sizes up instead of failing. The grid
+    // actually used is visible in the report/JSON. Identical for single
+    // and --all runs so their metrics stay comparable.
+    o.grid_growth = 2;
+    return o;
+  }();
+  bool devices_set = false;
+  bool grid_set = false;
+  std::string json_path;
+  std::string svg_path;
+  double deadline_seconds = 0.0;
+  int workers = 2;
+};
+
+/// Parse flags from argv[from..). Returns false (after a diagnostic) on
+/// unknown options or malformed values.
+bool parse_flags(int argc, char** argv, int from, cli_args& args) {
+  for (int i = from; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* value = nullptr;
+    if (arg == "--devices") {
+      if ((value = next()) == nullptr) return false;
+      args.options.device_count = std::atoi(value);
+      args.devices_set = true;
+    } else if (arg == "--grid") {
+      if ((value = next()) == nullptr) return false;
+      const std::string dims = value;
+      const auto x = dims.find('x');
+      if (x == std::string::npos) {
+        std::fprintf(stderr, "error: --grid expects WxH, got '%s'\n",
+                     dims.c_str());
+        return false;
+      }
+      args.options.grid_width = std::atoi(dims.substr(0, x).c_str());
+      args.options.grid_height = std::atoi(dims.substr(x + 1).c_str());
+      args.grid_set = true;
+    } else if (arg == "--engine") {
+      if ((value = next()) == nullptr) return false;
+      const std::string engine = value;
+      if (engine == "heuristic")
+        args.options.schedule_engine = sched::schedule_engine::heuristic;
+      else if (engine == "ilp")
+        args.options.schedule_engine = sched::schedule_engine::ilp;
+      else if (engine == "combined")
+        args.options.schedule_engine = sched::schedule_engine::combined;
+      else {
+        std::fprintf(stderr,
+                     "error: --engine expects heuristic|ilp|combined, got "
+                     "'%s'\n",
+                     engine.c_str());
+        return false;
+      }
+    } else if (arg == "--beta") {
+      if ((value = next()) == nullptr) return false;
+      args.options.beta = std::atof(value);
+    } else if (arg == "--time-only") {
+      args.options.storage_aware = false;
+    } else if (arg == "--baseline") {
+      args.options.run_baseline = true;
+    } else if (arg == "--json") {
+      if ((value = next()) == nullptr) return false;
+      args.json_path = value;
+    } else if (arg == "--svg") {
+      if ((value = next()) == nullptr) return false;
+      args.svg_path = value;
+    } else if (arg == "--seed") {
+      if ((value = next()) == nullptr) return false;
+      args.options.seed = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (arg == "--deadline") {
+      if ((value = next()) == nullptr) return false;
+      args.deadline_seconds = std::atof(value);
+    } else if (arg == "--workers") {
+      if ((value = next()) == nullptr) return false;
+      args.workers = std::atoi(value);
+      if (args.workers < 1) {
+        std::fprintf(stderr, "error: --workers must be >= 1\n");
+        return false;
+      }
+    } else if (arg == "--all") {
+      args.all = true;
+    } else {
+      std::fprintf(stderr,
+                   "error: unknown option '%s' (see usage below)\n",
+                   arg.c_str());
+      usage();
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Map a terminal api status to the CLI exit code contract.
+int exit_code_for(api::status code) {
+  switch (code) {
+    case api::status::ok: return 0;
+    case api::status::time_limit:
+    case api::status::cancelled: return 3;
+    case api::status::invalid_input: return 2;
+    default: return 1;
+  }
+}
+
+void describe_outcome(const std::string& label, api::status code,
+                      const std::string& message) {
+  if (code == api::status::ok) return;
+  if (code == api::status::time_limit)
+    std::fprintf(stderr, "%s: deadline hit -- %s\n", label.c_str(),
+                 message.c_str());
+  else if (code == api::status::cancelled)
+    std::fprintf(stderr, "%s: cancelled -- %s\n", label.c_str(),
+                 message.c_str());
+  else
+    std::fprintf(stderr, "%s: %s error -- %s\n", label.c_str(),
+                 api::to_string(code), message.c_str());
+}
+
+/// Tag a flow-result JSON document (a single object) with the structured
+/// outcome, so best-effort rows (time_limit/cancelled) are distinguishable
+/// from completed ones in machine-readable output too.
+std::string with_outcome(std::string doc, api::status code) {
+  doc.insert(doc.size() - 1,
+             ",\"outcome\":\"" + std::string(api::to_string(code)) + "\"");
+  return doc;
+}
+
+bool write_text(const std::string& path, const std::string& text,
+                const char* what) {
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    std::fputc('\n', stdout);
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text << "\n";
+  std::printf("%s -> %s\n", what, path.c_str());
+  return true;
+}
+
+int run_synth_all(const cli_args& args) {
+  std::vector<api::job> jobs;
+  for (const assay::benchmark_resources& c :
+       assay::benchmark_resource_table()) {
+    api::job j;
+    j.name = c.name;
+    j.graph = assay::make_benchmark(c.name);
+    j.options = args.options;
+    if (!args.devices_set) j.options.device_count = c.devices;
+    if (!args.grid_set) {
+      j.options.grid_width = c.grid;
+      j.options.grid_height = c.grid;
+    }
+    jobs.push_back(std::move(j));
+  }
+
+  api::run_context ctx;
+  if (args.deadline_seconds > 0.0) ctx.set_deadline(args.deadline_seconds);
+
+  api::executor pool(api::executor_options{args.workers});
+  std::fprintf(stderr, "[batch] %zu assays, %d workers\n", jobs.size(),
+               pool.workers());
+  const std::vector<api::job_outcome> outcomes = pool.run(
+      jobs, ctx, [](const api::job_outcome& o) {
+        std::fprintf(stderr, "[batch] %-6s %-10s %.2fs\n", o.name.c_str(),
+                     api::to_string(o.code), o.seconds);
+      });
+
+  // With --json - the machine-readable report owns stdout; the human
+  // summaries move to stderr so the JSON stays parseable.
+  const bool want_json = !args.json_path.empty();
+  std::FILE* report_stream = args.json_path == "-" ? stderr : stdout;
+  std::string json = "[\n";
+  int exit_code = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const api::job_outcome& o = outcomes[i];
+    describe_outcome(o.name, o.code, o.message);
+    exit_code = std::max(exit_code, exit_code_for(o.code));
+    if (o.flow)
+      std::fprintf(report_stream, "%s", o.flow->report(jobs[i].graph).c_str());
+    if (!want_json) continue;
+    if (o.flow)
+      json += "  " + with_outcome(api::to_json(jobs[i].graph, *o.flow), o.code);
+    else
+      json += "  {\"assay\":\"" + o.name + "\",\"outcome\":\"" +
+              api::to_string(o.code) + "\"}";
+    json += i + 1 < outcomes.size() ? ",\n" : "\n";
+  }
+  json += "]";
+  if (want_json && !write_text(args.json_path, json, "report")) return 1;
+  return exit_code;
+}
+
+int run_synth_single(const cli_args& args,
+                     const assay::sequencing_graph& graph) {
+  api::run_context ctx;
+  if (args.deadline_seconds > 0.0) ctx.set_deadline(args.deadline_seconds);
+
+  const api::pipeline p(graph, args.options);
+  auto outcome = p.run(ctx);
+  describe_outcome(graph.name(), outcome.code(), outcome.message());
+  if (!outcome.has_value()) return exit_code_for(outcome.code());
+
+  const api::flow_result& r = outcome.value();
+  std::fprintf(args.json_path == "-" ? stderr : stdout, "%s",
+               r.report(graph).c_str());
+  if (!args.json_path.empty() &&
+      !write_text(args.json_path,
+                  with_outcome(api::to_json(graph, r), outcome.code()),
+                  "report"))
+    return 1;
+  if (!args.svg_path.empty() &&
+      !write_text(args.svg_path, phys::render_svg(r.architecture.result,
+                                                  r.layout),
+                  "layout"))
+    return 1;
+  return exit_code_for(outcome.code());
+}
+
+int run_sched(const cli_args& args, const assay::sequencing_graph& graph) {
+  api::run_context ctx;
+  if (args.deadline_seconds > 0.0) ctx.set_deadline(args.deadline_seconds);
+
+  const api::pipeline p(graph, args.options);
+  auto outcome = p.schedule(ctx);
+  describe_outcome(graph.name(), outcome.code(), outcome.message());
+  if (!outcome.has_value()) return exit_code_for(outcome.code());
+
+  std::FILE* report_stream = args.json_path == "-" ? stderr : stdout;
+  const sched::schedule& s = outcome.value().best();
+  std::fprintf(report_stream, "tE=%d stores=%d capacity=%d cache_time=%ld\n",
+               s.makespan(), s.store_count(), s.peak_concurrent_caches(),
+               s.total_cache_time());
+  for (const auto& op : s.ops)
+    std::fprintf(report_stream, "  %-8s d%d [%d, %d)\n",
+                 graph.at(op.op).name.c_str(), op.device + 1, op.start,
+                 op.end);
+  if (!args.json_path.empty() &&
+      !write_text(args.json_path, outcome.value().to_json(), "report"))
+    return 1;
+  return exit_code_for(outcome.code());
 }
 
 } // namespace
@@ -53,89 +341,40 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
 
   if (command == "bench-names") {
-    std::printf("PCR IVD CPA RA30 RA70 RA100\n");
+    const auto& table = assay::benchmark_resource_table();
+    for (std::size_t i = 0; i < table.size(); ++i)
+      std::printf("%s%s", i ? " " : "", table[i].name);
+    std::printf("\n");
     return 0;
   }
+  if (command != "synth" && command != "sched" && command != "show")
+    return usage();
   if (argc < 3) return usage();
 
-  core::flow_options options;
-  std::string json_path;
-  std::string svg_path;
-  for (int i = 3; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--devices") {
-      options.device_count = std::atoi(next());
-    } else if (arg == "--grid") {
-      const std::string dims = next();
-      const auto x = dims.find('x');
-      if (x == std::string::npos) return usage();
-      options.grid_width = std::atoi(dims.substr(0, x).c_str());
-      options.grid_height = std::atoi(dims.substr(x + 1).c_str());
-    } else if (arg == "--beta") {
-      options.beta = std::atof(next());
-    } else if (arg == "--time-only") {
-      options.storage_aware = false;
-    } else if (arg == "--baseline") {
-      options.run_baseline = true;
-    } else if (arg == "--json") {
-      json_path = next();
-    } else if (arg == "--svg") {
-      svg_path = next();
-    } else if (arg == "--seed") {
-      options.seed = static_cast<std::uint64_t>(std::atoll(next()));
-    } else {
-      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+  cli_args args;
+  int flag_start = 2;
+  if (std::strncmp(argv[2], "--", 2) != 0) {
+    args.assay_spec = argv[2];
+    flag_start = 3;
+  }
+  if (!parse_flags(argc, argv, flag_start, args)) return 2;
+
+  if (args.all) {
+    if (command != "synth") {
+      std::fprintf(stderr, "error: --all is only valid with synth\n");
       return 2;
     }
+    return run_synth_all(args);
   }
+  if (args.assay_spec.empty()) return usage();
 
-  try {
-    const assay::sequencing_graph graph = load_assay(argv[2]);
+  const auto graph = load_assay(args.assay_spec);
+  if (!graph) return 2;
 
-    if (command == "show") {
-      std::printf("%s", graph.to_dot().c_str());
-      return 0;
-    }
-    if (command == "sched") {
-      sched::scheduler_options so;
-      so.device_count = options.device_count;
-      so.beta = options.beta;
-      so.storage_aware = options.storage_aware;
-      so.seed = options.seed;
-      const sched::scheduling_result r = sched::make_schedule(graph, so);
-      std::printf("tE=%d stores=%d capacity=%d cache_time=%ld\n",
-                  r.best.makespan(), r.best.store_count(),
-                  r.best.peak_concurrent_caches(), r.best.total_cache_time());
-      for (const auto& op : r.best.ops)
-        std::printf("  %-8s d%d [%d, %d)\n", graph.at(op.op).name.c_str(),
-                    op.device + 1, op.start, op.end);
-      return 0;
-    }
-    if (command == "synth") {
-      const core::flow_result r = core::run_flow(graph, options);
-      std::printf("%s", r.report(graph).c_str());
-      if (!json_path.empty()) {
-        std::ofstream out(json_path);
-        out << core::to_json(graph, r) << "\n";
-        std::printf("report -> %s\n", json_path.c_str());
-      }
-      if (!svg_path.empty()) {
-        std::ofstream out(svg_path);
-        out << phys::render_svg(r.architecture.result, r.layout);
-        std::printf("layout -> %s\n", svg_path.c_str());
-      }
-      return 0;
-    }
-    return usage();
-  } catch (const ts_error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+  if (command == "show") {
+    std::printf("%s", graph->to_dot().c_str());
+    return 0;
   }
+  if (command == "sched") return run_sched(args, *graph);
+  return run_synth_single(args, *graph);
 }

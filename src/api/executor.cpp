@@ -1,0 +1,85 @@
+#include "api/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/stopwatch.h"
+
+namespace transtore::api {
+
+executor::executor(executor_options options) {
+  if (options.workers > 0) {
+    workers_ = options.workers;
+  } else {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers_ = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+}
+
+std::vector<job_outcome> executor::run(
+    const std::vector<job>& jobs, const run_context& ctx,
+    const completion_callback& on_complete) const {
+  std::vector<job_outcome> outcomes(jobs.size());
+  if (jobs.empty()) return outcomes;
+
+  std::atomic<std::size_t> next{0};
+  std::mutex callback_mutex; // serializes on_complete and progress ticks
+
+  // Progress callbacks from concurrently running pipelines funnel through
+  // one lock so user callbacks never run concurrently with themselves.
+  run_context job_ctx = ctx;
+  job_ctx.set_progress([&ctx, &callback_mutex](const progress_event& event) {
+    std::lock_guard<std::mutex> lock(callback_mutex);
+    ctx.report(event.stage, event.detail);
+  });
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t index = next.fetch_add(1);
+      if (index >= jobs.size()) return;
+      const job& j = jobs[index];
+
+      job_outcome outcome;
+      outcome.index = index;
+      outcome.name = j.name.empty() ? j.graph.name() : j.name;
+
+      stopwatch watch;
+      if (ctx.cancelled()) {
+        outcome.code = status::cancelled;
+        outcome.message = "batch: cancelled before job started";
+      } else {
+        const pipeline p(j.graph, j.options);
+        auto r = p.run(job_ctx);
+        outcome.code = r.code();
+        outcome.message = r.message();
+        if (r.has_value()) outcome.flow = std::move(r).take();
+      }
+      outcome.seconds = watch.elapsed_seconds();
+
+      {
+        std::lock_guard<std::mutex> lock(callback_mutex);
+        ctx.report("batch", outcome.name + ": " +
+                                std::string(to_string(outcome.code)));
+        if (on_complete) on_complete(outcome);
+      }
+      outcomes[index] = std::move(outcome);
+    }
+  };
+
+  const int thread_count =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(workers_), jobs.size()));
+  if (thread_count <= 1) {
+    worker();
+    return outcomes;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(thread_count));
+  for (int t = 0; t < thread_count; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return outcomes;
+}
+
+} // namespace transtore::api

@@ -1,0 +1,66 @@
+// Batch executor: many (graph, options) jobs through one worker pool.
+//
+// The benches, the CLI's `synth --all`, and any multi-assay service front
+// end share this entry point. Jobs are independent pipeline runs; each one
+// is seeded from its own options, so results are deterministic and
+// identical for every worker count -- only the completion order varies.
+// Completed results are streamed to an optional callback (serialized by an
+// internal mutex) and returned in job order.
+//
+// The run_context is shared by the whole batch: one deadline and one cancel
+// token cover all jobs, so a service can bound "synthesize these 50 design
+// points" as a single budgeted operation.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/pipeline.h"
+
+namespace transtore::api {
+
+/// One unit of batch work.
+struct job {
+  std::string name; // label for reports; defaults to the graph's name
+  assay::sequencing_graph graph;
+  pipeline_options options;
+};
+
+/// Outcome of one job, in the structured-status vocabulary of result.h.
+struct job_outcome {
+  std::size_t index = 0; // position in the submitted job list
+  std::string name;
+  status code = status::ok;
+  std::string message;
+  std::optional<flow_result> flow; // present for ok and best-effort outcomes
+  double seconds = 0.0;            // wall time of this job
+};
+
+struct executor_options {
+  /// Worker threads; 0 derives a default from std::thread::hardware_concurrency.
+  int workers = 0;
+};
+
+class executor {
+public:
+  explicit executor(executor_options options = {});
+
+  using completion_callback = std::function<void(const job_outcome&)>;
+
+  /// Run every job and return the outcomes ordered by job index. The
+  /// optional callback observes each outcome as it completes (possibly out
+  /// of order, never concurrently). Never throws on job failures -- they
+  /// are reported through job_outcome::code.
+  [[nodiscard]] std::vector<job_outcome> run(
+      const std::vector<job>& jobs, const run_context& ctx = {},
+      const completion_callback& on_complete = {}) const;
+
+  [[nodiscard]] int workers() const { return workers_; }
+
+private:
+  int workers_ = 1;
+};
+
+} // namespace transtore::api

@@ -1,0 +1,465 @@
+#include "api/pipeline.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/json.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+
+namespace transtore::api {
+namespace {
+
+/// Translate the exception currently in flight into a stage failure.
+/// cancelled_error is attributed to the token or the deadline depending on
+/// which actually fired.
+template <typename T>
+result<T> failure_from_current_exception(const run_context& ctx) {
+  try {
+    throw;
+  } catch (const cancelled_error& e) {
+    return result<T>::failure(
+        ctx.cancelled() ? status::cancelled : status::time_limit, e.what());
+  } catch (const invalid_input_error& e) {
+    return result<T>::failure(status::invalid_input, e.what());
+  } catch (const infeasible_error& e) {
+    return result<T>::failure(status::infeasible, e.what());
+  } catch (const capacity_error& e) {
+    return result<T>::failure(status::capacity, e.what());
+  } catch (const std::exception& e) {
+    return result<T>::failure(status::internal, e.what());
+  }
+}
+
+/// Wrap a completed stage value: ok normally, partial when the run context
+/// was interrupted while the stage still produced something usable.
+template <typename T>
+result<T> finish_stage(const run_context& ctx, const char* stage, T value) {
+  if (ctx.cancelled())
+    return result<T>::partial(status::cancelled, std::move(value),
+                              std::string(stage) +
+                                  ": cancelled; best-effort result delivered");
+  if (ctx.deadline_expired())
+    return result<T>::partial(status::time_limit, std::move(value),
+                              std::string(stage) +
+                                  ": deadline hit; best-effort result "
+                                  "delivered");
+  return result<T>::success(std::move(value));
+}
+
+// ---------------------------------------------------------- JSON sections
+
+void write_schedule_section(json_writer& w, const assay::sequencing_graph& g,
+                            const sched::scheduling_result& scheduling) {
+  const sched::schedule& s = scheduling.best;
+  w.key("schedule").begin_object();
+  w.field("makespan", s.makespan());
+  w.field("device_count", s.device_count);
+  w.field("stores", s.store_count());
+  w.field("peak_concurrent_caches", s.peak_concurrent_caches());
+  w.field("total_cache_time", s.total_cache_time());
+  w.field("used_ilp", scheduling.used_ilp);
+  w.begin_array("operations");
+  for (const auto& op : s.ops) {
+    w.begin_object();
+    w.field("name", g.at(op.op).name);
+    w.field("device", op.device);
+    w.field("start", op.start);
+    w.field("end", op.end);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_architecture_section(json_writer& w,
+                                const arch::arch_result& architecture) {
+  w.key("architecture").begin_object();
+  w.field("grid_width", architecture.result.grid().width());
+  w.field("grid_height", architecture.result.grid().height());
+  w.field("used_edges", architecture.result.used_edge_count());
+  w.field("valves", architecture.result.valve_count());
+  w.field("edge_ratio", architecture.result.edge_ratio());
+  w.field("valve_ratio", architecture.result.valve_ratio());
+  w.field("paths", static_cast<long>(architecture.result.paths.size()));
+  w.field("caches", static_cast<long>(architecture.result.caches.size()));
+  w.end_object();
+}
+
+void write_layout_section(json_writer& w, const phys::layout_result& layout) {
+  w.key("layout").begin_object();
+  w.field("dr_width", layout.after_synthesis.width);
+  w.field("dr_height", layout.after_synthesis.height);
+  w.field("de_width", layout.after_devices.width);
+  w.field("de_height", layout.after_devices.height);
+  w.field("dp_width", layout.after_compression.width);
+  w.field("dp_height", layout.after_compression.height);
+  w.field("compression_iterations", layout.compression_iterations);
+  w.field("bend_points", layout.bend_points);
+  w.end_object();
+}
+
+void write_assay_header(json_writer& w, const assay::sequencing_graph& g) {
+  w.field("assay", g.name());
+  w.field("operations", g.operation_count());
+  w.field("edges", g.edge_count());
+}
+
+} // namespace
+
+// ------------------------------------------------------------- flow_result
+
+std::string flow_result::report(const assay::sequencing_graph& graph) const {
+  std::ostringstream out;
+  const sched::schedule& s = scheduling.best;
+  out << "assay " << graph.name() << ": |O|=" << graph.operation_count()
+      << ", devices=" << s.device_count << "\n";
+  out << "  schedule: tE=" << s.makespan() << "s, stores=" << s.store_count()
+      << ", peak storage=" << s.peak_concurrent_caches()
+      << ", cache time=" << s.total_cache_time() << "s\n";
+  out << "  architecture: edges=" << architecture.result.used_edge_count()
+      << ", valves=" << architecture.result.valve_count()
+      << ", edge ratio=" << format_double(architecture.result.edge_ratio(), 2)
+      << ", valve ratio="
+      << format_double(architecture.result.valve_ratio(), 2) << "\n";
+  out << "  layout: dr=" << format_dims(layout.after_synthesis.width,
+                                        layout.after_synthesis.height)
+      << ", de=" << format_dims(layout.after_devices.width,
+                                layout.after_devices.height)
+      << ", dp=" << format_dims(layout.after_compression.width,
+                                layout.after_compression.height)
+      << " (" << layout.compression_iterations << " compression iterations, "
+      << layout.bend_points << " bends)\n";
+  if (stats)
+    out << "  verified: " << stats->transport_legs << " legs, "
+        << stats->cached_samples << " cached samples, device utilization "
+        << format_double(100.0 * stats->device_utilization, 1) << "%\n";
+  if (baseline)
+    out << "  dedicated-storage baseline: tE=" << baseline->makespan
+        << "s, cells=" << baseline->storage_cells
+        << ", valves=" << baseline->total_valves << "\n";
+  return out.str();
+}
+
+std::string to_json(const assay::sequencing_graph& graph,
+                    const flow_result& result, bool include_timing) {
+  json_writer w;
+  w.begin_object();
+  write_assay_header(w, graph);
+  write_schedule_section(w, graph, result.scheduling);
+  write_architecture_section(w, result.architecture);
+  write_layout_section(w, result.layout);
+  if (result.stats) {
+    w.key("verification").begin_object();
+    w.field("transport_legs", result.stats->transport_legs);
+    w.field("cached_samples", result.stats->cached_samples);
+    w.field("max_active_segments", result.stats->max_active_segments);
+    w.field("mean_active_segments", result.stats->mean_active_segments);
+    w.field("device_utilization", result.stats->device_utilization);
+    w.end_object();
+  }
+  if (result.baseline) {
+    w.key("dedicated_storage_baseline").begin_object();
+    w.field("makespan", result.baseline->makespan);
+    w.field("storage_cells", result.baseline->storage_cells);
+    w.field("unit_valves", result.baseline->unit_valves);
+    w.field("total_valves", result.baseline->total_valves);
+    w.end_object();
+  }
+  if (include_timing) w.field("total_seconds", result.total_seconds);
+  w.end_object();
+  return w.str();
+}
+
+// ---------------------------------------------------------------- pipeline
+
+pipeline::pipeline(assay::sequencing_graph graph, pipeline_options options)
+    : state_(std::make_shared<detail::job_state>(
+          detail::job_state{std::move(graph), options})) {}
+
+result<scheduled> pipeline::schedule(const run_context& ctx) const {
+  if (ctx.cancelled())
+    return result<scheduled>::failure(status::cancelled,
+                                      "schedule: cancelled before start");
+  try {
+    ctx.report("schedule", "start " + state_->graph.name());
+    state_->graph.validate();
+    const pipeline_options& o = state_->options;
+
+    sched::scheduler_options so;
+    so.device_count = o.device_count;
+    so.timing = o.timing;
+    so.alpha = o.alpha;
+    so.beta = o.beta;
+    so.storage_aware = o.storage_aware;
+    so.engine = o.schedule_engine;
+    so.ilp_time_limit_seconds = o.sched_ilp_time_limit;
+    so.heuristic_restarts = o.heuristic_restarts;
+    so.seed = o.seed;
+    so.cancel = ctx.token();
+    so.time_budget_seconds = ctx.budget_or_zero();
+
+    scheduled stage;
+    stage.state_ = state_;
+    stage.scheduling_ = std::make_shared<const sched::scheduling_result>(
+        sched::make_schedule(state_->graph, so));
+    ctx.report("schedule",
+               "done, tE=" + std::to_string(stage.best().makespan()));
+    if (stage.scheduling_->ilp_interrupted &&
+        stage.scheduling_->ilp_deadline_clamped && !ctx.interrupted())
+      // The ILP was truncated by its clamped share of the pipeline budget
+      // even though the deadline has not formally passed yet; surface it.
+      // (An ILP that merely hit its ordinary per-solver cap is NOT a
+      // deadline outcome -- ilp_deadline_clamped tells the two apart.)
+      return result<scheduled>::partial(
+          status::time_limit, std::move(stage),
+          "schedule: ILP truncated by the pipeline deadline; heuristic "
+          "result delivered");
+    return finish_stage(ctx, "schedule", std::move(stage));
+  } catch (...) {
+    return failure_from_current_exception<scheduled>(ctx);
+  }
+}
+
+// --------------------------------------------------------------- scheduled
+
+std::string scheduled::to_json() const {
+  json_writer w;
+  w.begin_object();
+  write_assay_header(w, state_->graph);
+  write_schedule_section(w, state_->graph, *scheduling_);
+  w.end_object();
+  return w.str();
+}
+
+result<synthesized> scheduled::synthesize(const run_context& ctx) const {
+  return synthesize(synthesize_overrides{}, ctx);
+}
+
+result<synthesized> scheduled::synthesize(const synthesize_overrides& over,
+                                          const run_context& ctx) const {
+  if (ctx.cancelled())
+    return result<synthesized>::failure(status::cancelled,
+                                        "synthesize: cancelled before start");
+  try {
+    const pipeline_options& o = state_->options;
+    arch::arch_options ao;
+    ao.grid_width = over.grid_width.value_or(o.grid_width);
+    ao.grid_height = over.grid_height.value_or(o.grid_height);
+    ao.engine = over.engine.value_or(o.arch_engine);
+    ao.attempts = over.attempts.value_or(o.arch_attempts);
+    ao.placement.seed = o.seed;
+    ao.router.seed = o.seed;
+    ao.ilp.time_limit_seconds = o.arch_ilp_time_limit;
+    ao.cancel = ctx.token();
+    ao.time_budget_seconds = ctx.budget_or_zero();
+    const int growth = over.grid_growth.value_or(o.grid_growth);
+
+    synthesized stage;
+    stage.state_ = state_;
+    stage.scheduling_ = scheduling_;
+    for (int extra = 0;; ++extra) {
+      ctx.report("synthesize",
+                 "grid " + std::to_string(ao.grid_width) + "x" +
+                     std::to_string(ao.grid_height));
+      try {
+        stage.architecture_ = std::make_shared<const arch::arch_result>(
+            arch::synthesize_architecture(scheduling_->best, ao));
+        break;
+      } catch (const capacity_error&) {
+        // Grid growth stays available after a deadline expiry (the retry
+        // is cheap heuristics only); explicit cancellation aborts.
+        if (extra >= growth || ctx.cancelled()) throw;
+        ++ao.grid_width;
+        ++ao.grid_height;
+      }
+    }
+    ctx.report("synthesize",
+               "done, edges=" +
+                   std::to_string(stage.chip().used_edge_count()));
+    return finish_stage(ctx, "synthesize", std::move(stage));
+  } catch (...) {
+    return failure_from_current_exception<synthesized>(ctx);
+  }
+}
+
+// ------------------------------------------------------------- synthesized
+
+std::string synthesized::to_json() const {
+  json_writer w;
+  w.begin_object();
+  write_assay_header(w, state_->graph);
+  write_architecture_section(w, *architecture_);
+  w.end_object();
+  return w.str();
+}
+
+result<compressed> synthesized::compress(const run_context& ctx) const {
+  return compress(state_->options.physical, ctx);
+}
+
+result<compressed> synthesized::compress(const phys::phys_options& physical,
+                                         const run_context& ctx) const {
+  if (ctx.cancelled())
+    return result<compressed>::failure(status::cancelled,
+                                       "compress: cancelled before start");
+  try {
+    ctx.report("compress", "start");
+    phys::phys_options po = physical;
+    po.cancel = ctx.token();
+
+    compressed stage;
+    stage.state_ = state_;
+    stage.scheduling_ = scheduling_;
+    stage.architecture_ = architecture_;
+    stage.layout_ = std::make_shared<const phys::layout_result>(
+        phys::generate_layout(architecture_->result, po));
+    ctx.report("compress",
+               "done, dp=" +
+                   std::to_string(stage.layout_->after_compression.width) +
+                   "x" +
+                   std::to_string(stage.layout_->after_compression.height));
+    return finish_stage(ctx, "compress", std::move(stage));
+  } catch (...) {
+    return failure_from_current_exception<compressed>(ctx);
+  }
+}
+
+// -------------------------------------------------------------- compressed
+
+std::string compressed::to_json() const {
+  json_writer w;
+  w.begin_object();
+  write_assay_header(w, state_->graph);
+  write_layout_section(w, *layout_);
+  w.end_object();
+  return w.str();
+}
+
+flow_result compressed::result_without_verification() const {
+  flow_result r;
+  r.scheduling = *scheduling_;
+  r.architecture = *architecture_;
+  r.layout = *layout_;
+  r.total_seconds = r.scheduling.seconds + r.architecture.seconds +
+                    r.layout.seconds;
+  return r;
+}
+
+result<verified> compressed::verify(const run_context& ctx) const {
+  if (ctx.cancelled())
+    return result<verified>::failure(status::cancelled,
+                                     "verify: cancelled before start");
+  try {
+    ctx.report("verify", "simulating");
+    verified stage;
+    stage.state_ = state_;
+    stage.scheduling_ = scheduling_;
+    stage.architecture_ = architecture_;
+    stage.layout_ = layout_;
+    stage.stats_ = std::make_shared<const sim::sim_stats>(
+        sim::simulate(state_->graph, scheduling_->best,
+                      architecture_->workload, architecture_->result));
+    if (state_->options.run_baseline) {
+      ctx.report("verify", "dedicated-storage baseline");
+      baseline::baseline_options bo;
+      bo.timing = state_->options.timing;
+      bo.grid_width = state_->options.grid_width;
+      bo.grid_height = state_->options.grid_height;
+      bo.placement.seed = state_->options.seed;
+      bo.router.seed = state_->options.seed;
+      stage.baseline_ = std::make_shared<const baseline::baseline_result>(
+          baseline::evaluate_baseline(state_->graph, scheduling_->best, bo));
+    }
+    ctx.report("verify", "done");
+    return finish_stage(ctx, "verify", std::move(stage));
+  } catch (...) {
+    return failure_from_current_exception<verified>(ctx);
+  }
+}
+
+// ---------------------------------------------------------------- verified
+
+flow_result verified::result() const {
+  flow_result r;
+  r.scheduling = *scheduling_;
+  r.architecture = *architecture_;
+  r.layout = *layout_;
+  r.stats = *stats_;
+  if (baseline_) r.baseline = *baseline_;
+  r.total_seconds = r.scheduling.seconds + r.architecture.seconds +
+                    r.layout.seconds +
+                    (r.baseline ? r.baseline->seconds : 0.0);
+  return r;
+}
+
+std::string verified::to_json(bool include_timing) const {
+  return api::to_json(state_->graph, result(), include_timing);
+}
+
+// ----------------------------------------------------------- pipeline::run
+
+result<flow_result> pipeline::run(const run_context& ctx) const {
+  stopwatch watch;
+  auto stage1 = schedule(ctx);
+  if (!stage1.has_value()) return stage1.propagate<flow_result>();
+
+  auto stage2 = stage1.value().synthesize(ctx);
+  if (!stage2.has_value()) return stage2.propagate<flow_result>();
+
+  auto stage3 = stage2.value().compress(ctx);
+  if (!stage3.has_value()) return stage3.propagate<flow_result>();
+
+  flow_result flow;
+  status last_code = status::ok;
+  std::string last_message;
+  if (state_->options.verify) {
+    auto stage4 = stage3.value().verify(ctx);
+    if (!stage4.has_value()) return stage4.propagate<flow_result>();
+    flow = stage4.value().result();
+    last_code = stage4.code();
+    last_message = stage4.message();
+  } else {
+    flow = stage3.value().result_without_verification();
+    if (state_->options.run_baseline) {
+      // Baseline evaluation is independent of simulator verification.
+      try {
+        baseline::baseline_options bo;
+        bo.timing = state_->options.timing;
+        bo.grid_width = state_->options.grid_width;
+        bo.grid_height = state_->options.grid_height;
+        bo.placement.seed = state_->options.seed;
+        bo.router.seed = state_->options.seed;
+        flow.baseline =
+            baseline::evaluate_baseline(state_->graph, flow.scheduling.best,
+                                        bo);
+      } catch (...) {
+        return failure_from_current_exception<flow_result>(ctx);
+      }
+    }
+    last_code = stage3.code();
+    last_message = stage3.message();
+  }
+  flow.total_seconds = watch.elapsed_seconds();
+
+  // The earliest interrupted stage wins the status (and its message):
+  // stages after it were best-effort completions of an already-late run.
+  status outcome = status::ok;
+  std::string message;
+  const std::pair<status, const std::string*> staged[] = {
+      {stage1.code(), &stage1.message()},
+      {stage2.code(), &stage2.message()},
+      {stage3.code(), &stage3.message()},
+      {last_code, &last_message},
+  };
+  for (const auto& [code, msg] : staged)
+    if (outcome == status::ok && code != status::ok) {
+      outcome = code;
+      message = *msg;
+    }
+  if (outcome == status::ok) return result<flow_result>::success(std::move(flow));
+  return result<flow_result>::partial(outcome, std::move(flow),
+                                      std::move(message));
+}
+
+} // namespace transtore::api

@@ -1,0 +1,264 @@
+// Staged synthesis pipeline -- the public surface of the library.
+//
+// The paper's method is four independent stages; this API makes each one a
+// first-class value that can be inspected, serialized, and reused:
+//
+//   api::pipeline p(graph, options);
+//   auto scheduled   = p.schedule(ctx);                 // Section 3.1
+//   auto synthesized = scheduled->synthesize(ctx);      // Section 3.2
+//   auto compressed  = synthesized->compress(ctx);      // Section 3.3
+//   auto verified    = compressed->verify(ctx);         // simulator replay
+//   core::flow_result r = verified->result();
+//
+// Every stage returns api::result<Stage> (see result.h): no exceptions
+// cross the api boundary, deadline/cancel outcomes are structured, and a
+// best-effort value (e.g. the heuristic schedule after a truncated ILP) is
+// still delivered. Stage values are cheap to copy and share their upstream
+// outputs, so parameter sweeps re-synthesize from one schedule without
+// re-scheduling:
+//
+//   auto s = p.schedule().take();
+//   for (int g : {4, 5, 6})
+//     auto chip = s.synthesize({.grid_width = g, .grid_height = g}, ctx);
+//
+// core::run_flow() remains as a thin blocking shim over this pipeline.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "api/result.h"
+#include "api/run_context.h"
+#include "arch/synthesis.h"
+#include "assay/sequencing_graph.h"
+#include "baseline/dedicated_storage.h"
+#include "phys/layout.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+
+namespace transtore::api {
+
+/// Complete configuration of one pipeline run (the former
+/// core::flow_options; core keeps an alias to this type).
+struct pipeline_options {
+  // Resources (paper: "maximum numbers of devices allowed in the chip").
+  int device_count = 1;
+  int grid_width = 4;
+  int grid_height = 4;
+
+  // Timing model.
+  sched::timing_options timing{};
+
+  // Scheduling (objective (6) weights and engine).
+  double alpha = 1.0;
+  double beta = 0.15;
+  bool storage_aware = true; // false = "optimize execution time only"
+  sched::schedule_engine schedule_engine = sched::schedule_engine::combined;
+  double sched_ilp_time_limit = 10.0;
+  int heuristic_restarts = 24;
+
+  // Architecture.
+  arch::synthesis_engine arch_engine = arch::synthesis_engine::heuristic;
+  double arch_ilp_time_limit = 20.0;
+  int arch_attempts = 8;
+  /// On capacity failure, retry synthesis up to this many times with a
+  /// one-step-larger grid (0 = fail immediately, the paper's fixed-grid
+  /// protocol). The grid actually used is visible in the chip.
+  int grid_growth = 0;
+
+  // Physical design.
+  phys::phys_options physical{};
+
+  // Extras.
+  bool run_baseline = false; // also evaluate the dedicated-storage baseline
+  bool verify = true;        // run the independent simulator
+  std::uint64_t seed = 1;
+};
+
+/// Aggregated outputs of a full run (the former core::flow_result; core
+/// keeps an alias to this type).
+struct flow_result {
+  sched::scheduling_result scheduling;
+  arch::arch_result architecture;
+  phys::layout_result layout;
+  std::optional<sim::sim_stats> stats;
+  std::optional<baseline::baseline_result> baseline;
+  double total_seconds = 0.0;
+
+  /// Multi-line summary of the headline metrics.
+  [[nodiscard]] std::string report(const assay::sequencing_graph& graph) const;
+};
+
+/// Flatten a flow result (plus the assay identity) to one JSON document.
+/// With include_timing = false every wall-clock field is omitted, making
+/// reports for deterministic runs byte-comparable across machines and
+/// worker counts.
+[[nodiscard]] std::string to_json(const assay::sequencing_graph& graph,
+                                  const flow_result& result,
+                                  bool include_timing = true);
+
+namespace detail {
+/// Immutable per-run state shared by every stage value of one pipeline.
+struct job_state {
+  assay::sequencing_graph graph;
+  pipeline_options options;
+};
+} // namespace detail
+
+class synthesized;
+class compressed;
+class verified;
+
+/// Per-call overrides for scheduled::synthesize -- the sweep knobs.
+struct synthesize_overrides {
+  std::optional<int> grid_width;
+  std::optional<int> grid_height;
+  std::optional<arch::synthesis_engine> engine;
+  std::optional<int> attempts;
+  std::optional<int> grid_growth;
+};
+
+/// Stage 1 output: the storage-aware schedule. Reusable: synthesize() may
+/// be called any number of times (different grids/engines) without paying
+/// for scheduling again.
+class scheduled {
+public:
+  [[nodiscard]] const sched::scheduling_result& scheduling() const {
+    return *scheduling_;
+  }
+  [[nodiscard]] const sched::schedule& best() const {
+    return scheduling_->best;
+  }
+  [[nodiscard]] const assay::sequencing_graph& graph() const {
+    return state_->graph;
+  }
+
+  /// The schedule as a standalone JSON document.
+  [[nodiscard]] std::string to_json() const;
+
+  [[nodiscard]] result<synthesized> synthesize(
+      const run_context& ctx = {}) const;
+  [[nodiscard]] result<synthesized> synthesize(
+      const synthesize_overrides& overrides, const run_context& ctx = {}) const;
+
+private:
+  friend class pipeline;
+  std::shared_ptr<const detail::job_state> state_;
+  std::shared_ptr<const sched::scheduling_result> scheduling_;
+};
+
+/// Stage 2 output: the synthesized chip architecture.
+class synthesized {
+public:
+  [[nodiscard]] const sched::scheduling_result& scheduling() const {
+    return *scheduling_;
+  }
+  [[nodiscard]] const arch::arch_result& architecture() const {
+    return *architecture_;
+  }
+  [[nodiscard]] const arch::chip& chip() const { return architecture_->result; }
+  [[nodiscard]] const assay::sequencing_graph& graph() const {
+    return state_->graph;
+  }
+
+  /// The architecture metrics as a standalone JSON document.
+  [[nodiscard]] std::string to_json() const;
+
+  [[nodiscard]] result<compressed> compress(const run_context& ctx = {}) const;
+  [[nodiscard]] result<compressed> compress(const phys::phys_options& physical,
+                                            const run_context& ctx = {}) const;
+
+private:
+  friend class scheduled;
+  std::shared_ptr<const detail::job_state> state_;
+  std::shared_ptr<const sched::scheduling_result> scheduling_;
+  std::shared_ptr<const arch::arch_result> architecture_;
+};
+
+/// Stage 3 output: the compacted physical layout.
+class compressed {
+public:
+  [[nodiscard]] const sched::scheduling_result& scheduling() const {
+    return *scheduling_;
+  }
+  [[nodiscard]] const arch::arch_result& architecture() const {
+    return *architecture_;
+  }
+  [[nodiscard]] const phys::layout_result& layout() const { return *layout_; }
+  [[nodiscard]] const assay::sequencing_graph& graph() const {
+    return state_->graph;
+  }
+
+  /// The layout dimensions as a standalone JSON document.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Run the independent simulator (and, when options.run_baseline is set,
+  /// the dedicated-storage baseline).
+  [[nodiscard]] result<verified> verify(const run_context& ctx = {}) const;
+
+  /// Assemble a flow_result without verification (options.verify = false
+  /// path of the one-shot flow).
+  [[nodiscard]] flow_result result_without_verification() const;
+
+private:
+  friend class synthesized;
+  std::shared_ptr<const detail::job_state> state_;
+  std::shared_ptr<const sched::scheduling_result> scheduling_;
+  std::shared_ptr<const arch::arch_result> architecture_;
+  std::shared_ptr<const phys::layout_result> layout_;
+};
+
+/// Stage 4 output: simulator statistics (and optional baseline) plus the
+/// assembled flow_result.
+class verified {
+public:
+  [[nodiscard]] const sim::sim_stats& stats() const { return *stats_; }
+  [[nodiscard]] const assay::sequencing_graph& graph() const {
+    return state_->graph;
+  }
+
+  /// The aggregate result (total_seconds = sum of recorded stage times).
+  [[nodiscard]] flow_result result() const;
+
+  /// Full JSON document (same shape as core::to_json).
+  [[nodiscard]] std::string to_json(bool include_timing = true) const;
+
+private:
+  friend class compressed;
+  std::shared_ptr<const detail::job_state> state_;
+  std::shared_ptr<const sched::scheduling_result> scheduling_;
+  std::shared_ptr<const arch::arch_result> architecture_;
+  std::shared_ptr<const phys::layout_result> layout_;
+  std::shared_ptr<const sim::sim_stats> stats_;
+  std::shared_ptr<const baseline::baseline_result> baseline_; // may be null
+};
+
+/// Entry point: binds a sequencing graph to a configuration. Stateless
+/// apart from the immutable job description; schedule() may be called
+/// repeatedly (e.g. after tweaking nothing but the run_context).
+class pipeline {
+public:
+  explicit pipeline(assay::sequencing_graph graph,
+                    pipeline_options options = {});
+
+  [[nodiscard]] const assay::sequencing_graph& graph() const {
+    return state_->graph;
+  }
+  [[nodiscard]] const pipeline_options& options() const {
+    return state_->options;
+  }
+
+  /// Stage 1: storage-aware scheduling & binding.
+  [[nodiscard]] result<scheduled> schedule(const run_context& ctx = {}) const;
+
+  /// One-shot convenience: schedule -> synthesize -> compress -> verify
+  /// (verification and baseline per options). Equivalent to the staged
+  /// calls; core::run_flow is a shim over this.
+  [[nodiscard]] result<flow_result> run(const run_context& ctx = {}) const;
+
+private:
+  std::shared_ptr<const detail::job_state> state_;
+};
+
+} // namespace transtore::api

@@ -391,6 +391,7 @@ ilp_synthesis_result synthesize_with_ilp(const connection_grid& grid,
   milp::solver_options solver_options;
   solver_options.time_limit_seconds = options.time_limit_seconds;
   solver_options.log_progress = options.log_progress;
+  solver_options.cancel = options.cancel;
   if (options.warm_start) {
     const chip& ws = *options.warm_start;
     std::vector<double> assignment(

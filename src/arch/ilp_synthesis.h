@@ -37,6 +37,8 @@ struct ilp_synthesis_options {
   /// Optional heuristic solution used as the MILP incumbent.
   std::optional<chip> warm_start;
   bool log_progress = false;
+  /// Cooperative cancellation, forwarded to the MILP solver.
+  cancel_token cancel;
 };
 
 struct ilp_synthesis_result {

@@ -1,5 +1,7 @@
 #include "arch/synthesis.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/stopwatch.h"
 
@@ -8,14 +10,23 @@ namespace transtore::arch {
 arch_result synthesize_architecture(const sched::schedule& s,
                                     const arch_options& options) {
   stopwatch watch;
+  const deadline budget(options.time_budget_seconds, options.cancel);
   require(options.attempts >= 1, "synthesize_architecture: attempts >= 1");
   const connection_grid grid(options.grid_width, options.grid_height);
   routing_workload workload = derive_workload(s);
 
   std::optional<chip> routed;
   int attempts_used = 0;
+  bool interrupted = false;
   std::string last_error;
   for (int attempt = 0; attempt < options.attempts && !routed; ++attempt) {
+    // The constructive attempts ARE the best-effort fallback and each one
+    // is cheap, so an expired deadline does not stop them -- it only skips
+    // the ILP refinement below. Explicit cancellation stops everything.
+    if (attempt > 0 && budget.cancelled()) {
+      interrupted = true;
+      break;
+    }
     ++attempts_used;
     placement_options p = options.placement;
     p.seed = options.placement.seed + static_cast<std::uint64_t>(attempt);
@@ -30,18 +41,33 @@ arch_result synthesize_architecture(const sched::schedule& s,
              e.what());
     }
   }
-  if (!routed)
+  if (!routed) {
+    if (interrupted)
+      throw cancelled_error(
+          "synthesize_architecture: interrupted before any attempt routed "
+          "the workload");
     throw capacity_error("synthesize_architecture: all " +
                          std::to_string(options.attempts) +
                          " attempts failed; last error: " + last_error);
+  }
   routed->validate(workload);
 
   arch_result result{*routed, std::move(workload)};
   result.attempts_used = attempts_used;
+  result.interrupted = interrupted;
 
-  if (options.engine == synthesis_engine::ilp) {
+  if (options.engine == synthesis_engine::ilp && !budget.expired()) {
     ilp_synthesis_options io = options.ilp;
     io.warm_start = *routed;
+    io.cancel = options.cancel;
+    // Clamp to the remaining stage budget (1ms floor); a configured limit
+    // of 0 ("uncapped") becomes exactly the remaining budget.
+    if (options.time_budget_seconds > 0.0) {
+      const double remaining = std::max(budget.remaining_seconds(), 1e-3);
+      io.time_limit_seconds = io.time_limit_seconds > 0.0
+                                  ? std::min(io.time_limit_seconds, remaining)
+                                  : remaining;
+    }
     const ilp_synthesis_result ilp = synthesize_with_ilp(
         grid, result.workload, routed->device_nodes(), io);
     result.used_ilp = true;
@@ -53,6 +79,7 @@ arch_result synthesize_architecture(const sched::schedule& s,
     if (ilp.result.used_edge_count() <= routed->used_edge_count())
       result.result = ilp.result;
   }
+  if (budget.expired()) result.interrupted = true;
 
   result.seconds = watch.elapsed_seconds();
   return result;

@@ -8,6 +8,7 @@
 #include "arch/ilp_synthesis.h"
 #include "arch/placement.h"
 #include "arch/router.h"
+#include "common/interrupt.h"
 #include "sched/schedule.h"
 
 namespace transtore::arch {
@@ -26,6 +27,14 @@ struct arch_options {
   /// Placement/routing restart attempts before giving up.
   int attempts = 16;
   ilp_synthesis_options ilp{};
+  /// Whole-stage wall-clock budget in seconds (0 = unlimited) and
+  /// cooperative cancellation. An expired budget skips only the ILP
+  /// refinement (the cheap constructive attempts are the best-effort
+  /// fallback and always run); a fired cancel token also stops the
+  /// attempts loop -- before anything routed that throws cancelled_error,
+  /// afterwards the routed chip is returned as-is.
+  double time_budget_seconds = 0.0;
+  cancel_token cancel;
 };
 
 struct arch_result {
@@ -33,6 +42,9 @@ struct arch_result {
   routing_workload workload;
   double seconds = 0.0;
   int attempts_used = 1;
+  /// The stage was cut short (budget/cancel) after a routable chip existed;
+  /// the ILP refinement may be partial or skipped.
+  bool interrupted = false;
   bool used_ilp = false;
   milp::solve_status ilp_status = milp::solve_status::no_solution;
   double ilp_objective = 0.0;

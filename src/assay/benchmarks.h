@@ -9,6 +9,7 @@
 // same operation counts.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "assay/sequencing_graph.h"
@@ -55,5 +56,23 @@ namespace transtore::assay {
 /// Fetch any benchmark by its Table 2 name ("PCR", "IVD", "CPA", "RA30",
 /// "RA70", "RA100"); throws invalid_input_error for unknown names.
 [[nodiscard]] sequencing_graph make_benchmark(const std::string& name);
+
+/// Paper Table 2 resource configuration (device count, square grid edge)
+/// per built-in assay, largest first -- the single source of truth shared
+/// by the bench harnesses and the CLI's batch mode.
+struct benchmark_resources {
+  const char* name;
+  int devices;
+  int grid; // grid is grid x grid
+};
+
+[[nodiscard]] inline const std::array<benchmark_resources, 6>&
+benchmark_resource_table() {
+  static const std::array<benchmark_resources, 6> table = {{
+      {"RA100", 4, 5}, {"RA70", 3, 4}, {"CPA", 3, 4},
+      {"RA30", 2, 4},  {"IVD", 2, 4},  {"PCR", 1, 4},
+  }};
+  return table;
+}
 
 } // namespace transtore::assay

@@ -36,6 +36,14 @@ public:
   explicit capacity_error(const std::string& what) : ts_error(what) {}
 };
 
+/// A solve was interrupted (cancel token or pipeline deadline) before any
+/// usable result existed. Interruptions that still have a best-effort
+/// result to hand back are reported through status fields instead.
+class cancelled_error : public ts_error {
+public:
+  explicit cancelled_error(const std::string& what) : ts_error(what) {}
+};
+
 /// An internal invariant does not hold; indicates a library bug.
 class internal_error : public ts_error {
 public:

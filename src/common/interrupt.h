@@ -1,0 +1,51 @@
+// Cooperative cancellation for long-running solves.
+//
+// A cancel_source owns a shared flag; the cancel_token copies handed to
+// solvers observe it. Tokens are cheap value types: a default-constructed
+// token never reports cancellation, so option structs can carry one without
+// imposing any cost on callers that do not use the feature. Cancellation is
+// level-triggered and sticky -- once a source is cancelled every token stays
+// cancelled -- which is exactly the contract the branch-and-bound loop and
+// the annealing passes need to unwind at the next safe point.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace transtore {
+
+/// Observer half: answers "has the owner asked us to stop?".
+class cancel_token {
+public:
+  cancel_token() = default;
+
+  [[nodiscard]] bool cancelled() const {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+private:
+  friend class cancel_source;
+  explicit cancel_token(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/// Owner half: created by the caller that may want to interrupt a solve.
+class cancel_source {
+public:
+  cancel_source() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void cancel() { flag_->store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool cancelled() const {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] cancel_token token() const { return cancel_token(flag_); }
+
+private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+} // namespace transtore

@@ -1,0 +1,116 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace transtore {
+
+void json_writer::separator() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) out_ += ',';
+    need_comma_.back() = true;
+  }
+}
+
+json_writer& json_writer::begin_object() {
+  separator();
+  out_ += '{';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+json_writer& json_writer::end_object() {
+  check(!need_comma_.empty(), "json_writer: unbalanced end_object");
+  need_comma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+json_writer& json_writer::begin_array(const std::string& name) {
+  if (!name.empty()) key(name);
+  separator();
+  out_ += '[';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+json_writer& json_writer::end_array() {
+  check(!need_comma_.empty(), "json_writer: unbalanced end_array");
+  need_comma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+json_writer& json_writer::key(const std::string& name) {
+  separator();
+  append_quoted(name);
+  out_ += ':';
+  pending_key_ = true;
+  return *this;
+}
+
+json_writer& json_writer::value(const std::string& v) {
+  separator();
+  append_quoted(v);
+  return *this;
+}
+
+void json_writer::append_quoted(const std::string& v) {
+  out_ += '"';
+  for (char c : v) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\t': out_ += "\\t"; break;
+      case '\r': out_ += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out_ += buffer;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+json_writer& json_writer::value(const char* v) {
+  return value(std::string(v));
+}
+
+json_writer& json_writer::value(double v) {
+  separator();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.12g", v);
+  out_ += buffer;
+  return *this;
+}
+
+json_writer& json_writer::value(long v) {
+  separator();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+json_writer& json_writer::value(int v) { return value(static_cast<long>(v)); }
+
+json_writer& json_writer::value(bool v) {
+  separator();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+} // namespace transtore

@@ -1,0 +1,42 @@
+// Minimal streaming JSON writer (objects, arrays, strings, numbers) with
+// correct escaping. Shared by the flow-result serializer (core/report.h),
+// the staged-API serializers (api/pipeline.h), and the bench harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace transtore {
+
+class json_writer {
+public:
+  json_writer& begin_object();
+  json_writer& end_object();
+  json_writer& begin_array(const std::string& key = {});
+  json_writer& end_array();
+  json_writer& key(const std::string& name);
+  json_writer& value(const std::string& v);
+  json_writer& value(const char* v);
+  json_writer& value(double v);
+  json_writer& value(long v);
+  json_writer& value(int v);
+  json_writer& value(bool v);
+
+  /// Convenience: key + scalar value.
+  template <typename T>
+  json_writer& field(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  [[nodiscard]] std::string str() const { return out_; }
+
+private:
+  void separator();
+  void append_quoted(const std::string& v);
+  std::string out_;
+  std::vector<bool> need_comma_;
+  bool pending_key_ = false;
+};
+
+} // namespace transtore

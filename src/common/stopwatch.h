@@ -3,6 +3,8 @@
 
 #include <chrono>
 
+#include "common/interrupt.h"
+
 namespace transtore {
 
 /// Monotonic stopwatch; starts running on construction.
@@ -23,16 +25,25 @@ private:
   clock::time_point start_;
 };
 
-/// Deadline helper: answers "is the budget exhausted?" for solvers.
+/// Deadline helper: answers "is the budget exhausted?" for solvers. The
+/// budget expires either when the wall-clock allowance runs out or when the
+/// optional cancel token fires, so every solver loop that already polls
+/// expired() becomes cancellable for free.
 class deadline {
 public:
   /// A non-positive or infinite budget means "no limit".
-  explicit deadline(double budget_seconds)
-      : budget_seconds_(budget_seconds), watch_() {}
+  explicit deadline(double budget_seconds, cancel_token cancel = {})
+      : budget_seconds_(budget_seconds), cancel_(std::move(cancel)), watch_() {}
 
   [[nodiscard]] bool expired() const {
-    return budget_seconds_ > 0.0 && watch_.elapsed_seconds() >= budget_seconds_;
+    return cancel_.cancelled() ||
+           (budget_seconds_ > 0.0 &&
+            watch_.elapsed_seconds() >= budget_seconds_);
   }
+
+  /// True when expiry was triggered by the cancel token rather than the
+  /// wall clock (callers that must report the two outcomes distinctly).
+  [[nodiscard]] bool cancelled() const { return cancel_.cancelled(); }
 
   [[nodiscard]] double remaining_seconds() const {
     if (budget_seconds_ <= 0.0) return 1e18;
@@ -46,6 +57,7 @@ public:
 
 private:
   double budget_seconds_;
+  cancel_token cancel_;
   stopwatch watch_;
 };
 

@@ -1,99 +1,27 @@
 #include "core/flow.h"
 
-#include <sstream>
-
-#include "common/stopwatch.h"
-#include "common/strings.h"
-
 namespace transtore::core {
 
 flow_result run_flow(const assay::sequencing_graph& graph,
                      const flow_options& options) {
-  stopwatch watch;
-  graph.validate();
+  const api::pipeline p(graph, options);
+  auto outcome = p.run(api::run_context{});
+  if (outcome.ok()) return std::move(outcome).take();
 
-  // --- scheduling & binding.
-  sched::scheduler_options so;
-  so.device_count = options.device_count;
-  so.timing = options.timing;
-  so.alpha = options.alpha;
-  so.beta = options.beta;
-  so.storage_aware = options.storage_aware;
-  so.engine = options.schedule_engine;
-  so.ilp_time_limit_seconds = options.sched_ilp_time_limit;
-  so.heuristic_restarts = options.heuristic_restarts;
-  so.seed = options.seed;
-
-  flow_result result;
-  result.scheduling = sched::make_schedule(graph, so);
-
-  // --- architectural synthesis.
-  arch::arch_options ao;
-  ao.grid_width = options.grid_width;
-  ao.grid_height = options.grid_height;
-  ao.engine = options.arch_engine;
-  ao.attempts = options.arch_attempts;
-  ao.placement.seed = options.seed;
-  ao.router.seed = options.seed;
-  ao.ilp.time_limit_seconds = options.arch_ilp_time_limit;
-  result.architecture = arch::synthesize_architecture(result.scheduling.best, ao);
-
-  // --- physical design.
-  result.layout =
-      phys::generate_layout(result.architecture.result, options.physical);
-
-  // --- verification.
-  if (options.verify)
-    result.stats = sim::simulate(graph, result.scheduling.best,
-                                 result.architecture.workload,
-                                 result.architecture.result);
-
-  // --- dedicated-storage baseline (Fig. 10 comparator).
-  if (options.run_baseline) {
-    baseline::baseline_options bo;
-    bo.timing = options.timing;
-    bo.grid_width = options.grid_width;
-    bo.grid_height = options.grid_height;
-    bo.placement.seed = options.seed;
-    bo.router.seed = options.seed;
-    result.baseline =
-        baseline::evaluate_baseline(graph, result.scheduling.best, bo);
+  // Restore the original throwing contract for the shim's callers. With a
+  // default run_context there is no deadline and no cancel token, so the
+  // best-effort statuses cannot occur here; map everything else back onto
+  // the exception taxonomy of common/error.h.
+  switch (outcome.code()) {
+    case api::status::invalid_input: throw invalid_input_error(outcome.message());
+    case api::status::infeasible: throw infeasible_error(outcome.message());
+    case api::status::capacity: throw capacity_error(outcome.message());
+    case api::status::time_limit:
+    case api::status::cancelled: throw cancelled_error(outcome.message());
+    case api::status::ok:
+    case api::status::internal: break;
   }
-
-  result.total_seconds = watch.elapsed_seconds();
-  return result;
-}
-
-std::string flow_result::report(const assay::sequencing_graph& graph) const {
-  std::ostringstream out;
-  const sched::schedule& s = scheduling.best;
-  out << "assay " << graph.name() << ": |O|=" << graph.operation_count()
-      << ", devices=" << s.device_count << "\n";
-  out << "  schedule: tE=" << s.makespan() << "s, stores=" << s.store_count()
-      << ", peak storage=" << s.peak_concurrent_caches()
-      << ", cache time=" << s.total_cache_time() << "s\n";
-  out << "  architecture: edges=" << architecture.result.used_edge_count()
-      << ", valves=" << architecture.result.valve_count()
-      << ", edge ratio=" << format_double(architecture.result.edge_ratio(), 2)
-      << ", valve ratio="
-      << format_double(architecture.result.valve_ratio(), 2) << "\n";
-  out << "  layout: dr=" << format_dims(layout.after_synthesis.width,
-                                        layout.after_synthesis.height)
-      << ", de=" << format_dims(layout.after_devices.width,
-                                layout.after_devices.height)
-      << ", dp=" << format_dims(layout.after_compression.width,
-                                layout.after_compression.height)
-      << " (" << layout.compression_iterations << " compression iterations, "
-      << layout.bend_points << " bends)\n";
-  if (stats)
-    out << "  verified: " << stats->transport_legs << " legs, "
-        << stats->cached_samples << " cached samples, device utilization "
-        << format_double(100.0 * stats->device_utilization, 1) << "%\n";
-  if (baseline)
-    out << "  dedicated-storage baseline: tE=" << baseline->makespan
-        << "s, cells=" << baseline->storage_cells
-        << ", valves=" << baseline->total_valves << "\n";
-  return out.str();
+  throw internal_error(outcome.message());
 }
 
 } // namespace transtore::core

@@ -6,67 +6,24 @@
 //     -> iterative physical compression                   (Section 3.3)
 //     -> simulator verification + optional dedicated-storage baseline
 //
-// This is the public entry point a downstream user calls; the examples and
-// every bench harness are built on it.
+// COMPATIBILITY SHIM. The staged, cancellable, batch-capable surface lives
+// in api/pipeline.h / api/executor.h; run_flow() is a thin blocking wrapper
+// over api::pipeline::run() for callers that want the original
+// throw-on-error contract. flow_options and flow_result are aliases of the
+// api types, so existing code keeps compiling unchanged. See
+// src/api/README.md for the migration table.
 #pragma once
 
-#include <optional>
-#include <string>
-
-#include "arch/synthesis.h"
-#include "assay/sequencing_graph.h"
-#include "baseline/dedicated_storage.h"
-#include "phys/layout.h"
-#include "sched/scheduler.h"
-#include "sim/simulator.h"
+#include "api/pipeline.h"
 
 namespace transtore::core {
 
-struct flow_options {
-  // Resources (paper: "maximum numbers of devices allowed in the chip").
-  int device_count = 1;
-  int grid_width = 4;
-  int grid_height = 4;
-
-  // Timing model.
-  sched::timing_options timing{};
-
-  // Scheduling (objective (6) weights and engine).
-  double alpha = 1.0;
-  double beta = 0.15;
-  bool storage_aware = true; // false = "optimize execution time only"
-  sched::schedule_engine schedule_engine = sched::schedule_engine::combined;
-  double sched_ilp_time_limit = 10.0;
-  int heuristic_restarts = 24;
-
-  // Architecture.
-  arch::synthesis_engine arch_engine = arch::synthesis_engine::heuristic;
-  double arch_ilp_time_limit = 20.0;
-  int arch_attempts = 8;
-
-  // Physical design.
-  phys::phys_options physical{};
-
-  // Extras.
-  bool run_baseline = false; // also evaluate the dedicated-storage baseline
-  bool verify = true;        // run the independent simulator
-  std::uint64_t seed = 1;
-};
-
-struct flow_result {
-  sched::scheduling_result scheduling;
-  arch::arch_result architecture;
-  phys::layout_result layout;
-  std::optional<sim::sim_stats> stats;
-  std::optional<baseline::baseline_result> baseline;
-  double total_seconds = 0.0;
-
-  /// Multi-line summary of the headline metrics.
-  [[nodiscard]] std::string report(const assay::sequencing_graph& graph) const;
-};
+using flow_options = api::pipeline_options;
+using flow_result = api::flow_result;
 
 /// Run the full flow. Throws on invalid input or when the grid cannot fit
-/// the workload (capacity_error).
+/// the workload (capacity_error). New code should prefer api::pipeline,
+/// which reports these outcomes as structured statuses instead.
 [[nodiscard]] flow_result run_flow(const assay::sequencing_graph& graph,
                                    const flow_options& options = {});
 

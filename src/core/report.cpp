@@ -1,188 +1,10 @@
 #include "core/report.h"
 
-#include <cmath>
-
-#include "common/strings.h"
-
 namespace transtore::core {
 
-void json_writer::separator() {
-  if (pending_key_) {
-    pending_key_ = false;
-    return;
-  }
-  if (!need_comma_.empty()) {
-    if (need_comma_.back()) out_ += ',';
-    need_comma_.back() = true;
-  }
-}
-
-json_writer& json_writer::begin_object() {
-  separator();
-  out_ += '{';
-  need_comma_.push_back(false);
-  return *this;
-}
-
-json_writer& json_writer::end_object() {
-  check(!need_comma_.empty(), "json_writer: unbalanced end_object");
-  need_comma_.pop_back();
-  out_ += '}';
-  return *this;
-}
-
-json_writer& json_writer::begin_array(const std::string& name) {
-  if (!name.empty()) key(name);
-  separator();
-  out_ += '[';
-  need_comma_.push_back(false);
-  return *this;
-}
-
-json_writer& json_writer::end_array() {
-  check(!need_comma_.empty(), "json_writer: unbalanced end_array");
-  need_comma_.pop_back();
-  out_ += ']';
-  return *this;
-}
-
-json_writer& json_writer::key(const std::string& name) {
-  separator();
-  append_quoted(name);
-  out_ += ':';
-  pending_key_ = true;
-  return *this;
-}
-
-json_writer& json_writer::value(const std::string& v) {
-  separator();
-  append_quoted(v);
-  return *this;
-}
-
-void json_writer::append_quoted(const std::string& v) {
-  out_ += '"';
-  for (char c : v) {
-    switch (c) {
-      case '"': out_ += "\\\""; break;
-      case '\\': out_ += "\\\\"; break;
-      case '\n': out_ += "\\n"; break;
-      case '\t': out_ += "\\t"; break;
-      case '\r': out_ += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
-          out_ += buffer;
-        } else {
-          out_ += c;
-        }
-    }
-  }
-  out_ += '"';
-}
-
-json_writer& json_writer::value(const char* v) {
-  return value(std::string(v));
-}
-
-json_writer& json_writer::value(double v) {
-  separator();
-  if (!std::isfinite(v)) {
-    out_ += "null";
-    return *this;
-  }
-  char buffer[40];
-  std::snprintf(buffer, sizeof buffer, "%.12g", v);
-  out_ += buffer;
-  return *this;
-}
-
-json_writer& json_writer::value(long v) {
-  separator();
-  out_ += std::to_string(v);
-  return *this;
-}
-
-json_writer& json_writer::value(int v) { return value(static_cast<long>(v)); }
-
-json_writer& json_writer::value(bool v) {
-  separator();
-  out_ += v ? "true" : "false";
-  return *this;
-}
-
 std::string to_json(const assay::sequencing_graph& graph,
-                    const flow_result& result) {
-  const sched::schedule& s = result.scheduling.best;
-  json_writer w;
-  w.begin_object();
-  w.field("assay", graph.name());
-  w.field("operations", graph.operation_count());
-  w.field("edges", graph.edge_count());
-
-  w.key("schedule").begin_object();
-  w.field("makespan", s.makespan());
-  w.field("device_count", s.device_count);
-  w.field("stores", s.store_count());
-  w.field("peak_concurrent_caches", s.peak_concurrent_caches());
-  w.field("total_cache_time", s.total_cache_time());
-  w.field("used_ilp", result.scheduling.used_ilp);
-  w.begin_array("operations");
-  for (const auto& op : s.ops) {
-    w.begin_object();
-    w.field("name", graph.at(op.op).name);
-    w.field("device", op.device);
-    w.field("start", op.start);
-    w.field("end", op.end);
-    w.end_object();
-  }
-  w.end_array();
-  w.end_object();
-
-  w.key("architecture").begin_object();
-  w.field("grid_width", result.architecture.result.grid().width());
-  w.field("grid_height", result.architecture.result.grid().height());
-  w.field("used_edges", result.architecture.result.used_edge_count());
-  w.field("valves", result.architecture.result.valve_count());
-  w.field("edge_ratio", result.architecture.result.edge_ratio());
-  w.field("valve_ratio", result.architecture.result.valve_ratio());
-  w.field("paths", static_cast<long>(result.architecture.result.paths.size()));
-  w.field("caches",
-          static_cast<long>(result.architecture.result.caches.size()));
-  w.end_object();
-
-  w.key("layout").begin_object();
-  w.field("dr_width", result.layout.after_synthesis.width);
-  w.field("dr_height", result.layout.after_synthesis.height);
-  w.field("de_width", result.layout.after_devices.width);
-  w.field("de_height", result.layout.after_devices.height);
-  w.field("dp_width", result.layout.after_compression.width);
-  w.field("dp_height", result.layout.after_compression.height);
-  w.field("compression_iterations", result.layout.compression_iterations);
-  w.field("bend_points", result.layout.bend_points);
-  w.end_object();
-
-  if (result.stats) {
-    w.key("verification").begin_object();
-    w.field("transport_legs", result.stats->transport_legs);
-    w.field("cached_samples", result.stats->cached_samples);
-    w.field("max_active_segments", result.stats->max_active_segments);
-    w.field("mean_active_segments", result.stats->mean_active_segments);
-    w.field("device_utilization", result.stats->device_utilization);
-    w.end_object();
-  }
-  if (result.baseline) {
-    w.key("dedicated_storage_baseline").begin_object();
-    w.field("makespan", result.baseline->makespan);
-    w.field("storage_cells", result.baseline->storage_cells);
-    w.field("unit_valves", result.baseline->unit_valves);
-    w.field("total_valves", result.baseline->total_valves);
-    w.end_object();
-  }
-  w.field("total_seconds", result.total_seconds);
-  w.end_object();
-  return w.str();
+                    const flow_result& result, bool include_timing) {
+  return api::to_json(graph, result, include_timing);
 }
 
 } // namespace transtore::core

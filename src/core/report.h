@@ -1,52 +1,24 @@
-// Machine-readable result reporting.
+// Machine-readable result reporting (compatibility surface).
 //
-// A small self-contained JSON writer (objects, arrays, strings, numbers)
-// plus a serializer that flattens a flow_result -- schedule, transfers,
-// architecture metrics, layout dimensions, baseline comparison -- into one
-// JSON document for downstream tooling.
+// The JSON writer now lives in common/json.h and the flow-result
+// serializer in api/pipeline.h (api::to_json); this header re-exports both
+// under the original core names.
 #pragma once
 
 #include <string>
-#include <vector>
 
+#include "common/json.h"
 #include "core/flow.h"
 
 namespace transtore::core {
 
-/// Minimal streaming JSON writer with correct escaping.
-class json_writer {
-public:
-  json_writer& begin_object();
-  json_writer& end_object();
-  json_writer& begin_array(const std::string& key = {});
-  json_writer& end_array();
-  json_writer& key(const std::string& name);
-  json_writer& value(const std::string& v);
-  json_writer& value(const char* v);
-  json_writer& value(double v);
-  json_writer& value(long v);
-  json_writer& value(int v);
-  json_writer& value(bool v);
-
-  /// Convenience: key + scalar value.
-  template <typename T>
-  json_writer& field(const std::string& name, const T& v) {
-    key(name);
-    return value(v);
-  }
-
-  [[nodiscard]] std::string str() const { return out_; }
-
-private:
-  void separator();
-  void append_quoted(const std::string& v);
-  std::string out_;
-  std::vector<bool> need_comma_;
-  bool pending_key_ = false;
-};
+using json_writer = transtore::json_writer;
 
 /// Serialize a complete flow result (plus the assay identity) to JSON.
+/// include_timing = false omits wall-clock fields so reports from
+/// deterministic runs are byte-comparable.
 [[nodiscard]] std::string to_json(const assay::sequencing_graph& graph,
-                                  const flow_result& result);
+                                  const flow_result& result,
+                                  bool include_timing = true);
 
 } // namespace transtore::core

@@ -219,7 +219,7 @@ double solution::gap() const {
 
 solution solve(const model& m, const solver_options& options) {
   stopwatch total_watch;
-  deadline time_budget(options.time_limit_seconds);
+  deadline time_budget(options.time_limit_seconds, options.cancel);
   solution result;
 
   require(m.variable_count() > 0, "milp::solve: model has no variables");
@@ -524,6 +524,7 @@ solution solve(const model& m, const solver_options& options) {
   result.dual_simplex_iterations = dual_iterations;
   result.strong_branch_probes = probes;
   result.seconds = total_watch.elapsed_seconds();
+  result.interrupted = hit_limit && time_budget.expired();
 
   const double open_bound = stack.empty() ? inf : best_open_bound();
   if (unbounded) {

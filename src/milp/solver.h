@@ -37,6 +37,11 @@ enum class branch_rule { most_fractional, pseudocost };
 
 struct solver_options {
   double time_limit_seconds = 60.0;
+  /// Cooperative cancellation: when the token fires, the search unwinds at
+  /// the next node/LP-iteration boundary and returns the best incumbent so
+  /// far (status feasible) or no_solution -- the same contract as the time
+  /// limit. Default-constructed tokens never fire.
+  cancel_token cancel;
   long max_nodes = 5'000'000;
   double integrality_tolerance = 1e-6;
   double relative_gap = 1e-6;
@@ -76,6 +81,10 @@ struct solution {
   long dual_simplex_iterations = 0;  // subset taken by the dual method
   long strong_branch_probes = 0;     // reliability-initialization re-solves
   double seconds = 0.0;
+  /// True when the search stopped on the wall-clock limit or the cancel
+  /// token (as opposed to node limits or natural exhaustion); the incumbent,
+  /// if any, is best-effort.
+  bool interrupted = false;
 
   [[nodiscard]] bool has_solution() const {
     return status == solve_status::optimal || status == solve_status::feasible;

@@ -131,6 +131,7 @@ layout_result generate_layout(const arch::chip& c, const phys_options& opt) {
   bool more_h = true;
   bool more_v = true;
   while (more_h || more_v) {
+    if (opt.cancel.cancelled()) break;
     if (more_h) {
       more_h = compress_step(col_pos, col_widths, opt.pitch);
       if (more_h) ++iterations;

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "arch/chip.h"
+#include "common/interrupt.h"
 
 namespace transtore::phys {
 
@@ -26,6 +27,9 @@ struct phys_options {
   int scale = 5;          // architecture cell pitch in units (paper Table 2)
   int device_size = 7;    // device footprint edge length in units
   int storage_length = 5; // minimum channel length to hold one sample
+  /// Cooperative cancellation: the compression loop stops at the next
+  /// iteration boundary, returning a valid (partially compressed) layout.
+  cancel_token cancel;
 };
 
 struct layout_dimensions {

@@ -262,6 +262,7 @@ ilp_schedule_result schedule_with_ilp(const assay::sequencing_graph& graph,
 
   ilp_schedule_result result;
   result.status = sol.status;
+  result.interrupted = sol.interrupted;
   result.nodes = sol.nodes_explored;
   result.simplex_iterations = sol.simplex_iterations;
   result.seconds = sol.seconds;

@@ -51,6 +51,7 @@ struct ilp_scheduler_options {
 struct ilp_schedule_result {
   schedule refined;          // extracted assignment/order, re-timed
   milp::solve_status status = milp::solve_status::no_solution;
+  bool interrupted = false;  // stopped by the time limit or a cancel token
   double ilp_objective = 0.0; // objective (6) value of the MILP incumbent
   double ilp_bound = 0.0;     // dual bound on objective (6)
   long nodes = 0;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/prng.h"
+#include "common/stopwatch.h"
 
 namespace transtore::sched {
 namespace {
@@ -86,7 +87,9 @@ schedule schedule_with_list(const assay::sequencing_graph& graph,
   schedule best;
   double best_objective = std::numeric_limits<double>::infinity();
 
+  const deadline budget(options.time_budget_seconds, options.cancel);
   for (int attempt = 0; attempt < options.restarts; ++attempt) {
+    if (attempt > 0 && budget.expired()) break;
     // First pass is pure greedy; later passes add increasing noise.
     const double noise =
         attempt == 0 ? 0.0

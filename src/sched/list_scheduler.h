@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "assay/sequencing_graph.h"
+#include "common/interrupt.h"
 #include "sched/timing.h"
 
 namespace transtore::sched {
@@ -31,6 +32,11 @@ struct list_scheduler_options {
   bool storage_aware = true; // false: minimize execution time only
   int restarts = 24;    // perturbed greedy restarts (>= 1)
   std::uint64_t seed = 1;
+  /// Stage wall-clock budget in seconds (0 = unlimited) and cooperative
+  /// cancellation. The first greedy pass always completes so a valid
+  /// schedule exists; later restarts stop at the interrupt.
+  double time_budget_seconds = 0.0;
+  cancel_token cancel;
 };
 
 /// Build a schedule heuristically. Throws invalid_input_error for malformed

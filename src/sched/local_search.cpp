@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/prng.h"
+#include "common/stopwatch.h"
 
 namespace transtore::sched {
 namespace {
@@ -43,7 +44,9 @@ schedule improve_schedule(const assay::sequencing_graph& graph,
           ? std::pow(0.05, 1.0 / options.iterations)
           : 1.0;
 
+  const deadline budget(options.time_budget_seconds, options.cancel);
   for (int iter = 0; iter < options.iterations; ++iter) {
+    if ((iter & 255) == 0 && budget.expired()) break;
     binding candidate = current;
     // Pick a random operation and a move.
     const int op = static_cast<int>(rng.index(candidate.device_of.size()));

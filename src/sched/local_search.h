@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "common/interrupt.h"
 #include "sched/timing.h"
 
 namespace transtore::sched {
@@ -23,6 +24,11 @@ struct local_search_options {
   int iterations = 6000;
   double initial_temperature = 60.0; // in objective units (seconds-ish)
   std::uint64_t seed = 1;
+  /// Stage wall-clock budget in seconds (0 = unlimited) and cooperative
+  /// cancellation; the anneal stops early and returns the best schedule
+  /// found so far (never worse than `start`).
+  double time_budget_seconds = 0.0;
+  cancel_token cancel;
 };
 
 /// Anneal `start` and return the best schedule found (never worse than

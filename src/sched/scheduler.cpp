@@ -1,5 +1,7 @@
 #include "sched/scheduler.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "sched/local_search.h"
@@ -49,11 +51,14 @@ long estimate_ilp_rows(const assay::sequencing_graph& graph,
 scheduling_result make_schedule(const assay::sequencing_graph& graph,
                                 const scheduler_options& options) {
   stopwatch watch;
+  const deadline budget(options.time_budget_seconds, options.cancel);
   scheduling_result result;
 
   // A heuristic schedule is always produced: it is either the answer, the
   // ILP warm start, or both.
   list_scheduler_options lo = heuristic_options(options);
+  lo.time_budget_seconds = options.time_budget_seconds;
+  lo.cancel = options.cancel;
   if (options.engine == schedule_engine::ilp)
     lo.restarts = 1; // single greedy pass, just to seed the ILP
   schedule heuristic = schedule_with_list(graph, lo);
@@ -71,12 +76,32 @@ scheduling_result make_schedule(const assay::sequencing_graph& graph,
       run_ilp = false;
     }
   }
+  if (run_ilp && budget.expired()) {
+    // Budget already gone: the heuristic carries the instance.
+    result.ilp_interrupted = true;
+    result.ilp_deadline_clamped = true;
+    run_ilp = false;
+  }
 
   if (run_ilp) {
-    const ilp_schedule_result ilp =
-        schedule_with_ilp(graph, ilp_options(options, heuristic));
+    ilp_scheduler_options io = ilp_options(options, heuristic);
+    io.milp.cancel = options.cancel;
+    // Clamp to the remaining stage budget; the 1ms floor keeps a raced-to-
+    // zero remainder from reading as "unlimited" in the solver's deadline,
+    // and a configured limit of 0 ("uncapped") becomes exactly the
+    // remaining budget.
+    if (options.time_budget_seconds > 0.0) {
+      const double remaining = std::max(budget.remaining_seconds(), 1e-3);
+      result.ilp_deadline_clamped =
+          io.time_limit_seconds <= 0.0 || remaining < io.time_limit_seconds;
+      io.time_limit_seconds = io.time_limit_seconds > 0.0
+                                  ? std::min(io.time_limit_seconds, remaining)
+                                  : remaining;
+    }
+    const ilp_schedule_result ilp = schedule_with_ilp(graph, io);
     result.used_ilp = true;
     result.ilp_status = ilp.status;
+    result.ilp_interrupted = ilp.interrupted;
     result.ilp_objective = ilp.ilp_objective;
     result.ilp_bound = ilp.ilp_bound;
     result.ilp_variables = ilp.variables;
@@ -100,6 +125,9 @@ scheduling_result make_schedule(const assay::sequencing_graph& graph,
     lso.beta = effective_beta;
     lso.iterations = options.local_search_iterations;
     lso.seed = options.seed;
+    lso.cancel = options.cancel;
+    if (options.time_budget_seconds > 0.0)
+      lso.time_budget_seconds = std::max(budget.remaining_seconds(), 1e-3);
     result.best = improve_schedule(graph, result.best, options.timing, lso);
   }
 

@@ -37,6 +37,13 @@ struct scheduler_options {
   int local_search_iterations = 6000;
   std::uint64_t seed = 1;
   bool log_progress = false;
+  /// Whole-stage wall-clock budget in seconds (0 = unlimited). The ILP time
+  /// limit is clamped to the remaining budget and the heuristic/annealing
+  /// passes stop early; a valid schedule is always returned.
+  double time_budget_seconds = 0.0;
+  /// Cooperative cancellation, threaded into every engine including the
+  /// MILP branch-and-bound loop.
+  cancel_token cancel;
 };
 
 struct scheduling_result {
@@ -44,6 +51,14 @@ struct scheduling_result {
   double seconds = 0.0;
   bool used_ilp = false;
   bool ilp_skipped_too_large = false;
+  /// The ILP search was cut short by the time budget or a cancel token;
+  /// `best` is the best-effort schedule (heuristic or partial ILP refine).
+  bool ilp_interrupted = false;
+  /// The stage's wall-clock budget (time_budget_seconds) was the binding
+  /// constraint on the ILP: it was skipped outright or got less time than
+  /// its configured ilp_time_limit_seconds. Lets callers tell "truncated
+  /// by the caller's deadline" apart from "hit its ordinary solver cap".
+  bool ilp_deadline_clamped = false;
   milp::solve_status ilp_status = milp::solve_status::no_solution;
   double ilp_objective = 0.0;
   double ilp_bound = 0.0;

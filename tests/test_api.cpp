@@ -1,0 +1,306 @@
+// Tests for the staged api::pipeline / api::executor surface: stage-by-stage
+// vs one-shot equivalence, structured error outcomes, deadline/cancellation
+// mid-MILP, and batch-executor determinism across worker counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "api/executor.h"
+#include "api/pipeline.h"
+#include "assay/benchmarks.h"
+#include "core/flow.h"
+#include "core/report.h"
+#include "milp/solver.h"
+#include "sched/ilp_scheduler.h"
+#include "sched/list_scheduler.h"
+
+namespace transtore::api {
+namespace {
+
+pipeline_options heuristic_options(int devices = 1) {
+  pipeline_options o;
+  o.device_count = devices;
+  o.schedule_engine = sched::schedule_engine::heuristic;
+  return o;
+}
+
+TEST(ApiPipeline, StagedMatchesOneShotAndShim) {
+  const auto graph = assay::make_pcr();
+  const pipeline_options o = heuristic_options();
+
+  const pipeline p(graph, o);
+  auto s1 = p.schedule();
+  ASSERT_TRUE(s1.ok()) << s1.message();
+  auto s2 = s1->synthesize();
+  ASSERT_TRUE(s2.ok()) << s2.message();
+  auto s3 = s2->compress();
+  ASSERT_TRUE(s3.ok()) << s3.message();
+  auto s4 = s3->verify();
+  ASSERT_TRUE(s4.ok()) << s4.message();
+  const flow_result staged = s4->result();
+
+  auto one_shot = p.run();
+  ASSERT_TRUE(one_shot.ok()) << one_shot.message();
+
+  const core::flow_result shim = core::run_flow(graph, o);
+
+  // Byte-identical deterministic metrics across all three paths (timing
+  // fields excluded: wall clocks differ by construction).
+  const std::string staged_json = to_json(graph, staged, false);
+  EXPECT_EQ(staged_json, to_json(graph, one_shot.value(), false));
+  EXPECT_EQ(staged_json, core::to_json(graph, shim, false));
+  EXPECT_TRUE(staged.stats.has_value());
+}
+
+TEST(ApiPipeline, ScheduleIsReusableAcrossGridSweep) {
+  const auto graph = assay::make_benchmark("RA30");
+  const pipeline p(graph, heuristic_options(2));
+  auto s = p.schedule();
+  ASSERT_TRUE(s.ok()) << s.message();
+
+  // One schedule, several synthesize calls: a reconfiguration sweep.
+  int previous_edges = -1;
+  for (const int grid : {4, 5}) {
+    synthesize_overrides over;
+    over.grid_width = grid;
+    over.grid_height = grid;
+    auto chip = s->synthesize(over);
+    ASSERT_TRUE(chip.ok()) << "grid " << grid << ": " << chip.message();
+    EXPECT_EQ(chip->chip().grid().width(), grid);
+    EXPECT_GT(chip->chip().used_edge_count(), 0);
+    previous_edges = chip->chip().used_edge_count();
+  }
+  EXPECT_GT(previous_edges, 0);
+  // The schedule itself is untouched by the sweep.
+  EXPECT_GT(s->best().makespan(), 0);
+}
+
+TEST(ApiPipeline, StageJsonIsSelfContained) {
+  const auto graph = assay::make_pcr();
+  const pipeline p(graph, heuristic_options());
+  auto s = p.schedule();
+  ASSERT_TRUE(s.ok());
+  const std::string json = s->to_json();
+  EXPECT_NE(json.find("\"schedule\""), std::string::npos);
+  EXPECT_NE(json.find("\"assay\":\"PCR\""), std::string::npos);
+
+  auto chip = s->synthesize();
+  ASSERT_TRUE(chip.ok());
+  EXPECT_NE(chip->to_json().find("\"architecture\""), std::string::npos);
+
+  auto layout = chip->compress();
+  ASSERT_TRUE(layout.ok());
+  EXPECT_NE(layout->to_json().find("\"layout\""), std::string::npos);
+}
+
+TEST(ApiPipeline, InvalidInputIsStructured) {
+  assay::sequencing_graph empty("empty");
+  const pipeline p(empty, {});
+  auto s = p.schedule();
+  EXPECT_FALSE(s.has_value());
+  EXPECT_EQ(s.code(), status::invalid_input);
+  EXPECT_FALSE(s.message().empty());
+}
+
+TEST(ApiPipeline, CapacityIsStructured) {
+  // Five devices cannot be placed on a 2x2 grid (four nodes).
+  const auto graph = assay::make_benchmark("IVD");
+  pipeline_options o = heuristic_options(5);
+  o.grid_width = 2;
+  o.grid_height = 2;
+  o.arch_attempts = 2;
+  auto outcome = pipeline(graph, o).run();
+  EXPECT_FALSE(outcome.has_value());
+  EXPECT_EQ(outcome.code(), status::capacity);
+}
+
+TEST(ApiPipeline, ShimStillThrows) {
+  assay::sequencing_graph empty("empty");
+  EXPECT_THROW(core::run_flow(empty, {}), invalid_input_error);
+}
+
+// ---------------------------------------------------------------- deadline
+
+TEST(ApiDeadline, CpaIlpDeadlineReturnsTimeLimitWithHeuristicResult) {
+  // The acceptance scenario: a 1s deadline on a CPA ILP solve must come
+  // back as a structured time_limit outcome with the heuristic schedule
+  // still delivered -- not a hang, not an exception.
+  const auto graph = assay::make_benchmark("CPA");
+  pipeline_options o;
+  o.device_count = 3;
+  o.schedule_engine = sched::schedule_engine::ilp; // force the MILP path
+  o.sched_ilp_time_limit = 600.0; // would run for minutes without the deadline
+  const pipeline p(graph, o);
+
+  const run_context ctx = run_context::with_deadline(1.0);
+  const auto started = std::chrono::steady_clock::now();
+  auto s = p.schedule(ctx);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+
+  ASSERT_TRUE(s.has_value()) << s.message();
+  EXPECT_EQ(s.code(), status::time_limit);
+  EXPECT_GT(s->best().makespan(), 0);
+  // Generous bound: model build + a 1s solve budget, nowhere near 600s.
+  EXPECT_LT(elapsed, 60.0);
+}
+
+TEST(ApiDeadline, MilpSolverHonoursPreFiredCancel) {
+  // Direct solver-level check: a cancel token that is already fired makes
+  // solve() return immediately with interrupted set; with a warm start the
+  // incumbent is still delivered (status feasible), without one the result
+  // is no_solution. No crash, no leak (ASan job runs this).
+  const auto graph = assay::make_pcr();
+  sched::ilp_scheduler_options io;
+  io.device_count = 1;
+
+  cancel_source source;
+  source.cancel();
+
+  {
+    sched::scheduling_ilp ilp = sched::build_scheduling_ilp(graph, io);
+    milp::solver_options so;
+    so.cancel = source.token();
+    const milp::solution sol = milp::solve(ilp.model, so);
+    EXPECT_TRUE(sol.interrupted);
+    EXPECT_EQ(sol.status, milp::solve_status::no_solution);
+  }
+  {
+    sched::ilp_scheduler_options warm = io;
+    sched::list_scheduler_options lo;
+    lo.device_count = 1;
+    warm.warm_start = sched::schedule_with_list(graph, lo);
+    sched::scheduling_ilp ilp = sched::build_scheduling_ilp(graph, warm);
+    ASSERT_TRUE(ilp.warm_assignment.has_value());
+    milp::solver_options so;
+    so.cancel = source.token();
+    so.warm_start = std::move(ilp.warm_assignment);
+    const milp::solution sol = milp::solve(ilp.model, so);
+    EXPECT_TRUE(sol.interrupted);
+    EXPECT_EQ(sol.status, milp::solve_status::feasible);
+    EXPECT_TRUE(sol.has_solution());
+  }
+}
+
+TEST(ApiCancel, PreCancelledContextRefusesToStart) {
+  cancel_source source;
+  source.cancel();
+  const run_context ctx = run_context{}.set_cancel(source.token());
+  const pipeline p(assay::make_pcr(), heuristic_options());
+  auto s = p.schedule(ctx);
+  EXPECT_FALSE(s.has_value());
+  EXPECT_EQ(s.code(), status::cancelled);
+}
+
+TEST(ApiCancel, MidSolveCancellationUnwindsCleanly) {
+  // Fire the token from another thread while the RA30 scheduling MILP is
+  // running. Whatever the race outcome (cancelled mid-solve or finished
+  // first), the pipeline must return promptly with a coherent result.
+  const auto graph = assay::make_benchmark("RA30");
+  pipeline_options o;
+  o.device_count = 2;
+  o.schedule_engine = sched::schedule_engine::ilp;
+  o.sched_ilp_time_limit = 600.0;
+
+  cancel_source source;
+  const run_context ctx = run_context{}.set_cancel(source.token());
+  std::thread canceller([&source] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    source.cancel();
+  });
+
+  const auto started = std::chrono::steady_clock::now();
+  auto s = pipeline(graph, o).schedule(ctx);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  canceller.join();
+
+  if (s.has_value()) {
+    EXPECT_TRUE(s.code() == status::ok || s.code() == status::cancelled)
+        << to_string(s.code());
+    EXPECT_GT(s->best().makespan(), 0);
+  } else {
+    EXPECT_EQ(s.code(), status::cancelled);
+  }
+  EXPECT_LT(elapsed, 60.0);
+}
+
+// ---------------------------------------------------------------- executor
+
+TEST(ApiExecutor, DeterministicAcrossWorkerCounts) {
+  // Same seeds => byte-identical JSON reports no matter how many workers
+  // carried the batch (only completion order may differ).
+  struct spec {
+    const char* name;
+    int devices;
+  };
+  std::vector<job> jobs;
+  for (const spec s : {spec{"PCR", 1}, spec{"IVD", 2}, spec{"RA30", 2}}) {
+    job j;
+    j.name = s.name;
+    j.graph = assay::make_benchmark(s.name);
+    j.options = heuristic_options(s.devices);
+    j.options.grid_growth = 2;
+    jobs.push_back(std::move(j));
+  }
+
+  auto reports_with = [&](int workers) {
+    const executor pool(executor_options{workers});
+    const auto outcomes = pool.run(jobs);
+    std::vector<std::string> reports;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      EXPECT_EQ(outcomes[i].index, i);
+      EXPECT_EQ(outcomes[i].code, status::ok) << outcomes[i].message;
+      EXPECT_TRUE(outcomes[i].flow.has_value());
+      reports.push_back(
+          to_json(jobs[i].graph, *outcomes[i].flow, /*include_timing=*/false));
+    }
+    return reports;
+  };
+
+  const auto sequential = reports_with(1);
+  const auto parallel = reports_with(4);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i)
+    EXPECT_EQ(sequential[i], parallel[i]) << jobs[i].name;
+}
+
+TEST(ApiExecutor, StreamsEveryCompletion) {
+  std::vector<job> jobs;
+  for (const char* name : {"PCR", "IVD"}) {
+    job j;
+    j.graph = assay::make_benchmark(name);
+    j.options = heuristic_options(name == std::string("PCR") ? 1 : 2);
+    jobs.push_back(std::move(j));
+  }
+  std::atomic<int> seen{0};
+  const executor pool(executor_options{2});
+  const auto outcomes =
+      pool.run(jobs, {}, [&seen](const job_outcome&) { ++seen; });
+  EXPECT_EQ(seen.load(), 2);
+  EXPECT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].name, "PCR"); // default label = graph name
+}
+
+TEST(ApiExecutor, CancelledBatchReportsCancelled) {
+  cancel_source source;
+  source.cancel();
+  const run_context ctx = run_context{}.set_cancel(source.token());
+  std::vector<job> jobs;
+  job j;
+  j.graph = assay::make_pcr();
+  j.options = heuristic_options();
+  jobs.push_back(std::move(j));
+  const executor pool(executor_options{2});
+  const auto outcomes = pool.run(jobs, ctx);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].code, status::cancelled);
+  EXPECT_FALSE(outcomes[0].flow.has_value());
+}
+
+} // namespace
+} // namespace transtore::api
