@@ -26,7 +26,7 @@ namespace transtore::bench {
 /// One (assay, configuration) measurement.
 struct bench_record {
   std::string assay;
-  std::string config;   // e.g. "dual_devex" / "primal_only"
+  std::string config;   // e.g. "lu_dual_devex" / "primal_only"
   double seconds = 0.0; // wall time of the solve
   long nodes = 0;
   long simplex_iterations = 0;
@@ -36,6 +36,9 @@ struct bench_record {
   std::string status;
   int variables = 0;
   int constraints = 0;
+  /// Harness-specific numeric metrics (e.g. fig8's edge/valve ratios),
+  /// emitted as additional JSON fields of the record.
+  std::vector<std::pair<std::string, double>> extras;
 };
 
 /// Writes `records` as {"tool": ..., "results": [...]} to `path`, using
@@ -65,6 +68,7 @@ inline bool write_bench_json(const std::string& path, const std::string& tool,
     w.field("status", r.status);
     w.field("variables", r.variables);
     w.field("constraints", r.constraints);
+    for (const auto& [key, value] : r.extras) w.field(key, value);
     w.end_object();
   }
   w.end_array();

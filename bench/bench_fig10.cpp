@@ -23,6 +23,7 @@ int main() {
                  "valves dedic.", "valve ratio", "unit cells"});
   double worst_exec_ratio = 1.0;
   bool all_at_most_one = true;
+  std::vector<bench::bench_record> records;
 
   for (const auto& config : bench::table2_configs()) {
     core::flow_options o = bench::make_options(config);
@@ -49,11 +50,20 @@ int main() {
         format_double(valve_ratio, 2),
         std::to_string(b.storage_cells),
     });
+    bench::bench_record rec = bench::flow_record(config, grid_used, r);
+    rec.extras = {{"exec_ratio", exec_ratio},
+                  {"valve_ratio", valve_ratio},
+                  {"te_dedicated", static_cast<double>(b.makespan)},
+                  {"valves_dedicated", static_cast<double>(dedicated_valves)}};
+    records.push_back(std::move(rec));
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("Best execution-time reduction: %.0f%% (paper: ~28%% on RA100)\n",
               100.0 * (1.0 - worst_exec_ratio));
   std::printf("All ratios at most 1 (paper's claim): %s\n",
               all_at_most_one ? "REPRODUCED" : "NOT reproduced");
+  if (!bench::write_bench_json("BENCH_fig10.json", "bench_fig10", records))
+    return 1;
+  std::printf("wrote BENCH_fig10.json\n");
   return 0;
 }

@@ -53,5 +53,12 @@ int main() {
   std::printf("Paper's Fig. 11 shows the same two situations at t=35s and\n"
               "t=45s: a path storing a sample into segment C-D, then a\n"
               "transport d1->D->A->d2 while C-D is caching (blue = active).\n");
+
+  bench::bench_record rec = bench::flow_record(config, grid_used, r);
+  rec.extras = {{"store_snapshot_t", static_cast<double>(store_time)},
+                {"hold_snapshot_t", static_cast<double>(hold_time)}};
+  if (!bench::write_bench_json("BENCH_fig11.json", "bench_fig11", {rec}))
+    return 1;
+  std::printf("wrote BENCH_fig11.json\n");
   return 0;
 }

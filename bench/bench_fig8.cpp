@@ -17,6 +17,7 @@ int main() {
   table.add_row({"Assay", "edges used", "grid edges", "edge ratio",
                  "valves", "grid valves", "valve ratio"});
   bool all_below_one = true;
+  std::vector<bench::bench_record> records;
   for (const auto& config : bench::table2_configs()) {
     int grid_used = config.grid;
     const core::flow_result r =
@@ -33,9 +34,18 @@ int main() {
     });
     all_below_one = all_below_one && chip.edge_ratio() < 1.0 &&
                     chip.valve_ratio() < 1.0;
+    bench::bench_record rec = bench::flow_record(config, grid_used, r);
+    rec.extras = {{"edge_ratio", chip.edge_ratio()},
+                  {"valve_ratio", chip.valve_ratio()},
+                  {"edges_used", static_cast<double>(chip.used_edge_count())},
+                  {"valves", static_cast<double>(chip.valve_count())}};
+    records.push_back(std::move(rec));
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("Paper's claim -- every ratio < 1: %s\n",
               all_below_one ? "REPRODUCED" : "NOT reproduced");
+  if (!bench::write_bench_json("BENCH_fig8.json", "bench_fig8", records))
+    return 1;
+  std::printf("wrote BENCH_fig8.json\n");
   return 0;
 }

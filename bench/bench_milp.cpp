@@ -1,13 +1,18 @@
 // MILP substrate benchmark: solves the paper's Table 2 scheduling
-// formulations (Table 1 model, objective (6)) with the new dual-simplex /
-// devex / pseudocost configuration and with the seed-equivalent
-// primal-only ablation, reports iterations, nodes and wall time per assay,
-// and dumps BENCH_milp.json for cross-PR tracking.
+// formulations (Table 1 model, objective (6)) with the sparse-LU dual
+// simplex defaults, the dense-inverse engine ablation, and the
+// seed-equivalent primal-only ablation; reports iterations, nodes and wall
+// time per assay, and dumps BENCH_milp.json for cross-PR tracking.
 //
 //   bench_milp [--seconds S] [--assays PCR,IVD,...] [--row-limit R]
-//              [--out FILE] [--smoke]
+//              [--dense-row-limit R] [--out FILE] [--smoke]
 //
-// --smoke is the CI configuration: small assays, 1 s per solve.
+// The dense configurations only run formulations up to --dense-row-limit
+// rows (default 2500, the historical dense-basis viability bound); the
+// sparse-LU configuration runs everything up to --row-limit, which is what
+// finally admits CPA (~8.2k rows), RA70 (~9.3k) and RA100 (~18k).
+//
+// --smoke is the CI configuration: small assays plus CPA, 1 s per solve.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -51,18 +56,23 @@ std::vector<std::string> split_csv(const std::string& csv) {
   return out;
 }
 
+bool objectives_differ(double a, double b) {
+  return std::abs(a - b) > 1e-6 * std::max(1.0, std::abs(b));
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
   double seconds = 5.0;
-  int row_limit = 2500; // the scheduling pipeline's ILP viability bound
+  int row_limit = 40000;      // sparse-LU viability (RA100 is ~18k rows)
+  int dense_row_limit = 2500; // the historical dense-basis viability bound
   std::string out_path = "BENCH_milp.json";
-  // Table 2 assays that fit the dense-basis simplex, plus two mid-size
-  // seeded random assays (same generator as RA30) small enough to be
-  // solved to proven optimality -- the apples-to-apples subset for the
-  // iteration-reduction headline.
-  std::vector<std::string> assays = {"PCR", "RA12", "RA16", "IVD", "RA30",
-                                     "CPA"};
+  // Table 2 assays plus three mid-size seeded random assays (same generator
+  // as RA30). PCR..RA30 are the apples-to-apples subset every configuration
+  // solves; CPA/RA70/RA100 are the formulations only the sparse engine can
+  // touch.
+  std::vector<std::string> assays = {"PCR", "RA12", "RA16", "IVD",
+                                     "RA30", "CPA",  "RA70", "RA100"};
 
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -79,15 +89,18 @@ int main(int argc, char** argv) {
       assays = split_csv(next());
     } else if (arg == "--row-limit") {
       row_limit = std::atoi(next());
+    } else if (arg == "--dense-row-limit") {
+      dense_row_limit = std::atoi(next());
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--smoke") {
       seconds = 1.0;
-      assays = {"PCR", "RA12"};
+      assays = {"PCR", "RA12", "CPA"};
     } else {
       std::fprintf(stderr,
                    "usage: bench_milp [--seconds S] [--assays CSV] "
-                   "[--row-limit R] [--out FILE] [--smoke]\n");
+                   "[--row-limit R] [--dense-row-limit R] [--out FILE] "
+                   "[--smoke]\n");
       return 2;
     }
   }
@@ -99,15 +112,16 @@ int main(int argc, char** argv) {
   long total_nodes_old = 0;
   double total_secs_new = 0.0;
   double total_secs_old = 0.0;
-  // Equal-work subset: assays both configurations solve to proven
-  // optimality (under a time limit, total iterations are budget-bound and
-  // meaningless to compare).
+  // Equal-work subset: assays the LU defaults and the primal-only seed both
+  // solve to proven optimality (under a time limit, total iterations are
+  // budget-bound and meaningless to compare).
   long optimal_iters_new = 0;
   long optimal_iters_old = 0;
   double optimal_secs_new = 0.0;
   double optimal_secs_old = 0.0;
   int optimal_assays = 0;
   bool objectives_match = true;
+  int above_dense_ceiling = 0; // formulations only the sparse engine ran
 
   std::printf("%-7s %-12s %10s %8s %10s %10s %8s %12s %s\n", "assay",
               "config", "rows", "nodes", "iters", "dual", "probes",
@@ -145,23 +159,27 @@ int main(int argc, char** argv) {
     const sched::scheduling_ilp ilp = sched::build_scheduling_ilp(graph, so);
     const int rows = ilp.model.constraint_count();
     if (rows > row_limit) {
-      std::printf("%-7s skipped: %d rows exceed --row-limit %d "
-                  "(dense-basis viability bound)\n",
+      std::printf("%-7s skipped: %d rows exceed --row-limit %d\n",
                   name.c_str(), rows, row_limit);
       continue;
     }
+    const bool dense_viable = rows <= dense_row_limit;
+    if (!dense_viable) ++above_dense_ceiling;
 
     struct config_spec {
       const char* label;
       milp::solver_options options;
     };
-    milp::solver_options fresh;
-    std::vector<config_spec> specs = {
-        {"dual_devex", fresh},
-        {"primal_only", milp::classic_primal_only_options()},
-    };
-    double objective[2] = {0.0, 0.0};
-    milp::solution sols[2];
+    milp::solver_options lu_defaults; // sparse_lu engine is the default
+    milp::solver_options dense_devex;
+    dense_devex.lp.engine = milp::basis_engine::dense;
+    std::vector<config_spec> specs = {{"lu_dual_devex", lu_defaults}};
+    if (dense_viable) {
+      specs.push_back({"dense_dual_devex", dense_devex});
+      specs.push_back({"primal_only", milp::classic_primal_only_options()});
+    }
+
+    std::vector<milp::solution> sols(specs.size());
     for (std::size_t s = 0; s < specs.size(); ++s) {
       milp::solver_options& o = specs[s].options;
       o.time_limit_seconds = seconds;
@@ -169,7 +187,6 @@ int main(int argc, char** argv) {
       stopwatch watch;
       const milp::solution sol = milp::solve(ilp.model, o);
       const double elapsed = watch.elapsed_seconds();
-      objective[s] = sol.objective;
       sols[s] = sol;
 
       bench::bench_record r;
@@ -186,11 +203,13 @@ int main(int argc, char** argv) {
       r.constraints = rows;
       records.push_back(r);
 
-      if (s == 0) {
+      if (s == 0 && dense_viable) {
+        // Aggregate only over the subset both configurations run, so the
+        // iterations/node headline compares equal workloads.
         total_iters_new += sol.simplex_iterations;
         total_nodes_new += sol.nodes_explored;
         total_secs_new += elapsed;
-      } else {
+      } else if (specs[s].label == std::string("primal_only")) {
         total_iters_old += sol.simplex_iterations;
         total_nodes_old += sol.nodes_explored;
         total_secs_old += elapsed;
@@ -201,32 +220,42 @@ int main(int argc, char** argv) {
                   sol.strong_branch_probes, sol.objective, elapsed,
                   status_name(sol.status).c_str());
     }
-    const bool both_optimal =
-        sols[0].status == milp::solve_status::optimal &&
-        sols[1].status == milp::solve_status::optimal;
-    if (both_optimal) {
-      ++optimal_assays;
-      optimal_iters_new += sols[0].simplex_iterations;
-      optimal_iters_old += sols[1].simplex_iterations;
-      optimal_secs_new += sols[0].seconds;
-      optimal_secs_old += sols[1].seconds;
-      if (std::abs(objective[0] - objective[1]) >
-          1e-6 * std::max(1.0, std::abs(objective[1]))) {
-        objectives_match = false;
-        std::printf("%-7s ERROR: optimal objectives differ "
-                    "(%.6f vs %.6f)\n",
-                    name.c_str(), objective[0], objective[1]);
+
+    // Cross-engine agreement: every pair of configurations that both proved
+    // optimality must report the same objective.
+    for (std::size_t a_idx = 0; a_idx < specs.size(); ++a_idx)
+      for (std::size_t b_idx = a_idx + 1; b_idx < specs.size(); ++b_idx) {
+        if (sols[a_idx].status != milp::solve_status::optimal ||
+            sols[b_idx].status != milp::solve_status::optimal)
+          continue;
+        if (objectives_differ(sols[a_idx].objective, sols[b_idx].objective)) {
+          objectives_match = false;
+          std::printf("%-7s ERROR: optimal objectives differ "
+                      "(%s %.6f vs %s %.6f)\n",
+                      name.c_str(), specs[a_idx].label, sols[a_idx].objective,
+                      specs[b_idx].label, sols[b_idx].objective);
+        }
       }
-    } else if (std::abs(objective[0] - objective[1]) >
-               1e-6 * std::max(1.0, std::abs(objective[1]))) {
-      std::printf("%-7s note: incumbents differ under the time limit "
-                  "(%.3f vs %.3f)\n",
-                  name.c_str(), objective[0], objective[1]);
+    if (dense_viable) {
+      const milp::solution& lu = sols[0];
+      const milp::solution& seed = sols.back();
+      if (lu.status == milp::solve_status::optimal &&
+          seed.status == milp::solve_status::optimal) {
+        ++optimal_assays;
+        optimal_iters_new += lu.simplex_iterations;
+        optimal_iters_old += seed.simplex_iterations;
+        optimal_secs_new += lu.seconds;
+        optimal_secs_old += seed.seconds;
+      } else if (objectives_differ(lu.objective, seed.objective)) {
+        std::printf("%-7s note: incumbents differ under the time limit "
+                    "(%.3f vs %.3f)\n",
+                    name.c_str(), lu.objective, seed.objective);
+      }
     }
   }
 
   if (total_iters_old > 0 && total_nodes_new > 0 && total_nodes_old > 0) {
-    std::printf("\niterations/node:   dual_devex=%.1f primal_only=%.1f "
+    std::printf("\niterations/node:   lu_dual_devex=%.1f primal_only=%.1f "
                 "(%.2fx fewer LP iterations per node)\n",
                 static_cast<double>(total_iters_new) /
                     static_cast<double>(total_nodes_new),
@@ -234,14 +263,14 @@ int main(int argc, char** argv) {
                     static_cast<double>(total_nodes_old),
                 static_cast<double>(total_iters_old) * total_nodes_new /
                     (static_cast<double>(total_iters_new) * total_nodes_old));
-    std::printf("totals:            dual_devex=%ld iters %.3fs | "
+    std::printf("totals:            lu_dual_devex=%ld iters %.3fs | "
                 "primal_only=%ld iters %.3fs\n",
                 total_iters_new, total_secs_new, total_iters_old,
                 total_secs_old);
   }
   if (optimal_assays > 0 && optimal_iters_new > 0) {
     std::printf("proven-optimal subset (%d assays, equal work): "
-                "dual_devex=%ld iters %.3fs | primal_only=%ld iters %.3fs "
+                "lu_dual_devex=%ld iters %.3fs | primal_only=%ld iters %.3fs "
                 "(%.2fx iteration reduction), objectives %s\n",
                 optimal_assays, optimal_iters_new, optimal_secs_new,
                 optimal_iters_old, optimal_secs_old,
@@ -249,8 +278,12 @@ int main(int argc, char** argv) {
                     static_cast<double>(optimal_iters_new),
                 objectives_match ? "identical" : "DIFFER");
   }
+  if (above_dense_ceiling > 0)
+    std::printf("formulations above the %d-row dense ceiling run by the "
+                "sparse engine: %d\n",
+                dense_row_limit, above_dense_ceiling);
 
   if (!bench::write_bench_json(out_path, "bench_milp", records)) return 1;
   std::printf("wrote %s\n", out_path.c_str());
-  return 0;
+  return objectives_match ? 0 : 1;
 }

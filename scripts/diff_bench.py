@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Diff a fresh BENCH_*.json run against a committed baseline and fail on
+regressions, so CI gates on the performance trajectory instead of only
+uploading artifacts.
+
+    diff_bench.py NEW BASELINE [--max-iter-ratio R] [--max-time-ratio R]
+
+Records are matched by (assay, config). Only baseline records with status
+"optimal" are compared quantitatively: solver iterations and node counts
+are deterministic for a given binary, so they may not exceed the baseline
+by more than --max-iter-ratio; wall time gets the much looser
+--max-time-ratio (CI machines are noisy) with an absolute floor so
+sub-100ms solves never trip it. Time-limited baseline records only require
+that the (assay, config) pair still runs and still produces an incumbent.
+
+Exit codes: 0 ok, 1 regression(s), 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"diff_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    return {(r["assay"], r["config"]): r for r in doc.get("results", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("new_path")
+    ap.add_argument("baseline_path")
+    ap.add_argument("--max-iter-ratio", type=float, default=1.25,
+                    help="allowed growth of iterations/nodes on "
+                         "proven-optimal records (default 1.25)")
+    ap.add_argument("--max-time-ratio", type=float, default=4.0,
+                    help="allowed wall-time growth on proven-optimal "
+                         "records (default 4.0)")
+    ap.add_argument("--min-time-floor", type=float, default=0.5,
+                    help="seconds below which time is never compared "
+                         "(default 0.5)")
+    args = ap.parse_args()
+
+    new = load(args.new_path)
+    base = load(args.baseline_path)
+    failures = []
+
+    for key, b in sorted(base.items()):
+        assay, config = key
+        n = new.get(key)
+        if n is None:
+            failures.append(f"{assay}/{config}: record missing from new run")
+            continue
+        if b.get("status") != "optimal":
+            # Time-limited baseline: just require an incumbent-bearing run.
+            if n.get("status") in ("infeasible", "unbounded", "no_solution"):
+                failures.append(
+                    f"{assay}/{config}: status degraded to {n.get('status')}"
+                    f" (baseline {b.get('status')})")
+            continue
+        if n.get("status") != "optimal":
+            failures.append(
+                f"{assay}/{config}: no longer proven optimal "
+                f"(status {n.get('status')})")
+            continue
+        if abs(n["objective"] - b["objective"]) > 1e-6 * max(
+                1.0, abs(b["objective"])):
+            failures.append(
+                f"{assay}/{config}: optimal objective changed "
+                f"{b['objective']} -> {n['objective']}")
+        for field in ("simplex_iterations", "nodes"):
+            if b.get(field, 0) > 0 and n.get(field, 0) > args.max_iter_ratio * b[field]:
+                failures.append(
+                    f"{assay}/{config}: {field} regressed "
+                    f"{b[field]} -> {n[field]} "
+                    f"(> {args.max_iter_ratio:.2f}x)")
+        bt, nt = b.get("seconds", 0.0), n.get("seconds", 0.0)
+        if bt >= args.min_time_floor and nt > args.max_time_ratio * bt:
+            failures.append(
+                f"{assay}/{config}: time regressed {bt:.3f}s -> {nt:.3f}s "
+                f"(> {args.max_time_ratio:.1f}x)")
+
+    for key in sorted(new.keys() - base.keys()):
+        print(f"diff_bench: note: new record {key[0]}/{key[1]} "
+              f"not in baseline (ok)")
+
+    if failures:
+        print(f"diff_bench: {len(failures)} regression(s) vs "
+              f"{args.baseline_path}:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"diff_bench: {len(base)} baseline records ok "
+          f"({args.new_path} vs {args.baseline_path})")
+
+
+if __name__ == "__main__":
+    main()

@@ -48,6 +48,10 @@ struct lp_result {
   lp_status status = lp_status::iteration_limit;
   double objective = std::numeric_limits<double>::infinity();
   std::vector<double> x; // structural variable values (size num_vars)
+  /// Row duals y = c_B B^-1 (size num_rows, minimization sense), filled on
+  /// optimal solves: together with x they form the optimality certificate
+  /// the differential tests check (dual feasibility + strong duality).
+  std::vector<double> duals;
   long iterations = 0;       // total simplex iterations of this solve
   long dual_iterations = 0;  // subset taken by the dual method
   bool used_dual = false;    // the solve entered the dual simplex

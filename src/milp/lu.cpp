@@ -1,0 +1,330 @@
+#include "milp/lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace transtore::milp {
+namespace {
+
+/// One active-matrix entry inside a row.
+struct row_entry {
+  int col; // basis position
+  double value;
+};
+
+} // namespace
+
+bool basis_lu::factorize(int m, const std::vector<sparse_column>& columns) {
+  require(static_cast<int>(columns.size()) == m, "basis_lu: bad column count");
+  m_ = m;
+  valid_ = false;
+
+  pivot_row_.assign(m, -1);
+  pivot_col_.assign(m, -1);
+  l_start_.assign(1, 0);
+  l_row_.clear();
+  l_value_.clear();
+  u_start_.assign(1, 0);
+  u_col_.clear();
+  u_value_.clear();
+  u_pivot_.assign(m, 0.0);
+  work_.assign(m, 0.0);
+  if (m == 0) {
+    ucol_start_.assign(1, 0);
+    ucol_step_.clear();
+    ucol_value_.clear();
+    valid_ = true;
+    return true;
+  }
+
+  // Active matrix: exact row-wise storage plus per-column row lists that may
+  // carry stale rows (cancelled entries, pivoted rows) and are compacted
+  // lazily. col_count / row_count are kept exact -- they drive Markowitz.
+  std::vector<std::vector<row_entry>> rows(m);
+  std::vector<std::vector<int>> col_rows(m);
+  std::vector<int> col_count(m, 0);
+  std::vector<int> row_count(m, 0);
+  for (int p = 0; p < m; ++p) {
+    for (const auto& [i, v] : columns[p]) {
+      require(i >= 0 && i < m, "basis_lu: row index out of range");
+      if (v == 0.0) continue;
+      rows[i].push_back({p, v});
+      col_rows[p].push_back(i);
+      ++col_count[p];
+      ++row_count[i];
+    }
+    if (col_count[p] == 0) return false; // structurally singular
+  }
+
+  // Count buckets with lazy deletion: a column is (re)pushed whenever its
+  // count changes; entries whose recorded count disagrees are stale.
+  std::vector<std::vector<int>> bucket(static_cast<std::size_t>(m) + 1);
+  for (int p = 0; p < m; ++p) bucket[static_cast<std::size_t>(col_count[p])].push_back(p);
+  auto rebucket = [&](int col) {
+    bucket[static_cast<std::size_t>(col_count[col])].push_back(col);
+  };
+
+  std::vector<bool> row_done(m, false);
+  std::vector<bool> col_done(m, false);
+
+  // Dense scratch for the row merges.
+  std::vector<double> dense(m, 0.0);
+  std::vector<char> present(m, 0);
+  std::vector<int> pattern;
+  pattern.reserve(64);
+
+  // Valid (row, value) entries of one candidate column, gathered during the
+  // pivot search and reused by the elimination when that column is chosen.
+  struct col_cache {
+    int col = -1;
+    std::vector<std::pair<int, double>> entries; // (row, value)
+  };
+  col_cache cached;
+  std::vector<std::pair<int, double>> scratch_entries; // candidate gathers
+
+  auto find_in_row = [&](int row, int col) -> const row_entry* {
+    for (const row_entry& e : rows[row])
+      if (e.col == col) return &e;
+    return nullptr;
+  };
+
+  // Gather the valid entries of column `col`, compacting its row list. A
+  // row can appear twice in the list -- a stale copy from a cancelled
+  // entry plus a later re-fill -- so gathered rows are stamped: processing
+  // a duplicate would eliminate the same row twice and corrupt both the
+  // values and the Markowitz counts.
+  std::vector<int> gather_mark(m, -1);
+  int gather_stamp = -1;
+  auto gather_column = [&](int col, std::vector<std::pair<int, double>>& out) {
+    out.clear();
+    ++gather_stamp;
+    std::vector<int>& list = col_rows[col];
+    std::size_t keep = 0;
+    for (const int i : list) {
+      if (row_done[i] || gather_mark[i] == gather_stamp) continue;
+      const row_entry* e = find_in_row(i, col);
+      if (e == nullptr) continue; // cancelled
+      gather_mark[i] = gather_stamp;
+      list[keep++] = i;
+      out.emplace_back(i, e->value);
+    }
+    list.resize(keep);
+  };
+
+  for (int k = 0; k < m; ++k) {
+    // ---------------------------------------------------- Markowitz search
+    int best_row = -1;
+    int best_col = -1;
+    double best_value = 0.0;
+    long best_cost = std::numeric_limits<long>::max();
+    int examined = 0;
+
+    for (int count = 0; count <= m && best_cost > 0; ++count) {
+      if (count == 0) {
+        // A live column can never sit in bucket 0: count 0 means every
+        // entry cancelled, i.e. the basis became numerically singular.
+        for (const int j : bucket[0])
+          if (!col_done[j] && col_count[j] == 0) return false;
+        continue;
+      }
+      std::vector<int>& b = bucket[static_cast<std::size_t>(count)];
+      std::size_t idx = 0;
+      while (idx < b.size()) {
+        const int j = b[idx];
+        if (col_done[j] || col_count[j] != count) {
+          b[idx] = b.back(); // stale: drop (order is still deterministic)
+          b.pop_back();
+          continue;
+        }
+        ++idx;
+        std::vector<std::pair<int, double>>& entries = scratch_entries;
+        gather_column(j, entries);
+        double colmax = 0.0;
+        for (const auto& [i, v] : entries) colmax = std::max(colmax, std::abs(v));
+        if (colmax < options_.pivot_tolerance)
+          return false; // numerically dependent column
+        const double admissible =
+            std::max(options_.pivot_tolerance, options_.suhl_threshold * colmax);
+        int cand_row = -1;
+        double cand_value = 0.0;
+        long cand_cost = std::numeric_limits<long>::max();
+        for (const auto& [i, v] : entries) {
+          if (std::abs(v) < admissible) continue;
+          const long cost = static_cast<long>(row_count[i] - 1) *
+                            static_cast<long>(count - 1);
+          if (cost < cand_cost || (cost == cand_cost && i < cand_row)) {
+            cand_cost = cost;
+            cand_row = i;
+            cand_value = v;
+          }
+        }
+        if (cand_row < 0) continue; // every admissible entry was below Suhl
+        ++examined;
+        if (cand_cost < best_cost) {
+          best_cost = cand_cost;
+          best_row = cand_row;
+          best_col = j;
+          best_value = cand_value;
+          cached.col = j;
+          std::swap(cached.entries, scratch_entries);
+        }
+        if (best_cost == 0) break;
+        if (count > 1 && examined >= options_.search_columns) break;
+      }
+      if (best_col >= 0 && (best_cost == 0 ||
+                            (count > 1 && examined >= options_.search_columns)))
+        break;
+    }
+    if (best_col < 0) return false; // no admissible pivot anywhere
+
+    // -------------------------------------------------------- elimination
+    const int pr = best_row;
+    const int pc = best_col;
+    const double pv = best_value;
+    pivot_row_[k] = pr;
+    pivot_col_[k] = pc;
+    u_pivot_[k] = pv;
+    row_done[pr] = true;
+    col_done[pc] = true;
+
+    // The pivot row's remaining entries become U row k and leave the
+    // active matrix.
+    for (const row_entry& e : rows[pr]) {
+      if (e.col == pc || col_done[e.col]) continue;
+      u_col_.push_back(e.col);
+      u_value_.push_back(e.value);
+      --col_count[e.col];
+      rebucket(e.col);
+    }
+    u_start_.push_back(static_cast<int>(u_col_.size()));
+
+    // Eliminate column pc from every other active row. The candidate cache
+    // holds exactly the valid (row, value) entries of the pivot column.
+    if (cached.col != pc) gather_column(pc, cached.entries);
+    for (const auto& [i, a_ipc] : cached.entries) {
+      if (i == pr || row_done[i]) continue;
+      const double mult = a_ipc / pv;
+      l_row_.push_back(i);
+      l_value_.push_back(mult);
+
+      // row_i -= mult * row_pr, dropping the pivot column.
+      pattern.clear();
+      for (const row_entry& e : rows[i]) {
+        if (e.col == pc) continue; // eliminated exactly
+        dense[e.col] = e.value;
+        present[e.col] = 1;
+        pattern.push_back(e.col);
+      }
+      for (const row_entry& e : rows[pr]) {
+        if (e.col == pc) continue;
+        if (!present[e.col]) {
+          present[e.col] = 1;
+          pattern.push_back(e.col);
+          dense[e.col] = 0.0;
+          // Fill-in: column e.col gains an entry in row i.
+          col_rows[e.col].push_back(i);
+          ++col_count[e.col];
+          rebucket(e.col);
+        }
+        dense[e.col] -= mult * e.value;
+      }
+      std::vector<row_entry>& target = rows[i];
+      target.clear();
+      for (const int c : pattern) {
+        const double v = dense[c];
+        dense[c] = 0.0;
+        present[c] = 0;
+        if (v == 0.0) {
+          // Exact cancellation: the entry leaves column c.
+          --col_count[c];
+          rebucket(c);
+          continue;
+        }
+        target.push_back({c, v});
+      }
+      row_count[i] = static_cast<int>(target.size());
+    }
+    // The pivot column's entries (including the pivot) are gone.
+    col_count[pc] = 0;
+    col_rows[pc].clear();
+    rows[pr].clear();
+    l_start_.push_back(static_cast<int>(l_row_.size()));
+    cached.col = -1;
+  }
+
+  // Column-wise U for btran: map each U entry's basis position to its pivot
+  // step and bucket by that step.
+  std::vector<int> step_of_position(m, -1);
+  for (int k = 0; k < m; ++k) step_of_position[pivot_col_[k]] = k;
+  ucol_start_.assign(static_cast<std::size_t>(m) + 1, 0);
+  for (const int c : u_col_) ++ucol_start_[static_cast<std::size_t>(step_of_position[c]) + 1];
+  for (int k = 0; k < m; ++k)
+    ucol_start_[static_cast<std::size_t>(k) + 1] += ucol_start_[static_cast<std::size_t>(k)];
+  ucol_step_.assign(u_col_.size(), 0);
+  ucol_value_.assign(u_col_.size(), 0.0);
+  std::vector<int> cursor(ucol_start_.begin(), ucol_start_.end() - 1);
+  for (int k = 0; k < m; ++k) {
+    for (int idx = u_start_[k]; idx < u_start_[k + 1]; ++idx) {
+      const int j = step_of_position[u_col_[static_cast<std::size_t>(idx)]];
+      ucol_step_[static_cast<std::size_t>(cursor[j])] = k;
+      ucol_value_[static_cast<std::size_t>(cursor[j])] =
+          u_value_[static_cast<std::size_t>(idx)];
+      ++cursor[j];
+    }
+  }
+
+  valid_ = true;
+  return true;
+}
+
+void basis_lu::ftran(const std::vector<double>& rhs,
+                     std::vector<double>& x) const {
+  require(valid_, "basis_lu: ftran without a valid factorization");
+  work_.assign(rhs.begin(), rhs.end());
+  // Apply the elimination steps: v[row] -= mult * v[pivot_row_[k]].
+  for (int k = 0; k < m_; ++k) {
+    const double t = work_[pivot_row_[k]];
+    if (t == 0.0) continue;
+    for (int idx = l_start_[k]; idx < l_start_[k + 1]; ++idx)
+      work_[l_row_[static_cast<std::size_t>(idx)]] -=
+          l_value_[static_cast<std::size_t>(idx)] * t;
+  }
+  // Back substitution through U (positions pivoted later are solved first).
+  x.assign(static_cast<std::size_t>(m_), 0.0);
+  for (int k = m_ - 1; k >= 0; --k) {
+    double s = work_[pivot_row_[k]];
+    for (int idx = u_start_[k]; idx < u_start_[k + 1]; ++idx)
+      s -= u_value_[static_cast<std::size_t>(idx)] *
+           x[u_col_[static_cast<std::size_t>(idx)]];
+    x[pivot_col_[k]] = s / u_pivot_[k];
+  }
+}
+
+void basis_lu::btran(const std::vector<double>& z,
+                     std::vector<double>& y) const {
+  require(valid_, "basis_lu: btran without a valid factorization");
+  // Forward solve U^T w = z; w is indexed by pivot step.
+  for (int k = 0; k < m_; ++k) {
+    double s = z[pivot_col_[k]];
+    for (int idx = ucol_start_[k]; idx < ucol_start_[k + 1]; ++idx)
+      s -= ucol_value_[static_cast<std::size_t>(idx)] *
+           work_[ucol_step_[static_cast<std::size_t>(idx)]];
+    work_[k] = s / u_pivot_[k];
+  }
+  // y = M^T w: scatter w to constraint rows, then apply the transposed
+  // elimination steps newest-first (y[pivot_row] -= mult * y[row]).
+  y.assign(static_cast<std::size_t>(m_), 0.0);
+  for (int k = 0; k < m_; ++k) y[pivot_row_[k]] = work_[k];
+  for (int k = m_ - 1; k >= 0; --k) {
+    double s = y[pivot_row_[k]];
+    for (int idx = l_start_[k]; idx < l_start_[k + 1]; ++idx)
+      s -= l_value_[static_cast<std::size_t>(idx)] *
+           y[l_row_[static_cast<std::size_t>(idx)]];
+    y[pivot_row_[k]] = s;
+  }
+}
+
+} // namespace transtore::milp

@@ -43,13 +43,19 @@ simplex_solver::simplex_solver(const lp_problem& problem,
   basic_position_.assign(total_columns(), -1);
   status_.assign(total_columns(), status::at_lower);
   x_.assign(total_columns(), 0.0);
-  binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+  lu_ = basis_lu(options_.lu);
+  dense_active_ = options_.engine == basis_engine::dense;
+  // The O(m^2) dense inverse is what caps the dense engine at ~2500 rows;
+  // under the sparse engine it is allocated lazily, only if the numerical
+  // fallback ever engages.
+  if (dense_active_) binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
   devex_weight_.assign(total_columns(), 1.0);
   work_col_.assign(m_, 0.0);
   work_row_.assign(m_, 0.0);
   work_cost_.assign(m_, 0.0);
   work_rho_.assign(m_, 0.0);
   work_pos_.assign(m_, 0.0);
+  work_rhs_.assign(m_, 0.0);
 }
 
 void simplex_solver::set_variable_bounds(int var, double lower, double upper) {
@@ -91,10 +97,19 @@ void simplex_solver::reset_to_slack_basis() {
       x_[j] = upper_[j];
     }
   }
-  // Slack basis matrix is -I, so its inverse is -I as well.
-  std::fill(binv_.begin(), binv_.end(), 0.0);
-  for (int i = 0; i < m_; ++i)
-    binv_[static_cast<std::size_t>(i) * m_ + i] = -1.0;
+  // Slack basis matrix is -I, so its inverse is -I as well; the LU
+  // factorization of -I is trivial and cannot fail.
+  if (options_.engine == basis_engine::sparse_lu) {
+    std::vector<basis_lu::sparse_column> cols(static_cast<std::size_t>(m_));
+    for (int i = 0; i < m_; ++i) cols[static_cast<std::size_t>(i)] = {{i, -1.0}};
+    require(lu_.factorize(m_, cols), "simplex: slack basis factorization");
+    dense_active_ = false;
+  } else {
+    std::fill(binv_.begin(), binv_.end(), 0.0);
+    for (int i = 0; i < m_; ++i)
+      binv_[static_cast<std::size_t>(i) * m_ + i] = -1.0;
+    dense_active_ = true;
+  }
   etas_.clear();
   eta_nonzeros_ = 0;
   reset_devex();
@@ -137,14 +152,75 @@ void simplex_solver::compute_basic_values() {
       rhs[j - n_] += v; // slack column is -e_row
     }
   }
-  dense_ftran(rhs, work_pos_);
+  base_ftran(rhs, work_pos_);
   apply_etas_ftran(work_pos_);
   for (int p = 0; p < m_; ++p) x_[basis_[p]] = work_pos_[p];
 }
 
 bool simplex_solver::refactorize() {
+  if (!build_base_inverse()) return false;
+  etas_.clear();
+  eta_nonzeros_ = 0;
+  ++stats_.refactorizations;
+  compute_basic_values();
+  return true;
+}
+
+bool simplex_solver::build_base_inverse() {
+  if (options_.engine == basis_engine::sparse_lu) {
+    std::vector<basis_lu::sparse_column> cols(static_cast<std::size_t>(m_));
+    for (int p = 0; p < m_; ++p) {
+      const int col = basis_[p];
+      basis_lu::sparse_column& c = cols[static_cast<std::size_t>(p)];
+      if (col < n_) {
+        c.reserve(static_cast<std::size_t>(problem_.col_start[col + 1] -
+                                           problem_.col_start[col]));
+        for (int k = problem_.col_start[col]; k < problem_.col_start[col + 1];
+             ++k)
+          c.emplace_back(problem_.row_index[k], problem_.value[k]);
+      } else {
+        c.emplace_back(col - n_, -1.0);
+      }
+    }
+    lu_ = basis_lu(options_.lu); // strict thresholds, even after a retry
+    if (lu_.factorize(m_, cols)) {
+      dense_active_ = false;
+      ++stats_.lu_factorizations;
+      return true;
+    }
+    // First fallback: retry with the Suhl threshold relaxed and the pivot
+    // floor lowered -- an ill-conditioned but nonsingular basis often
+    // factors once sparsity stops vetoing the only usable pivots.
+    lu_options relaxed = options_.lu;
+    relaxed.suhl_threshold = 0.01;
+    relaxed.pivot_tolerance = std::min(relaxed.pivot_tolerance, 1e-13);
+    basis_lu retry(relaxed);
+    if (retry.factorize(m_, cols)) {
+      lu_ = std::move(retry);
+      dense_active_ = false;
+      ++stats_.lu_factorizations;
+      return true;
+    }
+    // Second fallback: full partial pivoting on the explicit inverse may
+    // still get through, and then backs the solves until the next
+    // refactorization (which tries LU again). The O(m^3) rebuild is only
+    // affordable at dense-viable sizes (the historical ~2500-row bound);
+    // above that the caller's slack-basis repair is the cheaper correct
+    // recovery -- and it stays responsive to deadlines and cancellation.
+    if (m_ > 2500) return false;
+  }
+  if (dense_refactorize()) {
+    if (options_.engine == basis_engine::sparse_lu) ++stats_.dense_fallbacks;
+    dense_active_ = true;
+    return true;
+  }
+  return false;
+}
+
+bool simplex_solver::dense_refactorize() {
   // Assemble the basis matrix and invert it by Gauss-Jordan elimination with
   // partial pivoting.
+  if (binv_.empty()) binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
   std::vector<double> a(static_cast<std::size_t>(m_) * m_, 0.0);
   for (int p = 0; p < m_; ++p) {
     const int col = basis_[p];
@@ -199,11 +275,34 @@ bool simplex_solver::refactorize() {
   }
   // binv_ now holds B^{-1} in "basis position" row order: row p gives the
   // coefficients expressing basis position p in terms of constraint rows.
-  etas_.clear();
-  eta_nonzeros_ = 0;
-  ++stats_.refactorizations;
-  compute_basic_values();
   return true;
+}
+
+bool simplex_solver::load_basis(const std::vector<int>& basic_columns) {
+  require(static_cast<int>(basic_columns.size()) == m_,
+          "simplex: load_basis needs one column per row");
+  std::fill(basic_position_.begin(), basic_position_.end(), -1);
+  for (int p = 0; p < m_; ++p) {
+    const int col = basic_columns[static_cast<std::size_t>(p)];
+    require(col >= 0 && col < total_columns(),
+            "simplex: load_basis column out of range");
+    require(basic_position_[col] < 0, "simplex: load_basis repeats a column");
+    basis_[p] = col;
+    basic_position_[col] = p;
+  }
+  for (int j = 0; j < total_columns(); ++j)
+    status_[j] = basic_position_[j] >= 0 ? status::basic : status::at_lower;
+  clamp_nonbasic_to_bounds();
+  reset_devex();
+  candidates_.clear();
+  pricing_cursor_ = 0;
+  basis_valid_ = true;
+  if (refactorize()) return true;
+  // Singular under every engine: repair to the slack basis so the solver
+  // stays usable, and report the rejection.
+  reset_to_slack_basis();
+  compute_basic_values();
+  return false;
 }
 
 // ----------------------------------------------------- basis inverse algebra
@@ -232,6 +331,22 @@ void simplex_solver::apply_etas_btran(std::vector<double>& z) const {
   }
 }
 
+void simplex_solver::base_ftran(const std::vector<double>& rhs,
+                                std::vector<double>& v) const {
+  if (dense_active_)
+    dense_ftran(rhs, v);
+  else
+    lu_.ftran(rhs, v);
+}
+
+void simplex_solver::base_btran(const std::vector<double>& z,
+                                std::vector<double>& y) const {
+  if (dense_active_)
+    dense_btran(z, y);
+  else
+    lu_.btran(z, y);
+}
+
 void simplex_solver::dense_ftran(const std::vector<double>& rhs,
                                  std::vector<double>& v) const {
   v.assign(m_, 0.0);
@@ -255,7 +370,23 @@ void simplex_solver::dense_btran(const std::vector<double>& z,
 }
 
 void simplex_solver::ftran(int column, std::vector<double>& w) const {
-  if (column < n_) {
+  if (!dense_active_) {
+    // Scatter the sparse column into the all-zero row-space scratch, solve,
+    // and restore the invariant.
+    if (column < n_) {
+      for (int k = problem_.col_start[column]; k < problem_.col_start[column + 1];
+           ++k)
+        work_rhs_[problem_.row_index[k]] = problem_.value[k];
+      lu_.ftran(work_rhs_, w);
+      for (int k = problem_.col_start[column]; k < problem_.col_start[column + 1];
+           ++k)
+        work_rhs_[problem_.row_index[k]] = 0.0;
+    } else {
+      work_rhs_[column - n_] = -1.0;
+      lu_.ftran(work_rhs_, w);
+      work_rhs_[column - n_] = 0.0;
+    }
+  } else if (column < n_) {
     for (int p = 0; p < m_; ++p) {
       const double* row = &binv_[static_cast<std::size_t>(p) * m_];
       double sum = 0.0;
@@ -276,7 +407,7 @@ void simplex_solver::btran_row(int position, std::vector<double>& rho) const {
   work_pos_.assign(m_, 0.0);
   work_pos_[position] = 1.0;
   apply_etas_btran(work_pos_);
-  dense_btran(work_pos_, rho);
+  base_btran(work_pos_, rho);
 }
 
 void simplex_solver::record_basis_update(int leaving_pos, double pivot_element,
@@ -285,9 +416,11 @@ void simplex_solver::record_basis_update(int leaving_pos, double pivot_element,
   for (int p = 0; p < m_; ++p)
     if (w[p] != 0.0) ++nnz;
 
-  if (etas_.empty() && 2 * nnz > m_) {
+  if (dense_active_ && etas_.empty() && 2 * nnz > m_) {
     // Dense spike with no pending etas: sparsity-aware in-place update of
-    // the explicit inverse (work ~ nnz(w) x nnz(pivot row)).
+    // the explicit inverse (work ~ nnz(w) x nnz(pivot row)). The LU factors
+    // are immutable, so under the sparse engine every spike goes to the eta
+    // file (eta-on-LU) until the next refactorization.
     double* pivot_row = &binv_[static_cast<std::size_t>(leaving_pos) * m_];
     const double inv_pivot = 1.0 / pivot_element;
     static thread_local std::vector<int> row_nonzeros;
@@ -322,8 +455,16 @@ void simplex_solver::record_basis_update(int leaving_pos, double pivot_element,
 bool simplex_solver::should_refactor(int pivots_since_refactor) const {
   if (pivots_since_refactor >= options_.refactor_interval) return true;
   if (static_cast<int>(etas_.size()) >= options_.refactor_interval) return true;
-  const std::size_t nnz_cap = std::max<std::size_t>(
-      1024, static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_) / 8);
+  // Fill trigger: refactor once the eta file outgrows its base
+  // representation -- m^2/8 against the dense inverse, a small multiple of
+  // the LU factor nonzeros against the sparse factors (whose solves are
+  // O(m + fill), so a bloated eta file would dominate them).
+  const std::size_t nnz_cap =
+      dense_active_
+          ? std::max<std::size_t>(1024, static_cast<std::size_t>(m_) *
+                                            static_cast<std::size_t>(m_) / 8)
+          : std::max<std::size_t>(
+                1024, 2 * (lu_.factor_nonzeros() + static_cast<std::size_t>(m_)));
   return eta_nonzeros_ > nnz_cap;
 }
 
@@ -333,7 +474,7 @@ void simplex_solver::compute_duals(const std::vector<double>& basic_cost,
                                    std::vector<double>& y) const {
   work_pos_.assign(basic_cost.begin(), basic_cost.end());
   apply_etas_btran(work_pos_);
-  dense_btran(work_pos_, y);
+  base_btran(work_pos_, y);
 }
 
 double simplex_solver::reduced_cost(int column,
@@ -830,7 +971,7 @@ simplex_solver::dual_outcome simplex_solver::dual_iterate() {
                                                       : status::at_lower;
       x_[col] = status_[col] == status::at_lower ? lower_[col] : upper_[col];
     }
-    dense_ftran(rhs, work_pos_);
+    base_ftran(rhs, work_pos_);
     apply_etas_ftran(work_pos_);
     for (int p = 0; p < m_; ++p) {
       if (work_pos_[p] != 0.0) x_[basis_[p]] -= work_pos_[p];
@@ -1068,6 +1209,11 @@ lp_result simplex_solver::solve(const deadline& time_budget, bool warm_start,
   result.iterations = iterations;
   result.dual_iterations = dual_iterations;
   result.x.assign(x_.begin(), x_.begin() + n_);
+  if (result.status == lp_status::optimal) {
+    for (int p = 0; p < m_; ++p) work_cost_[p] = column_cost_phase2(basis_[p]);
+    compute_duals(work_cost_, work_row_);
+    result.duals = work_row_;
+  }
   double objective = 0.0;
   for (int j = 0; j < n_; ++j) objective += problem_.cost[j] * x_[j];
   result.objective = objective;

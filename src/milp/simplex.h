@@ -12,10 +12,13 @@
 //   * devex reference-weight pricing over a rotating partial-pricing
 //     candidate list (Dantzig available for ablations, Bland's rule as the
 //     anti-cycling fallback after a run of degenerate steps);
-//   * a dense basis inverse refreshed by periodic refactorization and kept
-//     current between refactorizations by product-form (eta) updates --
-//     sparse spikes append O(fill-in) eta vectors, dense spikes fall back
-//     to a sparsity-aware in-place inverse update.
+//   * a basis factorization refreshed by periodic refactorization and kept
+//     current between refactorizations by product-form (eta) updates
+//     (eta-on-LU). Two engines are available behind `basis_engine`: the
+//     default sparse LU (Markowitz pivoting with Suhl threshold partial
+//     pivoting, O(m + fill) ftran/btran -- see milp/lu.h) and the dense
+//     explicit inverse retained for ablation and as the numerical fallback
+//     when a factorization comes out singular.
 //
 // solve() picks the method automatically: a warm-started basis that lost
 // primal feasibility (branching) but kept dual feasibility re-solves with
@@ -29,10 +32,16 @@
 
 #include "common/stopwatch.h"
 #include "milp/lp.h"
+#include "milp/lu.h"
 
 namespace transtore::milp {
 
 enum class pricing_rule : unsigned char { dantzig, devex };
+
+/// Basis-inverse representation. sparse_lu is the default; dense keeps the
+/// explicit m x m inverse (the seed representation, O(m^2) per solve step
+/// and O(m^2) memory -- viable only to ~2500 rows).
+enum class basis_engine : unsigned char { dense, sparse_lu };
 
 /// Tunables for one simplex solve.
 struct simplex_options {
@@ -50,6 +59,12 @@ struct simplex_options {
   /// Partial-pricing candidate list size; 0 derives it from the column
   /// count. Ignored under Dantzig/Bland pricing (full scans).
   int partial_pricing_size = 0;
+  /// Basis-inverse representation. The dense engine remains the numerical
+  /// fallback: a singular sparse LU factorization retries densely before
+  /// the slack-basis repair.
+  basis_engine engine = basis_engine::sparse_lu;
+  /// Markowitz/Suhl tunables of the sparse engine.
+  lu_options lu;
 };
 
 /// Cumulative counters across all solves of one simplex_solver.
@@ -60,6 +75,8 @@ struct simplex_stats {
   long refactorizations = 0;
   long dual_solves = 0;       // solves that entered the dual method
   long primal_fallbacks = 0;  // dual aborts recovered by the primal path
+  long lu_factorizations = 0; // successful sparse LU factorizations
+  long dense_fallbacks = 0;   // singular LU repaired by the dense engine
 };
 
 /// Stateful solver: keeps the basis between solves so that branch-and-bound
@@ -80,6 +97,13 @@ public:
   /// overrides options.max_iterations when >= 0 (strong-branching probes).
   lp_result solve(const deadline& time_budget, bool warm_start,
                   long iteration_limit = -1);
+
+  /// Install a caller-specified basis (column indices in [0, n+m), one per
+  /// row, slack column for row i being n+i) and refactorize. Nonbasic
+  /// columns are parked at their nearest bound. Returns false when the
+  /// requested basis is singular -- the solver then repairs itself by
+  /// falling back to the slack basis, so it stays usable either way.
+  bool load_basis(const std::vector<int>& basic_columns);
 
   /// Number of rows (basis dimension).
   [[nodiscard]] int rows() const { return m_; }
@@ -106,10 +130,17 @@ private:
   long total_iterations_ = 0;
   simplex_stats stats_;
 
-  // Basis inverse representation: dense B0^-1 at the last refactorization
-  // (row-major m_ x m_, row p = basis position p) composed with a
-  // product-form eta file for pivots since then.
+  // Basis inverse representation at the last refactorization -- either the
+  // sparse LU factors (lu_) or the dense explicit B0^-1 (binv_, row-major
+  // m_ x m_, row p = basis position p; allocated lazily, only when the
+  // dense representation is actually in use) -- composed with a
+  // product-form eta file for pivots since then. dense_active_ names the
+  // representation currently backing the solves: under the sparse_lu
+  // engine it flips to true for one refactorization cycle when the LU came
+  // out singular but the dense inverse did not (numerical fallback).
+  basis_lu lu_;
   std::vector<double> binv_;
+  bool dense_active_ = false;
   struct eta_vector {
     int pivot_pos;
     double pivot_value;
@@ -129,20 +160,28 @@ private:
   std::vector<double> work_cost_; // phase-dependent basic costs
   std::vector<double> work_rho_;  // pivot row e_r B^-1
   mutable std::vector<double> work_pos_; // position-space scratch (const helpers)
+  mutable std::vector<double> work_rhs_; // row-space scratch, kept all-zero
 
   [[nodiscard]] int total_columns() const { return n_ + m_; }
 
   void reset_to_slack_basis();
   void clamp_nonbasic_to_bounds();
   void compute_basic_values();
-  /// Rebuilds the dense inverse from the current basis; false when the
-  /// basis is (numerically) singular -- the caller must repair, e.g. by
-  /// resetting to the slack basis.
+  /// Rebuilds the basis factorization from the current basis; false when
+  /// the basis is (numerically) singular under every available engine --
+  /// the caller must repair, e.g. by resetting to the slack basis.
   [[nodiscard]] bool refactorize();
+  /// Engine-dispatched rebuild without the eta/statistics bookkeeping.
+  [[nodiscard]] bool build_base_inverse();
+  [[nodiscard]] bool dense_refactorize();
 
-  // Basis-inverse application helpers.
+  // Basis-inverse application helpers. base_* applies the representation of
+  // the last refactorization (LU factors or dense inverse); the public
+  // ftran/btran compose it with the eta file.
   void apply_etas_ftran(std::vector<double>& v) const;
   void apply_etas_btran(std::vector<double>& z) const;
+  void base_ftran(const std::vector<double>& rhs, std::vector<double>& v) const;
+  void base_btran(const std::vector<double>& z, std::vector<double>& y) const;
   void dense_ftran(const std::vector<double>& rhs, std::vector<double>& v) const;
   void dense_btran(const std::vector<double>& z, std::vector<double>& y) const;
   void ftran(int column, std::vector<double>& w) const; // w = B^-1 a_col

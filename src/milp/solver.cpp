@@ -206,6 +206,7 @@ solver_options classic_primal_only_options() {
   o.lp.allow_dual = false;
   o.lp.pricing = pricing_rule::dantzig;
   o.lp.refactor_interval = 120; // the seed's dense-update cadence
+  o.lp.engine = basis_engine::dense; // the seed's basis representation
   return o;
 }
 

@@ -296,6 +296,18 @@ ilp_schedule_result schedule_with_ilp(const assay::sequencing_graph& graph,
 
   result.refined = refine_timing(graph, b, devices, options.timing);
   result.refined.validate(graph);
+  // The ILP does not model device-port serialization, so among alternate
+  // MILP optima the extracted ordering can re-time worse than the warm
+  // start (which basis engine / pivot order the LP took picks the vertex).
+  // Mirror the combined engine's guard: never return a schedule that
+  // scores worse under objective (6) than the warm start we were given.
+  if (options.warm_start) {
+    const double refined_score =
+        result.refined.objective(options.alpha, options.beta);
+    const double warm_score =
+        options.warm_start->objective(options.alpha, options.beta);
+    if (warm_score < refined_score) result.refined = *options.warm_start;
+  }
   return result;
 }
 

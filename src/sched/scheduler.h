@@ -27,10 +27,13 @@ struct scheduler_options {
   bool storage_aware = true;
   schedule_engine engine = schedule_engine::combined;
   double ilp_time_limit_seconds = 10.0;
-  /// ILP models above this row count are skipped in combined mode (the
-  /// dense-basis simplex would thrash); the heuristic then carries the
-  /// instance, mirroring the paper's best-effort protocol on large assays.
-  int ilp_row_limit = 2500;
+  /// ILP models above this row count are skipped in combined mode; the
+  /// heuristic then carries the instance, mirroring the paper's best-effort
+  /// protocol on the largest assays. The sparse-LU simplex lifted the old
+  /// dense-basis ceiling of 2500 rows: CPA (~8.2k rows) and RA70 (~9.3k)
+  /// are now attempted within the ILP time limit, leaving only RA100
+  /// (~18k rows) to the heuristic by default.
+  int ilp_row_limit = 10000;
   int heuristic_restarts = 24;
   /// Simulated-annealing improvement after the constructive engines
   /// (sched/local_search.h); 0 disables it.

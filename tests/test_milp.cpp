@@ -6,10 +6,14 @@
 #include <cmath>
 #include <limits>
 
+#include "assay/benchmarks.h"
 #include "common/prng.h"
+#include "milp/lu.h"
 #include "milp/model.h"
 #include "milp/simplex.h"
 #include "milp/solver.h"
+#include "sched/ilp_scheduler.h"
+#include "sched/list_scheduler.h"
 
 namespace transtore::milp {
 namespace {
@@ -682,6 +686,556 @@ TEST_P(RandomLp, OptimalPointIsFeasible) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, RandomLp, ::testing::Range(0, 25));
+
+// ------------------------------------------- sparse LU basis engine (lu.h)
+
+namespace {
+
+/// Random nonsingular sparse basis: a permuted triangular structure (column
+/// p holds a strong "diagonal" entry plus entries confined to earlier
+/// permuted rows), with a sprinkling of slack-like singleton columns. The
+/// construction guarantees nonsingularity, so every factorize must succeed.
+std::vector<basis_lu::sparse_column> random_sparse_basis(std::uint64_t seed,
+                                                         int m) {
+  prng r(seed);
+  std::vector<int> perm(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) perm[static_cast<std::size_t>(i)] = i;
+  for (int i = m - 1; i > 0; --i)
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(r.uniform_int(0, i))]);
+
+  std::vector<basis_lu::sparse_column> cols(static_cast<std::size_t>(m));
+  for (int p = 0; p < m; ++p) {
+    basis_lu::sparse_column& c = cols[static_cast<std::size_t>(p)];
+    if (r.bernoulli(0.3)) { // slack-like column
+      c.emplace_back(perm[static_cast<std::size_t>(p)],
+                     r.bernoulli(0.5) ? -1.0 : 1.0);
+      continue;
+    }
+    const double diag = static_cast<double>(r.uniform_int(1, 6)) *
+                        (r.bernoulli(0.5) ? 1.0 : -1.0);
+    c.emplace_back(perm[static_cast<std::size_t>(p)], diag);
+    const int extras = static_cast<int>(r.uniform_int(0, std::min(p, 4)));
+    for (int e = 0; e < extras; ++e) {
+      const int q = static_cast<int>(r.uniform_int(0, p - 1));
+      const int row = perm[static_cast<std::size_t>(q)];
+      bool dup = false;
+      for (const auto& [i, v] : c) dup = dup || i == row;
+      if (dup) continue;
+      c.emplace_back(row, static_cast<double>(r.uniform_int(-4, 4)));
+    }
+    // Drop exact zero coefficients the generator may have produced.
+    basis_lu::sparse_column cleaned;
+    for (const auto& [i, v] : c)
+      if (v != 0.0) cleaned.emplace_back(i, v);
+    c = std::move(cleaned);
+  }
+  return cols;
+}
+
+/// Dense reference solve of B x = rhs via Gauss-Jordan with partial
+/// pivoting (test-local, independent of both engines).
+std::vector<double> dense_solve(
+    const std::vector<basis_lu::sparse_column>& cols, int m,
+    const std::vector<double>& rhs, bool transpose) {
+  std::vector<double> a(static_cast<std::size_t>(m) * m, 0.0);
+  for (int p = 0; p < m; ++p)
+    for (const auto& [i, v] : cols[static_cast<std::size_t>(p)]) {
+      if (transpose)
+        a[static_cast<std::size_t>(p) * m + i] = v; // B^T
+      else
+        a[static_cast<std::size_t>(i) * m + p] = v;
+    }
+  std::vector<double> x = rhs;
+  std::vector<int> order(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) order[static_cast<std::size_t>(i)] = i;
+  for (int k = 0; k < m; ++k) {
+    int pivot = k;
+    for (int i = k + 1; i < m; ++i)
+      if (std::abs(a[static_cast<std::size_t>(order[static_cast<std::size_t>(
+              i)]) * m + k]) >
+          std::abs(a[static_cast<std::size_t>(order[static_cast<std::size_t>(
+              pivot)]) * m + k]))
+        pivot = i;
+    std::swap(order[static_cast<std::size_t>(k)],
+              order[static_cast<std::size_t>(pivot)]);
+    const int rk = order[static_cast<std::size_t>(k)];
+    const double pv = a[static_cast<std::size_t>(rk) * m + k];
+    for (int i = 0; i < m; ++i) {
+      const int ri = order[static_cast<std::size_t>(i)];
+      if (ri == rk) continue;
+      const double f = a[static_cast<std::size_t>(ri) * m + k] / pv;
+      if (f == 0.0) continue;
+      for (int c = k; c < m; ++c)
+        a[static_cast<std::size_t>(ri) * m + c] -=
+            f * a[static_cast<std::size_t>(rk) * m + c];
+      x[static_cast<std::size_t>(ri)] -= f * x[static_cast<std::size_t>(rk)];
+    }
+  }
+  std::vector<double> solution(static_cast<std::size_t>(m));
+  for (int k = 0; k < m; ++k) {
+    const int rk = order[static_cast<std::size_t>(k)];
+    solution[static_cast<std::size_t>(k)] =
+        x[static_cast<std::size_t>(rk)] / a[static_cast<std::size_t>(rk) * m + k];
+  }
+  return solution;
+}
+
+} // namespace
+
+TEST(BasisLu, FtranBtranMatchDenseInverseOnRandomBases) {
+  // Satellite check of the issue: seeded random bases, the sparse solves
+  // cross-checked entry-by-entry against an independent dense inverse.
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    prng r(seed * 6151 + 7);
+    const int m = static_cast<int>(r.uniform_int(1, 40));
+    const auto cols = random_sparse_basis(seed, m);
+    basis_lu lu;
+    ASSERT_TRUE(lu.factorize(m, cols)) << "seed " << seed << " m " << m;
+
+    for (int trial = 0; trial < 3; ++trial) {
+      std::vector<double> rhs(static_cast<std::size_t>(m));
+      for (int i = 0; i < m; ++i)
+        rhs[static_cast<std::size_t>(i)] =
+            static_cast<double>(r.uniform_int(-9, 9));
+      std::vector<double> got;
+      lu.ftran(rhs, got);
+      const std::vector<double> want = dense_solve(cols, m, rhs, false);
+      for (int i = 0; i < m; ++i)
+        EXPECT_NEAR(got[static_cast<std::size_t>(i)],
+                    want[static_cast<std::size_t>(i)], 1e-8)
+            << "ftran seed " << seed << " i " << i;
+
+      lu.btran(rhs, got);
+      const std::vector<double> want_t = dense_solve(cols, m, rhs, true);
+      for (int i = 0; i < m; ++i)
+        EXPECT_NEAR(got[static_cast<std::size_t>(i)],
+                    want_t[static_cast<std::size_t>(i)], 1e-8)
+            << "btran seed " << seed << " i " << i;
+    }
+  }
+}
+
+TEST(BasisLu, UnitColumnsRoundTrip) {
+  // ftran of the p-th basis column must return e_p exactly (up to fp noise).
+  const auto cols = random_sparse_basis(99, 25);
+  basis_lu lu;
+  ASSERT_TRUE(lu.factorize(25, cols));
+  for (int p = 0; p < 25; ++p) {
+    std::vector<double> rhs(25, 0.0);
+    for (const auto& [i, v] : cols[static_cast<std::size_t>(p)])
+      rhs[static_cast<std::size_t>(i)] = v;
+    std::vector<double> x;
+    lu.ftran(rhs, x);
+    for (int q = 0; q < 25; ++q)
+      EXPECT_NEAR(x[static_cast<std::size_t>(q)], q == p ? 1.0 : 0.0, 1e-9);
+  }
+}
+
+TEST(BasisLu, SingularBasesRejected) {
+  basis_lu lu;
+  { // Zero column: structurally singular.
+    std::vector<basis_lu::sparse_column> cols = {{{0, 1.0}}, {}};
+    EXPECT_FALSE(lu.factorize(2, cols));
+    EXPECT_FALSE(lu.valid());
+  }
+  { // Duplicate columns.
+    std::vector<basis_lu::sparse_column> cols = {
+        {{0, 2.0}, {1, 1.0}}, {{0, 2.0}, {1, 1.0}}};
+    EXPECT_FALSE(lu.factorize(2, cols));
+  }
+  { // Linear dependence: col2 = col0 + col1.
+    std::vector<basis_lu::sparse_column> cols = {
+        {{0, 1.0}, {2, 1.0}}, {{1, 1.0}, {2, 2.0}}, {{0, 1.0}, {1, 1.0}, {2, 3.0}}};
+    EXPECT_FALSE(lu.factorize(3, cols));
+  }
+  { // Numerically null column (below the pivot floor).
+    std::vector<basis_lu::sparse_column> cols = {{{0, 1.0}}, {{1, 1e-13}}};
+    EXPECT_FALSE(lu.factorize(2, cols));
+  }
+  { // A valid basis afterwards still factors (state fully reset).
+    std::vector<basis_lu::sparse_column> cols = {{{0, -1.0}}, {{1, 3.0}}};
+    EXPECT_TRUE(lu.factorize(2, cols));
+    EXPECT_TRUE(lu.valid());
+  }
+}
+
+TEST(BasisLu, DeterministicFactorization) {
+  // Same basis, two factorizations: bit-identical solves.
+  const auto cols = random_sparse_basis(5, 30);
+  std::vector<double> rhs(30);
+  prng r(11);
+  for (double& v : rhs) v = static_cast<double>(r.uniform_int(-9, 9));
+  basis_lu a, b;
+  ASSERT_TRUE(a.factorize(30, cols));
+  ASSERT_TRUE(b.factorize(30, cols));
+  std::vector<double> xa, xb;
+  a.ftran(rhs, xa);
+  b.ftran(rhs, xb);
+  EXPECT_EQ(xa, xb);
+  a.btran(rhs, xa);
+  b.btran(rhs, xb);
+  EXPECT_EQ(xa, xb);
+}
+
+// ----------------------------------- differential LP harness (both engines)
+
+namespace {
+
+/// Verifies the (x, y) pair of an optimal lp_result as an optimality
+/// certificate of the min-form problem: primal feasibility, dual-feasible
+/// reduced costs against the nonbasic sign conventions, and strong duality
+/// (the bound-weighted dual objective equals the primal objective). All
+/// bounds of `p` must be finite except where the duals vanish.
+void expect_optimality_certificate(const lp_problem& p, const lp_result& r,
+                                   double tol) {
+  ASSERT_EQ(r.status, lp_status::optimal);
+  ASSERT_EQ(static_cast<int>(r.x.size()), p.num_vars);
+  ASSERT_EQ(static_cast<int>(r.duals.size()), p.num_rows);
+
+  // Primal feasibility: bounds and row activities.
+  std::vector<double> activity(static_cast<std::size_t>(p.num_rows), 0.0);
+  for (int j = 0; j < p.num_vars; ++j) {
+    EXPECT_GE(r.x[static_cast<std::size_t>(j)], p.lower[static_cast<std::size_t>(j)] - tol);
+    EXPECT_LE(r.x[static_cast<std::size_t>(j)], p.upper[static_cast<std::size_t>(j)] + tol);
+    for (int k = p.col_start[static_cast<std::size_t>(j)];
+         k < p.col_start[static_cast<std::size_t>(j) + 1]; ++k)
+      activity[static_cast<std::size_t>(p.row_index[static_cast<std::size_t>(k)])] +=
+          p.value[static_cast<std::size_t>(k)] * r.x[static_cast<std::size_t>(j)];
+  }
+  for (int i = 0; i < p.num_rows; ++i) {
+    EXPECT_GE(activity[static_cast<std::size_t>(i)],
+              p.row_lower[static_cast<std::size_t>(i)] - tol);
+    EXPECT_LE(activity[static_cast<std::size_t>(i)],
+              p.row_upper[static_cast<std::size_t>(i)] + tol);
+  }
+
+  // Reduced costs d_j = c_j - y'A_j and the dual objective
+  //   sum_i y_i * (binding row bound) + sum_j d_j * (binding var bound),
+  // picking the bound the multiplier's sign pays for (weak duality made
+  // tight iff optimal).
+  double dual_objective = 0.0;
+  for (int i = 0; i < p.num_rows; ++i) {
+    const double y = r.duals[static_cast<std::size_t>(i)];
+    dual_objective += y > 0.0 ? y * p.row_lower[static_cast<std::size_t>(i)]
+                              : y * p.row_upper[static_cast<std::size_t>(i)];
+  }
+  for (int j = 0; j < p.num_vars; ++j) {
+    double d = p.cost[static_cast<std::size_t>(j)];
+    for (int k = p.col_start[static_cast<std::size_t>(j)];
+         k < p.col_start[static_cast<std::size_t>(j) + 1]; ++k)
+      d -= r.duals[static_cast<std::size_t>(
+               p.row_index[static_cast<std::size_t>(k)])] *
+           p.value[static_cast<std::size_t>(k)];
+    dual_objective += d > 0.0 ? d * p.lower[static_cast<std::size_t>(j)]
+                              : d * p.upper[static_cast<std::size_t>(j)];
+  }
+  const double scale = std::max(1.0, std::abs(r.objective));
+  EXPECT_NEAR(dual_objective, r.objective, tol * scale)
+      << "strong duality violated";
+}
+
+} // namespace
+
+TEST(Simplex, EngineDifferentialOnRandomBoundedLps) {
+  // The tentpole harness: seeded random LPs solved with both basis engines
+  // must agree on status and objective, and each engine's (x, y) pair must
+  // certify optimality on its own.
+  const deadline no_limit(0.0);
+  int optimal_cases = 0;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    prng r(seed * 104729 + 5);
+    const int nvars = static_cast<int>(r.uniform_int(3, 25));
+    const int nrows = static_cast<int>(r.uniform_int(2, 18));
+    const lp_problem p = random_bounded_lp(seed, nvars, nrows);
+
+    simplex_options lu_opts;
+    lu_opts.engine = basis_engine::sparse_lu;
+    simplex_options dense_opts;
+    dense_opts.engine = basis_engine::dense;
+
+    simplex_solver lu_solver(p, lu_opts);
+    simplex_solver dense_solver(p, dense_opts);
+    const lp_result lu_res = lu_solver.solve(no_limit, false);
+    const lp_result dense_res = dense_solver.solve(no_limit, false);
+
+    ASSERT_EQ(lu_res.status, dense_res.status) << "seed " << seed;
+    if (lu_res.status != lp_status::optimal) continue;
+    ++optimal_cases;
+    EXPECT_NEAR(lu_res.objective, dense_res.objective,
+                1e-6 * std::max(1.0, std::abs(dense_res.objective)))
+        << "seed " << seed;
+    expect_optimality_certificate(p, lu_res, 1e-5);
+    expect_optimality_certificate(p, dense_res, 1e-5);
+  }
+  EXPECT_GT(optimal_cases, 40); // the sweep must mostly exercise real solves
+}
+
+TEST(Simplex, EngineDifferentialOnWarmDualResolves) {
+  // Branching-style bound changes re-solved warm (the dual path) under the
+  // LU engine must match a cold dense primal reference.
+  const deadline no_limit(0.0);
+  long dual_solves_seen = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    prng r(seed * 7919 + 3);
+    const int nvars = static_cast<int>(r.uniform_int(4, 14));
+    const int nrows = static_cast<int>(r.uniform_int(2, 10));
+    lp_problem p = random_bounded_lp(seed + 1000, nvars, nrows);
+
+    simplex_options lu_opts;
+    lu_opts.engine = basis_engine::sparse_lu;
+    simplex_solver warm(p, lu_opts);
+    const lp_result root = warm.solve(no_limit, /*warm_start=*/false);
+    ASSERT_EQ(root.status, lp_status::optimal) << "seed " << seed;
+
+    int tightened = 0;
+    for (int var = 0; var < nvars && tightened < 2; ++var) {
+      const double at = root.x[static_cast<std::size_t>(var)];
+      if (at <= warm.variable_lower(var) + 0.5) continue;
+      warm.set_variable_bounds(
+          var, warm.variable_lower(var),
+          std::max(warm.variable_lower(var), std::ceil(at) - 1.0));
+      ++tightened;
+    }
+    const lp_result resolved = warm.solve(no_limit, /*warm_start=*/true);
+    if (resolved.used_dual) ++dual_solves_seen;
+
+    lp_problem tightened_p = p;
+    for (int j = 0; j < nvars; ++j) {
+      tightened_p.lower[static_cast<std::size_t>(j)] = warm.variable_lower(j);
+      tightened_p.upper[static_cast<std::size_t>(j)] = warm.variable_upper(j);
+    }
+    simplex_options dense_primal;
+    dense_primal.engine = basis_engine::dense;
+    dense_primal.allow_dual = false;
+    dense_primal.pricing = pricing_rule::dantzig;
+    simplex_solver reference(tightened_p, dense_primal);
+    const lp_result expected = reference.solve(no_limit, false);
+
+    ASSERT_EQ(resolved.status, expected.status) << "seed " << seed;
+    if (expected.status == lp_status::optimal) {
+      EXPECT_NEAR(resolved.objective, expected.objective, 1e-5)
+          << "seed " << seed;
+      expect_optimality_certificate(tightened_p, resolved, 1e-5);
+    }
+  }
+  EXPECT_GT(dual_solves_seen, 8);
+}
+
+namespace {
+
+/// Continuous relaxation of a model: same rows/bounds/objective, every
+/// variable continuous -- lets milp::solve run exactly one LP per engine.
+model relax(const model& m) {
+  model relaxed;
+  for (int j = 0; j < m.variable_count(); ++j) {
+    const var_info& v = m.variable_at(j);
+    relaxed.add_continuous(v.lower, v.upper);
+  }
+  for (int i = 0; i < m.constraint_count(); ++i) {
+    const row_info& row = m.constraint_at(i);
+    linear_expr e;
+    for (const auto& [var, coeff] : row.terms)
+      e += coeff * variable{var};
+    relaxed.add_range_constraint(e, row.lower, row.upper);
+  }
+  linear_expr obj;
+  for (int j = 0; j < m.variable_count(); ++j)
+    obj += m.objective_coefficients()[static_cast<std::size_t>(j)] *
+           variable{j};
+  obj += m.objective_constant();
+  relaxed.set_objective(obj, m.sense());
+  return relaxed;
+}
+
+/// The paper's Table 1 scheduling formulation for one assay, warm-started
+/// like the pipeline does.
+sched::scheduling_ilp table2_formulation(const std::string& name,
+                                         int devices) {
+  const auto graph = assay::make_benchmark(name);
+  sched::list_scheduler_options lo;
+  lo.device_count = devices;
+  sched::ilp_scheduler_options so;
+  so.device_count = devices;
+  so.warm_start = sched::schedule_with_list(graph, lo);
+  return sched::build_scheduling_ilp(graph, so);
+}
+
+} // namespace
+
+TEST(Simplex, EngineDifferentialOnTable2Relaxations) {
+  // LP relaxations of the paper's scheduling formulations: both engines
+  // must solve them to the same optimum.
+  struct spec {
+    const char* name;
+    int devices;
+  };
+  for (const spec& s : {spec{"PCR", 1}, spec{"IVD", 2}}) {
+    const sched::scheduling_ilp ilp = table2_formulation(s.name, s.devices);
+    const model lp_model = relax(ilp.model);
+
+    double objectives[2] = {0.0, 0.0};
+    for (const bool dense : {false, true}) {
+      solver_options o;
+      o.time_limit_seconds = 60.0;
+      o.lp.engine = dense ? basis_engine::dense : basis_engine::sparse_lu;
+      const solution sol = solve(lp_model, o);
+      ASSERT_EQ(sol.status, solve_status::optimal)
+          << s.name << (dense ? " dense" : " lu");
+      objectives[dense ? 1 : 0] = sol.objective;
+    }
+    EXPECT_NEAR(objectives[0], objectives[1],
+                1e-5 * std::max(1.0, std::abs(objectives[1])))
+        << s.name;
+  }
+}
+
+// -------------------------------------------- determinism regression (LU)
+
+TEST(Milp, LuEngineDeterministicOnTable2Formulations) {
+  // Two runs of each formulation under the sparse-LU engine must produce
+  // bit-identical node counts, iteration counts, and incumbents. Node caps
+  // (not time limits) keep capped runs deterministic.
+  struct spec {
+    const char* name;
+    int devices;
+    long max_nodes;
+  };
+  for (const spec& s : {spec{"PCR", 1, 2000}, spec{"IVD", 2, 250}}) {
+    const sched::scheduling_ilp ilp = table2_formulation(s.name, s.devices);
+    solver_options o;
+    o.time_limit_seconds = 600.0; // must never bind: limits break determinism
+    o.max_nodes = s.max_nodes;
+    o.warm_start = ilp.warm_assignment;
+    ASSERT_EQ(o.lp.engine, basis_engine::sparse_lu); // the default
+
+    const solution a = solve(ilp.model, o);
+    const solution b = solve(ilp.model, o);
+    EXPECT_EQ(a.status, b.status) << s.name;
+    EXPECT_EQ(a.nodes_explored, b.nodes_explored) << s.name;
+    EXPECT_EQ(a.simplex_iterations, b.simplex_iterations) << s.name;
+    EXPECT_EQ(a.dual_simplex_iterations, b.dual_simplex_iterations) << s.name;
+    EXPECT_EQ(a.strong_branch_probes, b.strong_branch_probes) << s.name;
+    EXPECT_EQ(a.objective, b.objective) << s.name; // bit-identical
+    EXPECT_EQ(a.best_bound, b.best_bound) << s.name;
+    EXPECT_EQ(a.values, b.values) << s.name;
+  }
+}
+
+// --------------------------------------------- repair-path stress (ASan'd)
+
+TEST(Simplex, LoadSingularBasisRepairsToSlack) {
+  // A deliberately singular basis (duplicate columns basic) must be
+  // rejected by load_basis, repaired to the slack basis, and the follow-up
+  // solve must still reach the true optimum -- under both engines.
+  lp_problem p;
+  p.num_vars = 3;
+  p.num_rows = 2;
+  p.cost = {-1.0, -1.0, -2.0};
+  p.lower = {0.0, 0.0, 0.0};
+  p.upper = {10.0, 10.0, 10.0};
+  p.row_lower = {-infinity, -infinity};
+  p.row_upper = {8.0, 6.0};
+  // Columns 0 and 1 are identical; column 2 differs.
+  p.col_start = {0, 2, 4, 6};
+  p.row_index = {0, 1, 0, 1, 0, 1};
+  p.value = {1.0, 1.0, 1.0, 1.0, 1.0, 2.0};
+
+  const deadline no_limit(0.0);
+  for (const basis_engine engine : {basis_engine::sparse_lu, basis_engine::dense}) {
+    simplex_options o;
+    o.engine = engine;
+    simplex_solver solver(p, o);
+    EXPECT_FALSE(solver.load_basis({0, 1})) << "engine " << static_cast<int>(engine);
+
+    const lp_result after = solver.solve(no_limit, /*warm_start=*/true);
+    ASSERT_EQ(after.status, lp_status::optimal);
+
+    simplex_solver reference(p, o);
+    const lp_result fresh = reference.solve(no_limit, false);
+    ASSERT_EQ(fresh.status, lp_status::optimal);
+    EXPECT_NEAR(after.objective, fresh.objective, 1e-7);
+  }
+}
+
+TEST(Simplex, LoadValidBasisAccepted) {
+  lp_problem p;
+  p.num_vars = 2;
+  p.num_rows = 1;
+  p.cost = {-1.0, -1.0};
+  p.lower = {0.0, 0.0};
+  p.upper = {4.0, 4.0};
+  p.row_lower = {-infinity};
+  p.row_upper = {5.0};
+  p.col_start = {0, 1, 2};
+  p.row_index = {0, 0};
+  p.value = {1.0, 1.0};
+
+  const deadline no_limit(0.0);
+  simplex_solver solver(p, simplex_options{});
+  EXPECT_TRUE(solver.load_basis({0}));
+  const lp_result r = solver.solve(no_limit, /*warm_start=*/true);
+  ASSERT_EQ(r.status, lp_status::optimal);
+  EXPECT_NEAR(r.objective, -5.0, 1e-7); // x0 + x1 = 5 at the optimum
+}
+
+TEST(Simplex, IllConditionedColumnsStillAgreeAcrossEngines) {
+  // Wide coefficient range plus near-duplicate columns: the Suhl threshold
+  // must keep the LU stable and both engines on the same optimum. This runs
+  // under the ASan/UBSan CI job via the test_milp filter.
+  const deadline no_limit(0.0);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    prng r(seed * 31337 + 1);
+    lp_problem p = random_bounded_lp(seed + 500, 10, 8);
+    // Rescale some columns by up to 1e6 / 1e-6 and duplicate one column
+    // with a tiny perturbation.
+    for (int j = 0; j < p.num_vars; ++j) {
+      if (!r.bernoulli(0.4)) continue;
+      const double scale = r.bernoulli(0.5) ? 1e6 : 1e-6;
+      for (int k = p.col_start[static_cast<std::size_t>(j)];
+           k < p.col_start[static_cast<std::size_t>(j) + 1]; ++k)
+        p.value[static_cast<std::size_t>(k)] *= scale;
+      p.cost[static_cast<std::size_t>(j)] *= scale;
+      if (scale > 1.0)
+        p.upper[static_cast<std::size_t>(j)] /= scale;
+    }
+
+    simplex_options lu_opts;
+    lu_opts.engine = basis_engine::sparse_lu;
+    simplex_options dense_opts;
+    dense_opts.engine = basis_engine::dense;
+    simplex_solver lu_solver(p, lu_opts);
+    simplex_solver dense_solver(p, dense_opts);
+    const lp_result a = lu_solver.solve(no_limit, false);
+    const lp_result b = dense_solver.solve(no_limit, false);
+    ASSERT_EQ(a.status, b.status) << "seed " << seed;
+    if (a.status == lp_status::optimal) {
+      EXPECT_NEAR(a.objective, b.objective,
+                  1e-5 * std::max(1.0, std::abs(b.objective)))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(Simplex, LuSolveIsBitIdenticalAcrossRuns) {
+  // Engine-level determinism at the LP layer (the MILP-level regression is
+  // LuEngineDeterministicOnTable2Formulations).
+  for (std::uint64_t seed : {3u, 17u, 29u}) {
+    lp_problem p = random_bounded_lp(seed, 12, 9);
+    const deadline no_limit(0.0);
+    simplex_options o;
+    o.engine = basis_engine::sparse_lu;
+    simplex_solver a(p, o);
+    simplex_solver b(p, o);
+    const lp_result ra = a.solve(no_limit, false);
+    const lp_result rb = b.solve(no_limit, false);
+    EXPECT_EQ(ra.iterations, rb.iterations);
+    EXPECT_EQ(ra.status, rb.status);
+    EXPECT_EQ(ra.objective, rb.objective);
+    EXPECT_EQ(ra.x, rb.x);
+    EXPECT_EQ(ra.duals, rb.duals);
+  }
+}
 
 } // namespace
 } // namespace transtore::milp
