@@ -20,8 +20,12 @@
 #include "sched/local_search.h"
 #include "sched/scheduler.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace transtore;
+  // Heuristic-only studies: --smoke is accepted for CI uniformity but runs
+  // the same (already fast) sweep.
+  const bench::harness_args args =
+      bench::parse_harness_args(argc, argv, "BENCH_ablation.json");
   const auto ra30 = assay::make_benchmark("RA30");
   std::vector<bench::bench_record> records;
   auto record = [&](const std::string& config, double objective,
@@ -140,9 +144,8 @@ int main() {
            {{"slowdown", static_cast<double>(dedicated.makespan()) /
                              ours.makespan()}});
   }
-  if (!bench::write_bench_json("BENCH_ablation.json", "bench_ablation",
-                               records))
+  if (!bench::write_bench_json(args.out, "bench_ablation", records))
     return 1;
-  std::printf("wrote BENCH_ablation.json\n");
+  std::printf("wrote %s\n", args.out.c_str());
   return 0;
 }

@@ -86,6 +86,39 @@ struct assay_config {
   int grid; // grid is grid x grid
 };
 
+/// Shared argv handling for the full-pipeline harnesses:
+///   --smoke     small assays (PCR, IVD, RA30) with a 1 s ILP budget -- the
+///               configuration CI runs and diffs against bench/baselines/
+///   --out FILE  JSON output path override
+struct harness_args {
+  bool smoke = false;
+  std::string out;
+  double ilp_seconds = 5.0;
+};
+
+inline harness_args parse_harness_args(int argc, char** argv,
+                                       std::string default_out) {
+  harness_args a;
+  a.out = std::move(default_out);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      a.smoke = true;
+      a.ilp_seconds = 1.0;
+    } else if (arg == "--out" && i + 1 < argc) {
+      a.out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+/// Assays for one harness run: all of Table 2, or the --smoke subset whose
+/// pipeline runs are fast enough to gate CI on.
+inline std::vector<assay_config> harness_configs(bool smoke);
+
 /// Table 2 rows, largest first (matches the paper's ordering). Sourced
 /// from the shared assay::benchmark_resource_table so the benches and the
 /// CLI's batch mode cannot drift apart.
@@ -94,6 +127,16 @@ inline std::vector<assay_config> table2_configs() {
   for (const assay::benchmark_resources& r : assay::benchmark_resource_table())
     configs.push_back({r.name, r.devices, r.grid});
   return configs;
+}
+
+inline std::vector<assay_config> harness_configs(bool smoke) {
+  std::vector<assay_config> configs = table2_configs();
+  if (!smoke) return configs;
+  std::vector<assay_config> small;
+  for (const assay_config& c : configs)
+    if (c.name == "PCR" || c.name == "IVD" || c.name == "RA30")
+      small.push_back(c);
+  return small;
 }
 
 /// Default flow options for a config; `storage_aware` toggles the paper's

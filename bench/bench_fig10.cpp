@@ -8,8 +8,10 @@
 #include "common/strings.h"
 #include "common/text_table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace transtore;
+  const bench::harness_args args =
+      bench::parse_harness_args(argc, argv, "BENCH_fig10.json");
   std::printf(
       "== Fig. 10: Channel caching vs dedicated storage unit ==\n\n");
 
@@ -25,8 +27,8 @@ int main() {
   bool all_at_most_one = true;
   std::vector<bench::bench_record> records;
 
-  for (const auto& config : bench::table2_configs()) {
-    core::flow_options o = bench::make_options(config);
+  for (const auto& config : bench::harness_configs(args.smoke)) {
+    core::flow_options o = bench::make_options(config, true, args.ilp_seconds);
     o.run_baseline = true;
     int grid_used = config.grid;
     const core::flow_result r = bench::run_config(config, o, grid_used);
@@ -62,8 +64,8 @@ int main() {
               100.0 * (1.0 - worst_exec_ratio));
   std::printf("All ratios at most 1 (paper's claim): %s\n",
               all_at_most_one ? "REPRODUCED" : "NOT reproduced");
-  if (!bench::write_bench_json("BENCH_fig10.json", "bench_fig10", records))
+  if (!bench::write_bench_json(args.out, "bench_fig10", records))
     return 1;
-  std::printf("wrote BENCH_fig10.json\n");
+  std::printf("wrote %s\n", args.out.c_str());
   return 0;
 }

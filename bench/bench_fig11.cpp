@@ -6,15 +6,17 @@
 #include "bench_common.h"
 #include "sim/simulator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace transtore;
+  const bench::harness_args args =
+      bench::parse_harness_args(argc, argv, "BENCH_fig11.json");
   std::printf("== Fig. 11: Execution snapshots of RA30 ==\n\n");
 
   const bench::assay_config config{"RA30", 2, 4};
   const auto graph = assay::make_benchmark(config.name);
   int grid_used = config.grid;
-  const core::flow_result r =
-      bench::run_config(config, bench::make_options(config), grid_used);
+  const core::flow_result r = bench::run_config(
+      config, bench::make_options(config, true, args.ilp_seconds), grid_used);
   const sched::schedule& s = r.scheduling.best;
 
   // Snapshot 1: during a store leg (a path is writing into a segment).
@@ -57,8 +59,8 @@ int main() {
   bench::bench_record rec = bench::flow_record(config, grid_used, r);
   rec.extras = {{"store_snapshot_t", static_cast<double>(store_time)},
                 {"hold_snapshot_t", static_cast<double>(hold_time)}};
-  if (!bench::write_bench_json("BENCH_fig11.json", "bench_fig11", {rec}))
+  if (!bench::write_bench_json(args.out, "bench_fig11", {rec}))
     return 1;
-  std::printf("wrote BENCH_fig11.json\n");
+  std::printf("wrote %s\n", args.out.c_str());
   return 0;
 }

@@ -9,8 +9,10 @@
 #include "common/strings.h"
 #include "common/text_table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace transtore;
+  const bench::harness_args args =
+      bench::parse_harness_args(argc, argv, "BENCH_fig8.json");
   std::printf("== Fig. 8: Edge and valve ratios vs the connection grid ==\n\n");
 
   text_table table;
@@ -18,10 +20,11 @@ int main() {
                  "valves", "grid valves", "valve ratio"});
   bool all_below_one = true;
   std::vector<bench::bench_record> records;
-  for (const auto& config : bench::table2_configs()) {
+  for (const auto& config : bench::harness_configs(args.smoke)) {
     int grid_used = config.grid;
-    const core::flow_result r =
-        bench::run_config(config, bench::make_options(config), grid_used);
+    const core::flow_result r = bench::run_config(
+        config, bench::make_options(config, true, args.ilp_seconds),
+        grid_used);
     const arch::chip& chip = r.architecture.result;
     table.add_row({
         config.name,
@@ -44,8 +47,8 @@ int main() {
   std::printf("%s\n", table.render().c_str());
   std::printf("Paper's claim -- every ratio < 1: %s\n",
               all_below_one ? "REPRODUCED" : "NOT reproduced");
-  if (!bench::write_bench_json("BENCH_fig8.json", "bench_fig8", records))
+  if (!bench::write_bench_json(args.out, "bench_fig8", records))
     return 1;
-  std::printf("wrote BENCH_fig8.json\n");
+  std::printf("wrote %s\n", args.out.c_str());
   return 0;
 }

@@ -9,8 +9,10 @@
 #include "common/strings.h"
 #include "common/text_table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace transtore;
+  const bench::harness_args args =
+      bench::parse_harness_args(argc, argv, "BENCH_fig9.json");
   std::printf(
       "== Fig. 9: Optimize execution time only vs time and storage ==\n\n");
 
@@ -24,7 +26,9 @@ int main() {
     for (const bool storage_aware : {false, true}) {
       int grid_used = config.grid;
       const core::flow_result r = bench::run_config(
-          config, bench::make_options(config, storage_aware), grid_used);
+          config,
+          bench::make_options(config, storage_aware, args.ilp_seconds),
+          grid_used);
       table.add_row({
           config.name,
           storage_aware ? "time+storage" : "time only",
@@ -50,8 +54,8 @@ int main() {
   std::printf(
       "Paper's claim: with storage optimization, execution time stays\n"
       "comparable (RA30 may be slightly larger) while edges/valves drop.\n");
-  if (!bench::write_bench_json("BENCH_fig9.json", "bench_fig9", records))
+  if (!bench::write_bench_json(args.out, "bench_fig9", records))
     return 1;
-  std::printf("wrote BENCH_fig9.json\n");
+  std::printf("wrote %s\n", args.out.c_str());
   return 0;
 }

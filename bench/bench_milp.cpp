@@ -170,10 +170,19 @@ int main(int argc, char** argv) {
       const char* label;
       milp::solver_options options;
     };
-    milp::solver_options lu_defaults; // sparse_lu engine is the default
+    milp::solver_options lu_defaults; // presolve + cuts + node propagation
+    milp::solver_options best_estimate = lu_defaults;
+    best_estimate.node_selection = milp::node_rule::best_estimate;
+    milp::solver_options no_presolve; // pre-presolve solver (PR 3 behaviour)
+    no_presolve.presolve = false;
+    no_presolve.cuts = false;
+    no_presolve.node_propagation = false;
+    no_presolve.node_selection = milp::node_rule::dfs;
     milp::solver_options dense_devex;
     dense_devex.lp.engine = milp::basis_engine::dense;
-    std::vector<config_spec> specs = {{"lu_dual_devex", lu_defaults}};
+    std::vector<config_spec> specs = {{"lu_dual_devex", lu_defaults},
+                                      {"best_estimate", best_estimate},
+                                      {"no_presolve", no_presolve}};
     if (dense_viable) {
       specs.push_back({"dense_dual_devex", dense_devex});
       specs.push_back({"primal_only", milp::classic_primal_only_options()});
@@ -201,6 +210,11 @@ int main(int argc, char** argv) {
       r.status = status_name(sol.status);
       r.variables = ilp.model.variable_count();
       r.constraints = rows;
+      if (sol.presolve_rows_removed > 0 || sol.cuts_added > 0)
+        r.extras = {{"presolve_rows_removed",
+                     static_cast<double>(sol.presolve_rows_removed)},
+                    {"cuts_added", static_cast<double>(sol.cuts_added)},
+                    {"root_bound", sol.root_bound}};
       records.push_back(r);
 
       if (s == 0 && dense_viable) {

@@ -13,8 +13,10 @@
 #include "common/strings.h"
 #include "common/text_table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace transtore;
+  const bench::harness_args args =
+      bench::parse_harness_args(argc, argv, "BENCH_table2.json");
   std::printf("== Table 2: Results of Scheduling and Synthesis ==\n\n");
 
   text_table table;
@@ -22,11 +24,12 @@ int main() {
                  "dr", "de", "dp", "tp(s)"});
 
   std::vector<bench::bench_record> records;
-  for (const auto& config : bench::table2_configs()) {
+  for (const auto& config : bench::harness_configs(args.smoke)) {
     const auto graph = assay::make_benchmark(config.name);
     int grid_used = config.grid;
-    const core::flow_result r =
-        bench::run_config(config, bench::make_options(config), grid_used);
+    const core::flow_result r = bench::run_config(
+        config, bench::make_options(config, true, args.ilp_seconds),
+        grid_used);
     records.push_back(bench::flow_record(config, grid_used, r));
     const auto& layout = r.layout;
     table.add_row({
@@ -47,7 +50,7 @@ int main() {
     });
   }
   std::printf("%s\n", table.render().c_str());
-  if (!bench::write_bench_json("BENCH_table2.json", "bench_table2", records))
+  if (!bench::write_bench_json(args.out, "bench_table2", records))
     return 1;
   std::printf("Paper (3.2 GHz CPU, Gurobi, 30 min solver budget):\n"
               "  RA100 tE=1820 G=5x5 ne=32 nv=58 dr=20x20 de=26x26 dp=16x16\n"

@@ -59,6 +59,12 @@ void write_schedule_section(json_writer& w, const assay::sequencing_graph& g,
   w.field("peak_concurrent_caches", s.peak_concurrent_caches());
   w.field("total_cache_time", s.total_cache_time());
   w.field("used_ilp", scheduling.used_ilp);
+  if (scheduling.used_ilp) {
+    w.field("ilp_nodes", scheduling.ilp_nodes);
+    w.field("ilp_presolve_rows_removed", scheduling.ilp_presolve_rows_removed);
+    w.field("ilp_cuts_added", scheduling.ilp_cuts_added);
+    w.field("ilp_root_bound", scheduling.ilp_root_bound);
+  }
   w.begin_array("operations");
   for (const auto& op : s.ops) {
     w.begin_object();

@@ -1,0 +1,363 @@
+#include "milp/presolve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace transtore::milp {
+namespace {
+
+constexpr double inf = std::numeric_limits<double>::infinity();
+
+/// Row in working form: terms plus ranged bounds.
+struct work_row {
+  std::vector<std::pair<int, double>> terms; // (variable, coefficient)
+  double lower = -inf;
+  double upper = inf;
+  bool removed = false;
+};
+
+/// Min/max possible activity of a row under current bounds, with the count
+/// of infinite contributions kept separate so one-term residuals stay exact
+/// even when another term is unbounded.
+struct activity {
+  double finite_min = 0.0; // sum of finite min contributions
+  double finite_max = 0.0;
+  int inf_min = 0; // terms contributing -inf to the minimum
+  int inf_max = 0; // terms contributing +inf to the maximum
+
+  [[nodiscard]] double min() const { return inf_min > 0 ? -inf : finite_min; }
+  [[nodiscard]] double max() const { return inf_max > 0 ? inf : finite_max; }
+};
+
+struct term_range {
+  double min_c = 0.0; // min of coeff * x over the variable's box
+  double max_c = 0.0;
+};
+
+term_range contribution(double coeff, double lo, double hi) {
+  term_range t;
+  if (coeff > 0.0) {
+    t.min_c = lo == -inf ? -inf : coeff * lo;
+    t.max_c = hi == inf ? inf : coeff * hi;
+  } else {
+    t.min_c = hi == inf ? -inf : coeff * hi;
+    t.max_c = lo == -inf ? inf : coeff * lo;
+  }
+  return t;
+}
+
+activity row_activity(const work_row& row, const std::vector<double>& lower,
+                      const std::vector<double>& upper) {
+  activity a;
+  for (const auto& [var, coeff] : row.terms) {
+    const term_range t = contribution(coeff, lower[static_cast<std::size_t>(var)],
+                                      upper[static_cast<std::size_t>(var)]);
+    if (t.min_c == -inf)
+      ++a.inf_min;
+    else
+      a.finite_min += t.min_c;
+    if (t.max_c == inf)
+      ++a.inf_max;
+    else
+      a.finite_max += t.max_c;
+  }
+  return a;
+}
+
+/// Residual min activity of the row excluding one term (exact under
+/// infinities thanks to the contribution counts).
+double residual_min(const activity& a, const term_range& t) {
+  if (t.min_c == -inf) return a.inf_min > 1 ? -inf : a.finite_min;
+  return a.inf_min > 0 ? -inf : a.finite_min - t.min_c;
+}
+
+double residual_max(const activity& a, const term_range& t) {
+  if (t.max_c == inf) return a.inf_max > 1 ? inf : a.finite_max;
+  return a.inf_max > 0 ? inf : a.finite_max - t.max_c;
+}
+
+class presolver {
+public:
+  presolver(const lp_problem& lp, const std::vector<bool>& is_integer,
+            const presolve_options& options)
+      : options_(options), is_integer_(is_integer), lower_(lp.lower),
+        upper_(lp.upper) {
+    rows_.resize(static_cast<std::size_t>(lp.num_rows));
+    for (int i = 0; i < lp.num_rows; ++i) {
+      rows_[static_cast<std::size_t>(i)].lower = lp.row_lower[static_cast<std::size_t>(i)];
+      rows_[static_cast<std::size_t>(i)].upper = lp.row_upper[static_cast<std::size_t>(i)];
+    }
+    for (int j = 0; j < lp.num_vars; ++j)
+      for (int k = lp.col_start[static_cast<std::size_t>(j)];
+           k < lp.col_start[static_cast<std::size_t>(j) + 1]; ++k)
+        rows_[static_cast<std::size_t>(lp.row_index[static_cast<std::size_t>(k)])]
+            .terms.emplace_back(j, lp.value[static_cast<std::size_t>(k)]);
+  }
+
+  bool run(presolve_stats& stats) {
+    const double tol = options_.feasibility_tolerance;
+    for (int pass = 0; pass < options_.max_passes; ++pass) {
+      ++stats.passes;
+      bool changed = false;
+      for (work_row& row : rows_) {
+        if (row.removed) continue;
+        activity act = row_activity(row, lower_, upper_);
+        if (act.min() > row.upper + tol || act.max() < row.lower - tol)
+          return false; // row proven infeasible
+
+        // Redundant row: the bounds alone satisfy it.
+        if (options_.remove_redundant_rows && act.min() >= row.lower - tol &&
+            act.max() <= row.upper + tol) {
+          row.removed = true;
+          ++stats.rows_removed;
+          changed = true;
+          continue;
+        }
+
+        // Singleton row: transfer the bound to the variable and drop it.
+        if (options_.singleton_rows && row.terms.size() == 1) {
+          const auto [var, coeff] = row.terms.front();
+          if (std::abs(coeff) > 1e-12) {
+            double lo = -inf;
+            double hi = inf;
+            if (coeff > 0.0) {
+              if (row.lower != -inf) lo = row.lower / coeff;
+              if (row.upper != inf) hi = row.upper / coeff;
+            } else {
+              if (row.upper != inf) lo = row.upper / coeff;
+              if (row.lower != -inf) hi = row.lower / coeff;
+            }
+            if (!tighten(var, lo, hi, stats)) return false;
+            row.removed = true;
+            ++stats.rows_removed;
+            ++stats.singleton_rows;
+            changed = true;
+            continue;
+          }
+        }
+
+        // Activity-based bound tightening on every term.
+        for (const auto& [var, coeff] : row.terms) {
+          if (!options_.bound_tightening) break;
+          if (std::abs(coeff) <= 1e-12) continue;
+          const term_range t = contribution(
+              coeff, lower_[static_cast<std::size_t>(var)],
+              upper_[static_cast<std::size_t>(var)]);
+          const double rest_min = residual_min(act, t);
+          const double rest_max = residual_max(act, t);
+          // row.lower <= rest + coeff * x <= row.upper
+          double new_lo = -inf;
+          double new_hi = inf;
+          if (coeff > 0.0) {
+            if (row.upper != inf && rest_min != -inf)
+              new_hi = (row.upper - rest_min) / coeff;
+            if (row.lower != -inf && rest_max != inf)
+              new_lo = (row.lower - rest_max) / coeff;
+          } else {
+            if (row.upper != inf && rest_min != -inf)
+              new_lo = (row.upper - rest_min) / coeff;
+            if (row.lower != -inf && rest_max != inf)
+              new_hi = (row.lower - rest_max) / coeff;
+          }
+          const int before = stats.bounds_tightened;
+          if (!tighten(var, new_lo, new_hi, stats)) return false;
+          if (stats.bounds_tightened != before) {
+            changed = true;
+            act = row_activity(row, lower_, upper_); // keep residuals exact
+          }
+        }
+
+        // Coefficient (big-M) strengthening on single-sided rows.
+        if (options_.coefficient_tightening &&
+            strengthen_coefficients(row, stats)) {
+          changed = true;
+          // The row may have become redundant or infeasible; the next pass
+          // (or the checks above on revisit) handles it.
+        }
+      }
+      if (!changed) break;
+    }
+    for (std::size_t j = 0; j < lower_.size(); ++j)
+      if (lower_[j] == upper_[j]) ++stats.variables_fixed;
+    return true;
+  }
+
+  [[nodiscard]] presolved_problem extract(const lp_problem& lp) const {
+    presolved_problem out;
+    out.original_rows = lp.num_rows;
+    lp_problem& r = out.reduced;
+    r.num_vars = lp.num_vars;
+    r.cost = lp.cost;
+    r.lower = lower_;
+    r.upper = upper_;
+    for (int i = 0; i < lp.num_rows; ++i) {
+      const work_row& row = rows_[static_cast<std::size_t>(i)];
+      if (row.removed) continue;
+      out.row_origin.push_back(i);
+      r.row_lower.push_back(row.lower);
+      r.row_upper.push_back(row.upper);
+    }
+    r.num_rows = static_cast<int>(out.row_origin.size());
+
+    // Rebuild CSC from the surviving rows.
+    std::vector<std::vector<std::pair<int, double>>> cols(
+        static_cast<std::size_t>(lp.num_vars));
+    for (int i = 0; i < r.num_rows; ++i) {
+      const work_row& row =
+          rows_[static_cast<std::size_t>(out.row_origin[static_cast<std::size_t>(i)])];
+      for (const auto& [var, coeff] : row.terms)
+        if (coeff != 0.0) cols[static_cast<std::size_t>(var)].emplace_back(i, coeff);
+    }
+    r.col_start.assign(static_cast<std::size_t>(lp.num_vars) + 1, 0);
+    for (int j = 0; j < lp.num_vars; ++j)
+      r.col_start[static_cast<std::size_t>(j) + 1] =
+          r.col_start[static_cast<std::size_t>(j)] +
+          static_cast<int>(cols[static_cast<std::size_t>(j)].size());
+    for (int j = 0; j < lp.num_vars; ++j)
+      for (const auto& [row, coeff] : cols[static_cast<std::size_t>(j)]) {
+        r.row_index.push_back(row);
+        r.value.push_back(coeff);
+      }
+    return out;
+  }
+
+private:
+  /// Applies candidate bounds [lo, hi] to `var` (integer-rounded), keeping
+  /// only strict improvements. Returns false on a proven-empty box.
+  bool tighten(int var, double lo, double hi, presolve_stats& stats) {
+    const std::size_t v = static_cast<std::size_t>(var);
+    if (lo != -inf && std::abs(lo) > options_.huge_bound) lo = -inf;
+    if (hi != inf && std::abs(hi) > options_.huge_bound) hi = inf;
+    if (is_integer_[v]) {
+      if (lo != -inf) lo = std::ceil(lo - 1e-7);
+      if (hi != inf) hi = std::floor(hi + 1e-7);
+    }
+    if (lo > lower_[v] + options_.min_bound_improvement) {
+      lower_[v] = lo;
+      ++stats.bounds_tightened;
+    }
+    if (hi < upper_[v] - options_.min_bound_improvement) {
+      upper_[v] = hi;
+      ++stats.bounds_tightened;
+    }
+    if (lower_[v] > upper_[v] + options_.feasibility_tolerance) return false;
+    // Close a sliver of a box to a point so the variable reads as fixed.
+    if (lower_[v] != upper_[v] && upper_[v] - lower_[v] <= 1e-11)
+      upper_[v] = lower_[v];
+    return true;
+  }
+
+  [[nodiscard]] bool is_free_binary(int var) const {
+    const std::size_t v = static_cast<std::size_t>(var);
+    return is_integer_[v] && lower_[v] == 0.0 && upper_[v] == 1.0;
+  }
+
+  /// Coefficient strengthening for binary terms of single-sided rows: each
+  /// of the two scenarios (x_j = 0 / x_j = 1) bounds the residual activity;
+  /// either scenario's bound can be pulled in to the residual's own
+  /// activity bound without cutting any feasible point, and the pulled-in
+  /// pair (coefficient, row bound) is tighter for fractional x_j. The
+  /// classic big-M reduction is the special case where the x_j = 0 (or
+  /// x_j = 1) scenario was redundant.
+  bool strengthen_coefficients(work_row& row, presolve_stats& stats) {
+    const bool has_lower = row.lower != -inf;
+    const bool has_upper = row.upper != inf;
+    if (has_lower == has_upper) return false; // ranged/equality/free: skip
+    bool any = false;
+    activity act = row_activity(row, lower_, upper_);
+    for (auto& [var, coeff] : row.terms) {
+      if (!is_free_binary(var) || std::abs(coeff) <= 1e-12) continue;
+      const term_range t = contribution(coeff, 0.0, 1.0);
+      if (has_upper) {
+        const double rest_max = residual_max(act, t);
+        if (rest_max == inf) continue;
+        // Scenario bounds on the residual: x_j = 0 -> upper, x_j = 1 ->
+        // upper - coeff; both clamp to rest_max.
+        const double new_upper = std::min(row.upper, rest_max);
+        const double new_scen1 = std::min(row.upper - coeff, rest_max);
+        const double new_coeff = new_upper - new_scen1;
+        if (std::abs(new_coeff) < std::abs(coeff) - 1e-9 ||
+            new_upper < row.upper - 1e-9) {
+          coeff = new_coeff;
+          row.upper = new_upper;
+          ++stats.coefficients_tightened;
+          any = true;
+          act = row_activity(row, lower_, upper_);
+        }
+      } else {
+        const double rest_min = residual_min(act, t);
+        if (rest_min == -inf) continue;
+        const double new_lower = std::max(row.lower, rest_min);
+        const double new_scen1 = std::max(row.lower - coeff, rest_min);
+        const double new_coeff = new_lower - new_scen1;
+        if (std::abs(new_coeff) < std::abs(coeff) - 1e-9 ||
+            new_lower > row.lower + 1e-9) {
+          coeff = new_coeff;
+          row.lower = new_lower;
+          ++stats.coefficients_tightened;
+          any = true;
+          act = row_activity(row, lower_, upper_);
+        }
+      }
+    }
+    if (any) {
+      // Drop zeroed coefficients so downstream consumers (CSC rebuild,
+      // singleton detection) see the true support.
+      row.terms.erase(std::remove_if(row.terms.begin(), row.terms.end(),
+                                     [](const auto& term) {
+                                       return std::abs(term.second) <= 1e-12;
+                                     }),
+                      row.terms.end());
+    }
+    return any;
+  }
+
+  const presolve_options options_;
+  const std::vector<bool>& is_integer_;
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<work_row> rows_;
+};
+
+} // namespace
+
+void presolved_problem::postsolve_primal(std::vector<double>& x) const {
+  require(static_cast<int>(x.size()) == reduced.num_vars,
+          "presolve: postsolve_primal size mismatch");
+  // Columns are preserved: reduced-space x is already full-space.
+}
+
+std::vector<double> presolved_problem::postsolve_duals(
+    const std::vector<double>& reduced_duals) const {
+  require(static_cast<int>(reduced_duals.size()) == reduced.num_rows,
+          "presolve: postsolve_duals size mismatch");
+  std::vector<double> full(static_cast<std::size_t>(original_rows), 0.0);
+  for (int i = 0; i < reduced.num_rows; ++i)
+    full[static_cast<std::size_t>(row_origin[static_cast<std::size_t>(i)])] =
+        reduced_duals[static_cast<std::size_t>(i)];
+  return full;
+}
+
+presolved_problem presolve(const lp_problem& lp,
+                           const std::vector<bool>& is_integer,
+                           const presolve_options& options) {
+  require(static_cast<int>(is_integer.size()) == lp.num_vars,
+          "presolve: is_integer size mismatch");
+  presolver engine(lp, is_integer, options);
+  presolve_stats stats;
+  if (!engine.run(stats)) {
+    presolved_problem out;
+    out.infeasible = true;
+    out.stats = stats;
+    out.original_rows = lp.num_rows;
+    return out;
+  }
+  presolved_problem out = engine.extract(lp);
+  out.stats = stats;
+  return out;
+}
+
+} // namespace transtore::milp

@@ -50,6 +50,7 @@ simplex_solver::simplex_solver(const lp_problem& problem,
   // fallback ever engages.
   if (dense_active_) binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
   devex_weight_.assign(total_columns(), 1.0);
+  dual_y_.assign(m_, 0.0);
   work_col_.assign(m_, 0.0);
   work_row_.assign(m_, 0.0);
   work_cost_.assign(m_, 0.0);
@@ -115,6 +116,7 @@ void simplex_solver::reset_to_slack_basis() {
   reset_devex();
   candidates_.clear();
   pricing_cursor_ = 0;
+  dual_y_valid_ = false;
   basis_valid_ = true;
 }
 
@@ -163,6 +165,9 @@ bool simplex_solver::refactorize() {
   eta_nonzeros_ = 0;
   ++stats_.refactorizations;
   compute_basic_values();
+  // Recompute the incrementally maintained duals from the fresh factors on
+  // the next dual iteration (drift control).
+  dual_y_valid_ = false;
   return true;
 }
 
@@ -176,8 +181,14 @@ bool simplex_solver::build_base_inverse() {
         c.reserve(static_cast<std::size_t>(problem_.col_start[col + 1] -
                                            problem_.col_start[col]));
         for (int k = problem_.col_start[col]; k < problem_.col_start[col + 1];
-             ++k)
-          c.emplace_back(problem_.row_index[k], problem_.value[k]);
+             ++k) {
+          // Merge duplicate row entries (row indices ascend within a
+          // column): basis_lu requires distinct rows per column.
+          if (!c.empty() && c.back().first == problem_.row_index[k])
+            c.back().second += problem_.value[k];
+          else
+            c.emplace_back(problem_.row_index[k], problem_.value[k]);
+        }
       } else {
         c.emplace_back(col - n_, -1.0);
       }
@@ -227,7 +238,7 @@ bool simplex_solver::dense_refactorize() {
     if (col < n_) {
       for (int k = problem_.col_start[col]; k < problem_.col_start[col + 1];
            ++k)
-        a[static_cast<std::size_t>(problem_.row_index[k]) * m_ + p] =
+        a[static_cast<std::size_t>(problem_.row_index[k]) * m_ + p] +=
             problem_.value[k];
     } else {
       a[static_cast<std::size_t>(col - n_) * m_ + p] = -1.0;
@@ -278,7 +289,8 @@ bool simplex_solver::dense_refactorize() {
   return true;
 }
 
-bool simplex_solver::load_basis(const std::vector<int>& basic_columns) {
+bool simplex_solver::load_basis(const std::vector<int>& basic_columns,
+                                const std::vector<int>& at_upper_columns) {
   require(static_cast<int>(basic_columns.size()) == m_,
           "simplex: load_basis needs one column per row");
   std::fill(basic_position_.begin(), basic_position_.end(), -1);
@@ -292,6 +304,12 @@ bool simplex_solver::load_basis(const std::vector<int>& basic_columns) {
   }
   for (int j = 0; j < total_columns(); ++j)
     status_[j] = basic_position_[j] >= 0 ? status::basic : status::at_lower;
+  for (const int col : at_upper_columns) {
+    require(col >= 0 && col < total_columns(),
+            "simplex: load_basis at-upper column out of range");
+    if (status_[col] != status::basic && upper_[col] != inf)
+      status_[col] = status::at_upper;
+  }
   clamp_nonbasic_to_bounds();
   reset_devex();
   candidates_.clear();
@@ -374,9 +392,11 @@ void simplex_solver::ftran(int column, std::vector<double>& w) const {
     // Scatter the sparse column into the all-zero row-space scratch, solve,
     // and restore the invariant.
     if (column < n_) {
+      // += keeps the "CSC duplicates sum" convention every dot-product
+      // path already uses (work_rhs_ is all-zero between calls).
       for (int k = problem_.col_start[column]; k < problem_.col_start[column + 1];
            ++k)
-        work_rhs_[problem_.row_index[k]] = problem_.value[k];
+        work_rhs_[problem_.row_index[k]] += problem_.value[k];
       lu_.ftran(work_rhs_, w);
       for (int k = problem_.col_start[column]; k < problem_.col_start[column + 1];
            ++k)
@@ -408,6 +428,22 @@ void simplex_solver::btran_row(int position, std::vector<double>& rho) const {
   work_pos_[position] = 1.0;
   apply_etas_btran(work_pos_);
   base_btran(work_pos_, rho);
+}
+
+void simplex_solver::tableau_row(int position, std::vector<double>& alpha) const {
+  require(position >= 0 && position < m_, "simplex: tableau_row position");
+  std::vector<double> rho(static_cast<std::size_t>(m_), 0.0);
+  btran_row(position, rho);
+  alpha.assign(static_cast<std::size_t>(total_columns()), 0.0);
+  for (int j = 0; j < total_columns(); ++j) {
+    if (basic_position_[j] >= 0) {
+      // Exact by definition: e_p B^-1 B = e_p.
+      alpha[static_cast<std::size_t>(j)] =
+          basic_position_[j] == position ? 1.0 : 0.0;
+    } else {
+      alpha[static_cast<std::size_t>(j)] = column_dot(j, rho);
+    }
+  }
 }
 
 void simplex_solver::record_basis_update(int leaving_pos, double pivot_element,
@@ -698,6 +734,7 @@ simplex_solver::pivot_outcome simplex_solver::iterate(bool phase1,
 
   ftran(entering, work_col_);
 
+
   // Ratio test. The entering variable moves by `step` in `direction`;
   // basic variable at position p changes at rate -direction * w[p].
   double best_step = inf;
@@ -767,6 +804,7 @@ simplex_solver::pivot_outcome simplex_solver::iterate(bool phase1,
     return outcome;
   }
 
+
   if (leaving_pos >= 0 && !bland &&
       options_.pricing == pricing_rule::devex)
     update_devex_weights(entering, leaving_pos, best_pivot, phase1);
@@ -809,6 +847,7 @@ void simplex_solver::apply_pivot(int entering, int direction, double step,
   basis_[leaving_pos] = entering;
   basic_position_[entering] = leaving_pos;
   status_[entering] = status::basic;
+  dual_y_valid_ = false; // primal pivots move the basis under the dual's y
 
   record_basis_update(leaving_pos, pivot_element, w);
 }
@@ -821,9 +860,15 @@ simplex_solver::dual_outcome simplex_solver::dual_iterate() {
   const double pivot_tol = options_.pivot_tolerance;
   dual_outcome out;
 
-  // Duals for the phase-2 objective.
-  for (int p = 0; p < m_; ++p) work_cost_[p] = column_cost_phase2(basis_[p]);
-  compute_duals(work_cost_, work_row_);
+  // Phase-2 duals, maintained incrementally across dual pivots (updated
+  // from the pivot row below); a full btran recompute happens only when the
+  // basis changed outside the dual loop or the factorization was refreshed.
+  if (!dual_y_valid_) {
+    for (int p = 0; p < m_; ++p) work_cost_[p] = column_cost_phase2(basis_[p]);
+    compute_duals(work_cost_, dual_y_);
+    dual_y_valid_ = true;
+    ++stats_.dual_recomputes;
+  }
 
   // Leaving-row selection: the basic variable with the largest bound
   // violation (tie-break: lowest position, deterministic).
@@ -869,6 +914,7 @@ simplex_solver::dual_outcome simplex_solver::dual_iterate() {
   struct dual_candidate {
     int col;
     double alpha;
+    double d;   // signed reduced cost (for the incremental dual update)
     double mag; // dual-feasibility slack of the reduced cost, clamped >= 0
     double ratio;
   };
@@ -895,7 +941,7 @@ simplex_solver::dual_outcome simplex_solver::dual_iterate() {
                  (s == status::at_upper && alpha < 0.0);
     }
     if (!eligible) continue;
-    const double d = column_cost_phase2(j) + reduced_cost(j, work_row_);
+    const double d = column_cost_phase2(j) + reduced_cost(j, dual_y_);
     double mag;
     if (s == status::at_lower)
       mag = std::max(0.0, d);
@@ -903,7 +949,7 @@ simplex_solver::dual_outcome simplex_solver::dual_iterate() {
       mag = std::max(0.0, -d);
     else
       mag = std::abs(d);
-    cands.push_back({j, alpha, mag, mag / std::abs(alpha)});
+    cands.push_back({j, alpha, d, mag, mag / std::abs(alpha)});
   }
   if (cands.empty()) {
     // Dual unbounded: the primal has no feasible point in this subproblem.
@@ -1017,6 +1063,17 @@ simplex_solver::dual_outcome simplex_solver::dual_iterate() {
 
   record_basis_update(leave_pos, pivot, work_col_);
 
+  // Incremental dual update from the pivot row (work_rho_ still holds
+  // e_r B^-1 of the pre-pivot basis): y' = y + theta * rho with
+  // theta = d_q / alpha_q zeroes the entering column's reduced cost and
+  // makes y' exactly the dual vector of the updated basis.
+  const double theta = entering.d / entering.alpha;
+  if (theta != 0.0) {
+    for (int i = 0; i < m_; ++i)
+      if (work_rho_[i] != 0.0) dual_y_[i] += theta * work_rho_[i];
+  }
+  ++stats_.dual_updates;
+
   out.moved = true;
   // Progress is measured by the DUAL step (the entering column's ratio):
   // the dual objective strictly increases iff it is positive. Measuring the
@@ -1083,6 +1140,10 @@ lp_result simplex_solver::solve(const deadline& time_budget, bool warm_start,
       state = mode::dual_method;
       result.used_dual = true;
       ++stats_.dual_solves;
+      // Seed the incrementally maintained duals with the vector just
+      // computed for the feasibility check.
+      dual_y_ = work_row_;
+      dual_y_valid_ = true;
     }
   }
 

@@ -74,6 +74,8 @@ struct simplex_stats {
   long dual_bound_flips = 0;  // nonbasic flips taken by the dual ratio test
   long refactorizations = 0;
   long dual_solves = 0;       // solves that entered the dual method
+  long dual_updates = 0;      // incremental dual (y) updates from pivot rows
+  long dual_recomputes = 0;   // full dual recomputations (btran) in the dual
   long primal_fallbacks = 0;  // dual aborts recovered by the primal path
   long lu_factorizations = 0; // successful sparse LU factorizations
   long dense_fallbacks = 0;   // singular LU repaired by the dense engine
@@ -100,13 +102,46 @@ public:
 
   /// Install a caller-specified basis (column indices in [0, n+m), one per
   /// row, slack column for row i being n+i) and refactorize. Nonbasic
-  /// columns are parked at their nearest bound. Returns false when the
-  /// requested basis is singular -- the solver then repairs itself by
-  /// falling back to the slack basis, so it stays usable either way.
-  bool load_basis(const std::vector<int>& basic_columns);
+  /// columns are parked at their nearest bound, except those listed in
+  /// `at_upper_columns`, which are parked at their upper bound -- passing
+  /// the previous solver's upper-parked set preserves dual feasibility
+  /// across a row-append rebuild (the cut-loop warm start). Returns false
+  /// when the requested basis is singular -- the solver then repairs itself
+  /// by falling back to the slack basis, so it stays usable either way.
+  bool load_basis(const std::vector<int>& basic_columns,
+                  const std::vector<int>& at_upper_columns = {});
 
   /// Number of rows (basis dimension).
   [[nodiscard]] int rows() const { return m_; }
+
+  // --- read-only basis/solution accessors (cut separation, basis export).
+  /// Column basic at each basis position (size rows()).
+  [[nodiscard]] const std::vector<int>& basic_columns() const { return basis_; }
+  [[nodiscard]] bool column_is_basic(int column) const {
+    return basic_position_[static_cast<std::size_t>(column)] >= 0;
+  }
+  /// True for a nonbasic column parked at its upper bound.
+  [[nodiscard]] bool column_at_upper(int column) const {
+    return status_[static_cast<std::size_t>(column)] == status::at_upper;
+  }
+  /// True for a nonbasic free column (parked at zero).
+  [[nodiscard]] bool column_is_free(int column) const {
+    return status_[static_cast<std::size_t>(column)] == status::free_zero;
+  }
+  /// Current value / bounds of any column (structural or slack).
+  [[nodiscard]] double column_value(int column) const {
+    return x_[static_cast<std::size_t>(column)];
+  }
+  [[nodiscard]] double column_lower(int column) const {
+    return lower_[static_cast<std::size_t>(column)];
+  }
+  [[nodiscard]] double column_upper(int column) const {
+    return upper_[static_cast<std::size_t>(column)];
+  }
+  /// Tableau row of basis position p: alpha[j] = (e_p B^-1 A)_j for every
+  /// column j in [0, n+m) (slack column n+i contributes -e_i). Used by the
+  /// Gomory separator; O(m + nnz(A)) via one btran.
+  void tableau_row(int position, std::vector<double>& alpha) const;
 
   [[nodiscard]] const simplex_stats& stats() const { return stats_; }
 
@@ -153,6 +188,14 @@ private:
   std::vector<double> devex_weight_; // size n_+m_
   std::vector<int> candidates_;      // partial-pricing candidate list
   int pricing_cursor_ = 0;
+
+  // Incrementally maintained phase-2 duals for the dual simplex: updated
+  // from the pivot row (y += theta * rho) instead of a full btran each
+  // iteration, and recomputed from scratch whenever the factorization or
+  // the basis changes outside the dual loop (refactorization, primal
+  // pivots, slack reset, load_basis).
+  std::vector<double> dual_y_;
+  bool dual_y_valid_ = false;
 
   // Scratch buffers.
   std::vector<double> work_col_;  // w = B^-1 a_j

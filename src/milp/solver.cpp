@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
+#include <memory>
+#include <optional>
 #include <set>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "milp/cuts.h"
+#include "milp/presolve.h"
 #include "milp/simplex.h"
 
 namespace transtore::milp {
@@ -73,9 +76,9 @@ standard_form build_standard_form(const model& m) {
 }
 
 /// Interval-arithmetic bound propagation over the rows. Tightens variable
-/// bounds in place; returns false when a row is proven infeasible. This is
-/// run at the root only: it shrinks the big-M boxes of the scheduling
-/// formulation dramatically before any LP is solved.
+/// bounds in place; returns false when a row is proven infeasible. The
+/// presolve-off fallback: when presolve is on, its activity-based
+/// tightening pass supersedes this.
 bool propagate_bounds(const model& m, std::vector<double>& lower,
                       std::vector<double>& upper,
                       const std::vector<bool>& is_integer) {
@@ -161,17 +164,25 @@ struct bound_change {
 
 struct bb_node {
   std::vector<bound_change> changes; // path from root
-  double parent_bound;               // LP bound of the parent (min-form)
-  long id;                           // for best-bound bookkeeping
+  double parent_bound = -inf;        // LP bound of the parent (min-form)
+  long id = 0;                       // for deterministic tie-breaking
   /// Fractional distance the branch moved the variable (frac for a down
   /// child, 1-frac for an up child); pseudocosts are recorded per unit.
   double branch_distance = 1.0;
+  /// Pseudocost completion estimate (min-form): parent bound plus the
+  /// branch's own expected degradation plus the cheapest rounding of every
+  /// other fractional variable at the parent.
+  double estimate = -inf;
 };
 
-/// Pseudocost bookkeeping per integer variable and direction.
+/// Pseudocost bookkeeping per integer variable and direction, plus the
+/// global per-unit average used as the estimate fallback for unobserved
+/// directions.
 struct pseudocost_table {
   std::vector<double> up_sum, down_sum;
   std::vector<long> up_count, down_count;
+  double total_sum = 0.0;
+  long total_count = 0;
 
   explicit pseudocost_table(int n)
       : up_sum(n, 0.0), down_sum(n, 0.0), up_count(n, 0), down_count(n, 0) {}
@@ -184,12 +195,24 @@ struct pseudocost_table {
       down_sum[var] += degradation_per_frac;
       ++down_count[var];
     }
+    total_sum += degradation_per_frac;
+    ++total_count;
+  }
+
+  [[nodiscard]] double average() const {
+    return total_count > 0 ? total_sum / total_count : 0.0;
+  }
+
+  [[nodiscard]] double up_cost(int var, double fallback) const {
+    return up_count[var] > 0 ? up_sum[var] / up_count[var] : fallback;
+  }
+  [[nodiscard]] double down_cost(int var, double fallback) const {
+    return down_count[var] > 0 ? down_sum[var] / down_count[var] : fallback;
   }
 
   [[nodiscard]] double score(int var, double frac, double fallback) const {
-    const double up = up_count[var] > 0 ? up_sum[var] / up_count[var] : fallback;
-    const double down =
-        down_count[var] > 0 ? down_sum[var] / down_count[var] : fallback;
+    const double up = up_cost(var, fallback);
+    const double down = down_cost(var, fallback);
     const double up_est = up * (1.0 - frac);
     const double down_est = down * frac;
     constexpr double eps = 1e-6;
@@ -207,8 +230,129 @@ solver_options classic_primal_only_options() {
   o.lp.pricing = pricing_rule::dantzig;
   o.lp.refactor_interval = 120; // the seed's dense-update cadence
   o.lp.engine = basis_engine::dense; // the seed's basis representation
+  o.presolve = false;                // the seed ran bare root propagation
+  o.cuts = false;
+  o.node_propagation = false;
+  o.node_selection = node_rule::dfs; // pure depth-first plunging
   return o;
 }
+
+namespace {
+
+/// Row-wise view of an lp_problem for the per-node propagation passes.
+struct row_view {
+  std::vector<std::vector<std::pair<int, double>>> rows; // (var, coeff)
+  std::vector<double> lower;
+  std::vector<double> upper;
+
+  explicit row_view(const lp_problem& lp)
+      : rows(static_cast<std::size_t>(lp.num_rows)), lower(lp.row_lower),
+        upper(lp.row_upper) {
+    for (int j = 0; j < lp.num_vars; ++j)
+      for (int k = lp.col_start[static_cast<std::size_t>(j)];
+           k < lp.col_start[static_cast<std::size_t>(j) + 1]; ++k)
+        rows[static_cast<std::size_t>(lp.row_index[static_cast<std::size_t>(k)])]
+            .emplace_back(j, lp.value[static_cast<std::size_t>(k)]);
+  }
+};
+
+/// Interval-arithmetic propagation over `view` starting from the bound
+/// arrays (node bounds already applied). Returns false when some row is
+/// proven infeasible under the node's bounds -- the node prunes without an
+/// LP solve. Integer bounds are rounded.
+///
+/// The activity machinery intentionally mirrors presolve.cpp's (same
+/// residual-with-infinity-counts scheme, same 1e-7/1e-9 tolerances) in a
+/// flattened per-node form; keep the two in sync when touching either --
+/// the committed deterministic baselines pin this exact arithmetic.
+bool propagate_node(const row_view& view, const std::vector<bool>& is_integer,
+                    std::vector<double>& lower, std::vector<double>& upper,
+                    int passes) {
+  for (int pass = 0; pass < passes; ++pass) {
+    bool changed = false;
+    for (std::size_t r = 0; r < view.rows.size(); ++r) {
+      const auto& terms = view.rows[r];
+      const double row_lo = view.lower[r];
+      const double row_hi = view.upper[r];
+      double act_min = 0.0;
+      double act_max = 0.0;
+      int inf_min = 0;
+      int inf_max = 0;
+      for (const auto& [var, coeff] : terms) {
+        const double lo = lower[static_cast<std::size_t>(var)];
+        const double hi = upper[static_cast<std::size_t>(var)];
+        if (coeff > 0.0) {
+          if (lo == -inf) ++inf_min; else act_min += coeff * lo;
+          if (hi == inf) ++inf_max; else act_max += coeff * hi;
+        } else {
+          if (hi == inf) ++inf_min; else act_min += coeff * hi;
+          if (lo == -inf) ++inf_max; else act_max += coeff * lo;
+        }
+      }
+      const double total_min = inf_min > 0 ? -inf : act_min;
+      const double total_max = inf_max > 0 ? inf : act_max;
+      if (total_min > row_hi + 1e-7 || total_max < row_lo - 1e-7)
+        return false;
+      if (total_min >= row_lo - 1e-7 && total_max <= row_hi + 1e-7)
+        continue; // redundant here: no tightening possible
+
+      for (const auto& [var, coeff] : terms) {
+        const std::size_t v = static_cast<std::size_t>(var);
+        const double lo = lower[v];
+        const double hi = upper[v];
+        double t_min;
+        double t_max;
+        if (coeff > 0.0) {
+          t_min = lo == -inf ? -inf : coeff * lo;
+          t_max = hi == inf ? inf : coeff * hi;
+        } else {
+          t_min = hi == inf ? -inf : coeff * hi;
+          t_max = lo == -inf ? inf : coeff * lo;
+        }
+        double rest_min;
+        if (t_min == -inf)
+          rest_min = inf_min > 1 ? -inf : act_min;
+        else
+          rest_min = inf_min > 0 ? -inf : act_min - t_min;
+        double rest_max;
+        if (t_max == inf)
+          rest_max = inf_max > 1 ? inf : act_max;
+        else
+          rest_max = inf_max > 0 ? inf : act_max - t_max;
+
+        double new_lo = -inf;
+        double new_hi = inf;
+        if (coeff > 0.0) {
+          if (row_hi != inf && rest_min != -inf) new_hi = (row_hi - rest_min) / coeff;
+          if (row_lo != -inf && rest_max != inf) new_lo = (row_lo - rest_max) / coeff;
+        } else {
+          if (row_hi != inf && rest_min != -inf) new_lo = (row_hi - rest_min) / coeff;
+          if (row_lo != -inf && rest_max != inf) new_hi = (row_lo - rest_max) / coeff;
+        }
+        if (is_integer[v]) {
+          if (new_lo != -inf) new_lo = std::ceil(new_lo - 1e-7);
+          if (new_hi != inf) new_hi = std::floor(new_hi + 1e-7);
+        }
+        if (new_lo > lower[v] + 1e-9) {
+          lower[v] = new_lo;
+          changed = true;
+        }
+        if (new_hi < upper[v] - 1e-9) {
+          upper[v] = new_hi;
+          changed = true;
+        }
+        if (lower[v] > upper[v]) {
+          if (lower[v] > upper[v] + 1e-7) return false;
+          upper[v] = lower[v]; // sub-tolerance crossing: a fixed value
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return true;
+}
+
+} // namespace
 
 double solution::gap() const {
   if (!has_solution()) return inf;
@@ -228,8 +372,23 @@ solution solve(const model& m, const solver_options& options) {
   standard_form sf = build_standard_form(m);
   const int n = sf.lp.num_vars;
 
-  // Root presolve: bound propagation.
-  if (options.root_propagation) {
+  // Root presolve: the iterated reduction loop when enabled, the legacy
+  // bound-propagation pass otherwise.
+  if (options.presolve) {
+    presolved_problem reduced =
+        presolve(sf.lp, sf.is_integer, options.presolve_opts);
+    result.presolve_rows_removed = reduced.stats.rows_removed;
+    result.presolve_bounds_tightened = reduced.stats.bounds_tightened;
+    result.presolve_coefficients_tightened =
+        reduced.stats.coefficients_tightened;
+    result.presolve_variables_fixed = reduced.stats.variables_fixed;
+    if (reduced.infeasible) {
+      result.status = solve_status::infeasible;
+      result.seconds = total_watch.elapsed_seconds();
+      return result;
+    }
+    sf.lp = std::move(reduced.reduced);
+  } else if (options.root_propagation) {
     if (!propagate_bounds(m, sf.lp.lower, sf.lp.upper, sf.is_integer)) {
       result.status = solve_status::infeasible;
       result.seconds = total_watch.elapsed_seconds();
@@ -239,10 +398,78 @@ solution solve(const model& m, const solver_options& options) {
   const std::vector<double> root_lower = sf.lp.lower;
   const std::vector<double> root_upper = sf.lp.upper;
 
-  simplex_solver lp(sf.lp, options.lp);
+  // The LP the tree solves over: the (presolved) root problem, extended in
+  // place by the cut rounds below. `tree_problem` keeps the extended
+  // problem alive for the solver's lifetime (the solver holds a reference).
+  std::unique_ptr<lp_problem> tree_problem;
+  auto lp = std::make_unique<simplex_solver>(sf.lp, options.lp);
 
   const double int_tol = options.integrality_tolerance;
   auto fractional_part = [&](double v) { return std::abs(v - std::round(v)); };
+
+  long simplex_iterations = 0;
+  long dual_iterations = 0;
+  double root_lp_bound = inf; // min-form LP bound of the (cut) root
+  bool root_solved = false;
+
+  // ------------------------------------------------------- root cut loop
+  // Solve the root LP once, then separate Gomory + cover cuts in rounds,
+  // each round rebuilding the simplex over the extended rows and
+  // warm-restarting from the previous basis (the appended cut slacks enter
+  // basic, so the dual method re-solves in a handful of pivots).
+  std::optional<cut_generator> cutter;
+  if (options.cuts && options.cut.max_rounds > 0 && !time_budget.expired()) {
+    lp_result root = lp->solve(time_budget, /*warm_start=*/false);
+    simplex_iterations += root.iterations;
+    dual_iterations += root.dual_iterations;
+    auto has_fractional = [&](const lp_result& r) {
+      for (int j = 0; j < n; ++j)
+        if (sf.is_integer[j] && fractional_part(r.x[j]) > int_tol) return true;
+      return false;
+    };
+    if (root.status == lp_status::optimal) {
+      root_lp_bound = root.objective;
+      root_solved = true;
+      if (has_fractional(root)) {
+        cutter.emplace(sf.lp, sf.is_integer, options.cut);
+        double bound_before_round = root_lp_bound;
+        for (int round = 0; round < options.cut.max_rounds; ++round) {
+          if (time_budget.expired()) break;
+          if (!cutter->round(*lp, time_budget)) break;
+          std::vector<int> at_upper;
+          const std::vector<int> basis = cutter->remap_basis(*lp, at_upper);
+          auto next_problem = std::make_unique<lp_problem>(cutter->current());
+          auto next_lp =
+              std::make_unique<simplex_solver>(*next_problem, options.lp);
+          next_lp->load_basis(basis, at_upper);
+          lp = std::move(next_lp);
+          tree_problem = std::move(next_problem);
+          const lp_result re = lp->solve(time_budget, /*warm_start=*/true);
+          simplex_iterations += re.iterations;
+          dual_iterations += re.dual_iterations;
+          if (re.status != lp_status::optimal) break;
+          root_lp_bound = re.objective;
+          if (!has_fractional(re)) break;
+          // Stalling termination: on these degenerate big-M relaxations a
+          // round that fails to move the bound is chasing alternate optima
+          // -- further rounds only bloat the tree's LPs.
+          const double improvement = root_lp_bound - bound_before_round;
+          if (improvement <=
+              options.cut.min_bound_improvement *
+                  std::max(1.0, std::abs(root_lp_bound)))
+            break;
+          bound_before_round = root_lp_bound;
+        }
+        result.cut_rounds = cutter->stats().rounds;
+        result.cuts_added = cutter->stats().added;
+        result.cuts_active = cutter->active_cuts();
+        if (options.log_progress && result.cuts_added > 0)
+          log_at(log_level::info, "milp: root cuts ", result.cuts_added,
+                 " rows in ", result.cut_rounds, " rounds, bound ",
+                 sf.objective_sign * root_lp_bound + sf.objective_constant);
+      }
+    }
+  }
 
   // Incumbent state (minimization form).
   bool have_incumbent = false;
@@ -276,26 +503,82 @@ solution solve(const model& m, const solver_options& options) {
 
   pseudocost_table pseudocosts(n);
 
-  // DFS stack with global best-bound tracking.
-  std::vector<bb_node> stack;
-  std::multiset<double> open_bounds;
+  // Open-node pool. The node "in hand" is the dive continuation (explored
+  // without touching the pool, which keeps dfs mode's LIFO order exact);
+  // a finished dive backtracks through select_open().
+  std::vector<bb_node> open;
+  std::optional<bb_node> in_hand;
+  std::multiset<double> open_bounds; // bounds of open + in-hand nodes
   long next_node_id = 0;
-  stack.push_back(bb_node{{}, -inf, next_node_id++});
-  open_bounds.insert(-inf);
+  {
+    bb_node root_node;
+    root_node.parent_bound = -inf;
+    root_node.id = next_node_id++;
+    in_hand = std::move(root_node);
+    open_bounds.insert(-inf);
+  }
 
   long nodes = 0;
-  long simplex_iterations = 0;
-  long dual_iterations = 0;
   long probes = 0;
+  long backtracks = 0;
   bool hit_limit = false;
   bool unbounded = false;
   stopwatch log_watch;
 
+  // Row view of the tree's LP (base + surviving cuts) for per-node
+  // propagation, plus reusable bound buffers.
+  std::optional<row_view> tree_rows;
+  if (options.node_propagation)
+    tree_rows.emplace(tree_problem ? *tree_problem : sf.lp);
+  std::vector<double> prop_lower;
+  std::vector<double> prop_upper;
+
+  auto select_open = [&]() -> bb_node {
+    std::size_t pick = open.size() - 1; // dfs: LIFO
+    if (options.node_selection == node_rule::best_estimate) {
+      // Hybrid backtracking: most backtracks stay LIFO (the adjacent open
+      // node keeps the warm basis hot); every second one restarts the dive
+      // from the best-estimate node, and every `backtrack_interval`-th from
+      // the best-bound node (pumping the global dual bound). Pure
+      // best-first jumping doubles the LP cost per node -- the warm dual
+      // re-solve only pays off between nearby nodes.
+      ++backtracks;
+      const bool by_bound = options.backtrack_interval > 0 &&
+                            backtracks % options.backtrack_interval == 0;
+      const bool by_estimate = !by_bound && backtracks % 2 == 0;
+      if (by_bound || by_estimate) {
+        pick = 0;
+        for (std::size_t i = 1; i < open.size(); ++i) {
+          const bb_node& a = open[i];
+          const bb_node& b = open[pick];
+          bool better;
+          if (by_bound) {
+            better = a.parent_bound != b.parent_bound
+                         ? a.parent_bound < b.parent_bound
+                         : (a.estimate != b.estimate ? a.estimate < b.estimate
+                                                     : a.id < b.id);
+          } else {
+            better = a.estimate != b.estimate
+                         ? a.estimate < b.estimate
+                         : (a.parent_bound != b.parent_bound
+                                ? a.parent_bound < b.parent_bound
+                                : a.id < b.id);
+          }
+          if (better) pick = i;
+        }
+      }
+    }
+    bb_node node = std::move(open[pick]);
+    open[pick] = std::move(open.back());
+    open.pop_back();
+    return node;
+  };
+
   auto apply_node_bounds = [&](const bb_node& node) {
     for (int j = 0; j < n; ++j)
-      lp.set_variable_bounds(j, root_lower[j], root_upper[j]);
+      lp->set_variable_bounds(j, root_lower[j], root_upper[j]);
     for (const bound_change& change : node.changes)
-      lp.set_variable_bounds(change.var, change.lower, change.upper);
+      lp->set_variable_bounds(change.var, change.lower, change.upper);
   };
 
   auto best_open_bound = [&]() {
@@ -312,23 +595,47 @@ solution solve(const model& m, const solver_options& options) {
            incumbent_obj - bound <= options.absolute_gap;
   };
 
-  while (!stack.empty()) {
+  while (in_hand || !open.empty()) {
     if (gap_closed()) break;
     if (nodes >= options.max_nodes || time_budget.expired()) {
       hit_limit = true;
       break;
     }
 
-    bb_node node = std::move(stack.back());
-    stack.pop_back();
+    bb_node node;
+    if (in_hand) {
+      node = std::move(*in_hand);
+      in_hand.reset();
+    } else {
+      node = select_open();
+    }
     open_bounds.erase(open_bounds.find(node.parent_bound));
 
     // Bound-based pruning against the incumbent.
     if (have_incumbent && node.parent_bound >= incumbent_obj - options.absolute_gap)
       continue;
 
-    apply_node_bounds(node);
-    const lp_result relax = lp.solve(time_budget, /*warm_start=*/true);
+    if (tree_rows && !node.changes.empty()) {
+      // Per-node propagation: branching fixes collapse big-M disjunctions,
+      // so a few interval passes often prune the node (or shrink its LP)
+      // before any pivot is spent.
+      prop_lower = root_lower;
+      prop_upper = root_upper;
+      for (const bound_change& change : node.changes) {
+        prop_lower[change.var] = change.lower;
+        prop_upper[change.var] = change.upper;
+      }
+      if (!propagate_node(*tree_rows, sf.is_integer, prop_lower, prop_upper,
+                          options.node_propagation_passes)) {
+        ++nodes; // processed (pruned by propagation, no LP needed)
+        continue;
+      }
+      for (int j = 0; j < n; ++j)
+        lp->set_variable_bounds(j, prop_lower[j], prop_upper[j]);
+    } else {
+      apply_node_bounds(node);
+    }
+    const lp_result relax = lp->solve(time_budget, /*warm_start=*/true);
     ++nodes;
     simplex_iterations += relax.iterations;
     dual_iterations += relax.dual_iterations;
@@ -336,7 +643,7 @@ solution solve(const model& m, const solver_options& options) {
     if (options.log_progress && log_watch.elapsed_seconds() > 2.0) {
       log_watch.reset();
       log_at(log_level::info, "milp: nodes=", nodes,
-             " open=", stack.size(), " incumbent=",
+             " open=", open.size(), " incumbent=",
              have_incumbent ? std::to_string(sf.objective_sign * incumbent_obj +
                                              sf.objective_constant)
                             : std::string("none"));
@@ -359,6 +666,10 @@ solution solve(const model& m, const solver_options& options) {
     }
 
     const double node_bound = relax.objective;
+    if (!root_solved) {
+      root_lp_bound = node_bound;
+      root_solved = true;
+    }
     if (have_incumbent && node_bound >= incumbent_obj - options.absolute_gap)
       continue;
 
@@ -398,20 +709,20 @@ solution solve(const model& m, const solver_options& options) {
         const double value = relax.x[j];
         const double floor_val = std::floor(value);
         const double frac = value - floor_val;
-        const double node_lower = lp.variable_lower(j);
-        const double node_upper = lp.variable_upper(j);
+        const double node_lower = lp->variable_lower(j);
+        const double node_upper = lp->variable_upper(j);
         bool local_down_infeasible = false;
         bool local_up_infeasible = false;
         for (const bool up : {false, true}) {
           if (time_budget.expired()) break;
           if (up)
-            lp.set_variable_bounds(j, floor_val + 1.0, node_upper);
+            lp->set_variable_bounds(j, floor_val + 1.0, node_upper);
           else
-            lp.set_variable_bounds(j, node_lower, floor_val);
-          const lp_result probe = lp.solve(
+            lp->set_variable_bounds(j, node_lower, floor_val);
+          const lp_result probe = lp->solve(
               time_budget, /*warm_start=*/true,
               options.strong_branch_iteration_limit);
-          lp.set_variable_bounds(j, node_lower, node_upper);
+          lp->set_variable_bounds(j, node_lower, node_upper);
           ++probes;
           simplex_iterations += probe.iterations;
           dual_iterations += probe.dual_iterations;
@@ -489,32 +800,56 @@ solution solve(const model& m, const solver_options& options) {
     const double floor_val = std::floor(branch_frac);
     const double frac = branch_frac - floor_val;
 
+    // Completion estimate: the branch direction's expected degradation plus
+    // the cheapest rounding of every other fractional variable.
+    const double fallback = pseudocosts.average();
+    double estimate_rest = 0.0;
+    if (options.node_selection == node_rule::best_estimate) {
+      for (const auto& [closeness, j] : fractional) {
+        (void)closeness;
+        if (j == branch_var) continue;
+        const double fj = relax.x[j] - std::floor(relax.x[j]);
+        estimate_rest +=
+            std::min(pseudocosts.down_cost(j, fallback) * fj,
+                     pseudocosts.up_cost(j, fallback) * (1.0 - fj));
+      }
+    }
+
     bb_node down_child;
     down_child.changes = node.changes;
     down_child.changes.push_back(
-        {branch_var, lp.variable_lower(branch_var), floor_val});
+        {branch_var, lp->variable_lower(branch_var), floor_val});
     down_child.parent_bound = node_bound;
     down_child.id = next_node_id++;
     down_child.branch_distance = frac;
+    down_child.estimate =
+        node_bound + pseudocosts.down_cost(branch_var, fallback) * frac +
+        estimate_rest;
 
     bb_node up_child;
     up_child.changes = node.changes;
     up_child.changes.push_back(
-        {branch_var, floor_val + 1.0, lp.variable_upper(branch_var)});
+        {branch_var, floor_val + 1.0, lp->variable_upper(branch_var)});
     up_child.parent_bound = node_bound;
     up_child.id = next_node_id++;
     up_child.branch_distance = 1.0 - frac;
+    up_child.estimate =
+        node_bound +
+        pseudocosts.up_cost(branch_var, fallback) * (1.0 - frac) +
+        estimate_rest;
 
-    // Plunge: explore the child nearest the LP value first (LIFO stack).
+    // Plunge: keep the child nearest the LP value in hand; the sibling
+    // joins the open pool (push_back keeps dfs mode's LIFO order exact).
     // Children whose side a strong-branching probe proved infeasible are
     // never queued.
-    if (frac <= 0.5) {
-      if (!up_infeasible) stack.push_back(std::move(up_child));
-      if (!down_infeasible) stack.push_back(std::move(down_child));
-    } else {
-      if (!down_infeasible) stack.push_back(std::move(down_child));
-      if (!up_infeasible) stack.push_back(std::move(up_child));
-    }
+    const bool down_preferred = frac <= 0.5;
+    bb_node& preferred = down_preferred ? down_child : up_child;
+    bb_node& sibling = down_preferred ? up_child : down_child;
+    const bool preferred_pruned =
+        down_preferred ? down_infeasible : up_infeasible;
+    const bool sibling_pruned = down_preferred ? up_infeasible : down_infeasible;
+    if (!sibling_pruned) open.push_back(std::move(sibling));
+    if (!preferred_pruned) in_hand = std::move(preferred);
     if (!down_infeasible) open_bounds.insert(node_bound);
     if (!up_infeasible) open_bounds.insert(node_bound);
   }
@@ -526,8 +861,12 @@ solution solve(const model& m, const solver_options& options) {
   result.strong_branch_probes = probes;
   result.seconds = total_watch.elapsed_seconds();
   result.interrupted = hit_limit && time_budget.expired();
+  if (root_solved)
+    result.root_bound =
+        sf.objective_sign * root_lp_bound + sf.objective_constant;
 
-  const double open_bound = stack.empty() ? inf : best_open_bound();
+  const bool tree_open = in_hand.has_value() || !open.empty();
+  const double open_bound = tree_open ? best_open_bound() : inf;
   if (unbounded) {
     result.status = solve_status::unbounded;
     return result;
@@ -537,7 +876,7 @@ solution solve(const model& m, const solver_options& options) {
     result.objective = sf.objective_sign * incumbent_obj + sf.objective_constant;
     const double bound_min = std::min(incumbent_obj, open_bound);
     result.best_bound = sf.objective_sign * bound_min + sf.objective_constant;
-    const bool proven = !hit_limit && (stack.empty() || gap_closed());
+    const bool proven = !hit_limit && (!tree_open || gap_closed());
     result.status = proven ? solve_status::optimal : solve_status::feasible;
     return result;
   }

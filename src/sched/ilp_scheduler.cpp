@@ -188,6 +188,32 @@ scheduling_ilp build_scheduling_ilp(const assay::sequencing_graph& graph,
                          t_end,
                      milp::cmp::less_equal, 0.0);
 
+  // Device-load valid inequalities (see ilp_scheduler_options): the ops
+  // assigned to one device occupy disjoint time windows inside [0, tE].
+  if (options.load_valid_inequalities) {
+    for (int k = 0; k < devices; ++k) {
+      milp::linear_expr load;
+      for (int i = 0; i < n; ++i)
+        load += static_cast<double>(graph.at(i).duration) *
+                s[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)];
+      m.add_constraint(load - t_end, milp::cmp::less_equal, 0.0,
+                       "load_" + std::to_string(k));
+    }
+  }
+
+  // Device-symmetry breaking (see ilp_scheduler_options): operation i may
+  // only use devices 0..i. Singleton rows by design -- presolve turns them
+  // into variable bounds before the first LP.
+  if (options.break_device_symmetry) {
+    for (int i = 0; i < n && i < devices - 1; ++i)
+      for (int k = i + 1; k < devices; ++k)
+        m.add_constraint(
+            milp::linear_expr(
+                s[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)]),
+            milp::cmp::less_equal, 0.0,
+            "sym_" + std::to_string(i) + "_" + std::to_string(k));
+  }
+
   // (6) objective.
   milp::linear_expr objective = options.alpha * milp::linear_expr(t_end);
   for (std::size_t e = 0; e < edges.size(); ++e)
@@ -199,6 +225,23 @@ scheduling_ilp build_scheduling_ilp(const assay::sequencing_graph& graph,
     const schedule& ws = *options.warm_start;
     require(static_cast<int>(ws.ops.size()) == n,
             "ilp scheduler: warm start has wrong op count");
+    // Relabel devices by first appearance (op-index order) so the warm
+    // start satisfies the symmetry-breaking rows; devices are
+    // interchangeable, so the relabeled schedule is equivalent.
+    std::vector<int> relabel(static_cast<std::size_t>(devices), -1);
+    if (options.break_device_symmetry) {
+      int next_label = 0;
+      for (int i = 0; i < n; ++i) {
+        const int d = ws.ops[static_cast<std::size_t>(i)].device;
+        if (relabel[static_cast<std::size_t>(d)] < 0)
+          relabel[static_cast<std::size_t>(d)] = next_label++;
+      }
+      for (int d = 0; d < devices; ++d)
+        if (relabel[static_cast<std::size_t>(d)] < 0)
+          relabel[static_cast<std::size_t>(d)] = next_label++;
+    } else {
+      for (int d = 0; d < devices; ++d) relabel[static_cast<std::size_t>(d)] = d;
+    }
     std::vector<double> assignment(
         static_cast<std::size_t>(m.variable_count()), 0.0);
     auto set = [&](milp::variable v, double value) {
@@ -206,7 +249,8 @@ scheduling_ilp build_scheduling_ilp(const assay::sequencing_graph& graph,
     };
     for (int i = 0; i < n; ++i) {
       const auto& so = ws.ops[static_cast<std::size_t>(i)];
-      set(s[static_cast<std::size_t>(i)][static_cast<std::size_t>(so.device)],
+      const int device = relabel[static_cast<std::size_t>(so.device)];
+      set(s[static_cast<std::size_t>(i)][static_cast<std::size_t>(device)],
           1.0);
       set(ts[static_cast<std::size_t>(i)], so.start);
       set(te[static_cast<std::size_t>(i)], so.end);
@@ -217,8 +261,10 @@ scheduling_ilp build_scheduling_ilp(const assay::sequencing_graph& graph,
     // ordered by variable index, which follows device order here).
     for (std::size_t e = 0; e < edges.size(); ++e) {
       const auto [i, j] = edges[e];
-      const int di = ws.ops[static_cast<std::size_t>(i)].device;
-      const int dj = ws.ops[static_cast<std::size_t>(j)].device;
+      const int di =
+          relabel[static_cast<std::size_t>(ws.ops[static_cast<std::size_t>(i)].device)];
+      const int dj =
+          relabel[static_cast<std::size_t>(ws.ops[static_cast<std::size_t>(j)].device)];
       if (di == dj) {
         int k = 0;
         for (const auto& [var_index, coeff] : same[e].terms()) {
@@ -268,6 +314,11 @@ ilp_schedule_result schedule_with_ilp(const assay::sequencing_graph& graph,
   result.seconds = sol.seconds;
   result.variables = m.variable_count();
   result.constraints = m.constraint_count();
+  result.presolve_rows_removed = sol.presolve_rows_removed;
+  result.presolve_bounds_tightened = sol.presolve_bounds_tightened;
+  result.cuts_added = sol.cuts_added;
+  result.cut_rounds = sol.cut_rounds;
+  result.root_bound = sol.root_bound;
 
   check(sol.has_solution(),
         "ilp scheduler: no incumbent (horizon too small or solver failure)");

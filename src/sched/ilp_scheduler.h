@@ -42,6 +42,21 @@ struct ilp_scheduler_options {
   int horizon = 0;
   /// Known-good schedule used as the MILP incumbent.
   std::optional<schedule> warm_start;
+  /// Add the device-load valid inequalities sum_i u_i s_ik <= tE: operations
+  /// bound to one device never overlap in time, so their total duration
+  /// bounds the makespan. They cut no integer point but lift the LP
+  /// relaxation's makespan bound from the critical path toward the
+  /// total-work / device-count energetic bound -- the lever that lets
+  /// branch and bound actually prove optimality on the multi-device assays
+  /// (the paper's plain Table 1 rows leave the relaxation nearly vacuous).
+  bool load_valid_inequalities = true;
+  /// Break the device-permutation symmetry: devices are interchangeable in
+  /// this model (uniform durations and transport), so every schedule has
+  /// k! relabelings the search would otherwise prove separately. The
+  /// standard scheme pins operation i to devices 0..i (s_ik = 0 for k > i,
+  /// emitted as singleton rows the presolve folds into bounds); the warm
+  /// start is relabeled by first device appearance so it stays feasible.
+  bool break_device_symmetry = true;
   bool log_progress = false;
   /// Base MILP solver configuration (branching rule, LP engine ablations).
   /// time_limit_seconds / log_progress / warm_start above take precedence.
@@ -59,6 +74,13 @@ struct ilp_schedule_result {
   double seconds = 0.0;
   int variables = 0;
   int constraints = 0;
+  // Root presolve + cutting-plane footprint (milp/presolve.h, milp/cuts.h),
+  // surfaced so schedule reports can show where the MILP work went.
+  int presolve_rows_removed = 0;
+  int presolve_bounds_tightened = 0;
+  int cuts_added = 0;
+  int cut_rounds = 0;
+  double root_bound = 0.0;   // objective-(6) LP bound after presolve + cuts
 };
 
 /// The Table 1 formulation as a standalone MILP, for callers that want to

@@ -106,6 +106,10 @@ scheduling_result make_schedule(const assay::sequencing_graph& graph,
     result.ilp_bound = ilp.ilp_bound;
     result.ilp_variables = ilp.variables;
     result.ilp_constraints = ilp.constraints;
+    result.ilp_nodes = ilp.nodes;
+    result.ilp_presolve_rows_removed = ilp.presolve_rows_removed;
+    result.ilp_cuts_added = ilp.cuts_added;
+    result.ilp_root_bound = ilp.root_bound;
     // Keep whichever refined schedule scores better under objective (6);
     // the ILP does not model device-port serialization, so its extraction
     // can occasionally refine worse than the heuristic.

@@ -67,6 +67,12 @@ struct scheduling_result {
   double ilp_bound = 0.0;
   int ilp_variables = 0;
   int ilp_constraints = 0;
+  long ilp_nodes = 0;
+  /// MILP root presolve/cutting footprint (see milp::solution), surfaced
+  /// into schedule reports.
+  int ilp_presolve_rows_removed = 0;
+  int ilp_cuts_added = 0;
+  double ilp_root_bound = 0.0;
 };
 
 /// Produce a validated schedule for `graph` under `options`.

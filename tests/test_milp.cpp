@@ -5,11 +5,14 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "assay/benchmarks.h"
 #include "common/prng.h"
+#include "milp/cuts.h"
 #include "milp/lu.h"
 #include "milp/model.h"
+#include "milp/presolve.h"
 #include "milp/simplex.h"
 #include "milp/solver.h"
 #include "sched/ilp_scheduler.h"
@@ -1214,6 +1217,362 @@ TEST(Simplex, IllConditionedColumnsStillAgreeAcrossEngines) {
                   1e-5 * std::max(1.0, std::abs(b.objective)))
           << "seed " << seed;
     }
+  }
+}
+
+// --------------------------- presolve + cutting planes (PR 4 tentpole)
+
+namespace {
+
+/// Minimize-form lp_problem image of a model (the converter the solver uses
+/// internally, reproduced for LP-level presolve/cut tests).
+lp_problem model_to_lp(const model& m, std::vector<bool>& is_integer) {
+  lp_problem p;
+  const int n = m.variable_count();
+  p.num_vars = n;
+  p.num_rows = m.constraint_count();
+  p.cost.resize(n);
+  p.lower.resize(n);
+  p.upper.resize(n);
+  is_integer.assign(static_cast<std::size_t>(n), false);
+  for (int j = 0; j < n; ++j) {
+    const var_info& v = m.variable_at(j);
+    p.cost[static_cast<std::size_t>(j)] = m.objective_coefficients()[static_cast<std::size_t>(j)];
+    p.lower[static_cast<std::size_t>(j)] = v.lower;
+    p.upper[static_cast<std::size_t>(j)] = v.upper;
+    is_integer[static_cast<std::size_t>(j)] = v.kind != var_kind::continuous;
+  }
+  std::vector<std::vector<std::pair<int, double>>> cols(static_cast<std::size_t>(n));
+  for (int i = 0; i < p.num_rows; ++i) {
+    const row_info& r = m.constraint_at(i);
+    p.row_lower.push_back(r.lower);
+    p.row_upper.push_back(r.upper);
+    for (const auto& [var, c] : r.terms) cols[static_cast<std::size_t>(var)].emplace_back(i, c);
+  }
+  p.col_start.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int j = 0; j < n; ++j)
+    p.col_start[static_cast<std::size_t>(j) + 1] =
+        p.col_start[static_cast<std::size_t>(j)] +
+        static_cast<int>(cols[static_cast<std::size_t>(j)].size());
+  for (int j = 0; j < n; ++j)
+    for (const auto& [row, c] : cols[static_cast<std::size_t>(j)]) {
+      p.row_index.push_back(row);
+      p.value.push_back(c);
+    }
+  return p;
+}
+
+/// Random bounded mixed-integer model with x = 0 feasible; deterministic.
+model random_bounded_milp(std::uint64_t seed, prng& r) {
+  (void)seed;
+  model m;
+  const int nvars = static_cast<int>(r.uniform_int(3, 9));
+  const int nrows = static_cast<int>(r.uniform_int(2, 9));
+  std::vector<variable> xs;
+  for (int j = 0; j < nvars; ++j) {
+    const int kind = static_cast<int>(r.uniform_int(0, 2));
+    if (kind == 0)
+      xs.push_back(m.add_binary());
+    else if (kind == 1)
+      xs.push_back(m.add_integer(0, r.uniform_int(1, 8)));
+    else
+      xs.push_back(m.add_continuous(0, r.uniform_int(1, 12)));
+  }
+  for (int i = 0; i < nrows; ++i) {
+    linear_expr e;
+    for (int j = 0; j < nvars; ++j)
+      if (r.bernoulli(0.6))
+        e += static_cast<double>(r.uniform_int(-5, 5)) * xs[static_cast<std::size_t>(j)];
+    if (e.empty()) continue;
+    if (r.bernoulli(0.3))
+      m.add_range_constraint(e, -static_cast<double>(r.uniform_int(0, 30)),
+                             static_cast<double>(r.uniform_int(0, 30)));
+    else
+      m.add_constraint(e, cmp::less_equal,
+                       static_cast<double>(r.uniform_int(0, 30)));
+  }
+  linear_expr obj;
+  for (int j = 0; j < nvars; ++j)
+    obj += static_cast<double>(r.uniform_int(-9, 9)) * xs[static_cast<std::size_t>(j)];
+  m.set_objective(obj, r.bernoulli(0.5) ? objective_sense::minimize
+                                        : objective_sense::maximize);
+  return m;
+}
+
+solver_options ablation_off_options() {
+  solver_options o;
+  o.time_limit_seconds = 30.0;
+  o.presolve = false;
+  o.cuts = false;
+  o.node_propagation = false;
+  o.node_selection = node_rule::dfs;
+  return o;
+}
+
+} // namespace
+
+TEST(Presolve, DifferentialOnRandomMilps) {
+  // The tentpole's differential harness: presolve+cuts+propagation on vs
+  // everything off must agree on status and optimal objective, and the
+  // returned full-space assignment must be feasible in the original model.
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    prng r(seed * 7919 + 3);
+    const model m = random_bounded_milp(seed, r);
+    const solution on = solve(m, quick_options());
+    const solution off = solve(m, ablation_off_options());
+    ASSERT_EQ(on.status, off.status) << "seed " << seed;
+    if (on.status != solve_status::optimal) continue;
+    EXPECT_NEAR(on.objective, off.objective,
+                1e-6 * std::max(1.0, std::abs(off.objective)))
+        << "seed " << seed;
+    EXPECT_TRUE(m.is_feasible(on.values, 1e-5)) << "seed " << seed;
+    EXPECT_NEAR(m.evaluate_objective(on.values), on.objective, 1e-5)
+        << "seed " << seed;
+  }
+}
+
+TEST(Presolve, ContinuousLpKeepsObjectiveAndFullSpaceCertificate) {
+  // On continuous LPs presolve never rounds, so the reduced optimum equals
+  // the original optimum and the postsolved (x, duals) pair must certify
+  // optimality of the original rows under the presolved variable bounds
+  // (removed rows carry dual 0: exact, they are redundant there).
+  const deadline no_limit(0.0);
+  int optimal_cases = 0;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const lp_problem p = random_bounded_lp(seed * 31 + 7, 10, 8);
+    const std::vector<bool> is_integer(static_cast<std::size_t>(p.num_vars), false);
+    const presolved_problem ps = presolve(p, is_integer);
+    ASSERT_FALSE(ps.infeasible) << "seed " << seed; // x = 0 is feasible
+
+    simplex_solver reduced_solver(ps.reduced, simplex_options{});
+    const lp_result reduced = reduced_solver.solve(no_limit, false);
+    simplex_solver full_solver(p, simplex_options{});
+    const lp_result full = full_solver.solve(no_limit, false);
+    ASSERT_EQ(reduced.status, full.status) << "seed " << seed;
+    if (reduced.status != lp_status::optimal) continue;
+    ++optimal_cases;
+    EXPECT_NEAR(reduced.objective, full.objective,
+                1e-6 * std::max(1.0, std::abs(full.objective)))
+        << "seed " << seed;
+
+    // Certificate problem: ORIGINAL rows, presolved bounds.
+    lp_problem cert = p;
+    cert.lower = ps.reduced.lower;
+    cert.upper = ps.reduced.upper;
+    lp_result full_space;
+    full_space.status = lp_status::optimal;
+    full_space.objective = reduced.objective;
+    full_space.x = reduced.x;
+    ps.postsolve_primal(full_space.x);
+    full_space.duals = ps.postsolve_duals(reduced.duals);
+    expect_optimality_certificate(cert, full_space, 1e-6);
+  }
+  EXPECT_GT(optimal_cases, 10); // the sweep must actually exercise the path
+}
+
+TEST(Presolve, AssayFormulationsKeepWarmStartFeasible) {
+  // All six Table 2 formulations: presolve must never cut the heuristic
+  // warm start (an integer-feasible point), and its reductions must fire on
+  // the big-M structure (rows removed on every assay -- the symmetry rows
+  // at minimum).
+  for (const assay::benchmark_resources& spec : assay::benchmark_resource_table()) {
+    const sched::scheduling_ilp ilp = table2_formulation(spec.name, spec.devices);
+    ASSERT_TRUE(ilp.warm_assignment.has_value()) << spec.name;
+    ASSERT_TRUE(ilp.model.is_feasible(*ilp.warm_assignment, 1e-5)) << spec.name;
+
+    std::vector<bool> is_integer;
+    const lp_problem p = model_to_lp(ilp.model, is_integer);
+    const presolved_problem ps = presolve(p, is_integer);
+    ASSERT_FALSE(ps.infeasible) << spec.name;
+    EXPECT_GT(ps.stats.rows_removed, 0) << spec.name;
+
+    const std::vector<double>& x = *ilp.warm_assignment;
+    for (int j = 0; j < ps.reduced.num_vars; ++j) {
+      EXPECT_GE(x[static_cast<std::size_t>(j)],
+                ps.reduced.lower[static_cast<std::size_t>(j)] - 1e-6)
+          << spec.name << " var " << j;
+      EXPECT_LE(x[static_cast<std::size_t>(j)],
+                ps.reduced.upper[static_cast<std::size_t>(j)] + 1e-6)
+          << spec.name << " var " << j;
+    }
+    std::vector<double> activity(static_cast<std::size_t>(ps.reduced.num_rows), 0.0);
+    for (int j = 0; j < ps.reduced.num_vars; ++j)
+      for (int k = ps.reduced.col_start[static_cast<std::size_t>(j)];
+           k < ps.reduced.col_start[static_cast<std::size_t>(j) + 1]; ++k)
+        activity[static_cast<std::size_t>(
+            ps.reduced.row_index[static_cast<std::size_t>(k)])] +=
+            ps.reduced.value[static_cast<std::size_t>(k)] *
+            x[static_cast<std::size_t>(j)];
+    for (int i = 0; i < ps.reduced.num_rows; ++i) {
+      EXPECT_GE(activity[static_cast<std::size_t>(i)],
+                ps.reduced.row_lower[static_cast<std::size_t>(i)] - 1e-5)
+          << spec.name << " reduced row " << i;
+      EXPECT_LE(activity[static_cast<std::size_t>(i)],
+                ps.reduced.row_upper[static_cast<std::size_t>(i)] + 1e-5)
+          << spec.name << " reduced row " << i;
+    }
+  }
+}
+
+TEST(Presolve, DetectsInfeasibleBox) {
+  model m;
+  const variable x = m.add_integer(0, 10);
+  const variable y = m.add_integer(0, 10);
+  m.add_constraint(linear_expr(x) + y, cmp::greater_equal, 25.0);
+  m.set_objective(linear_expr(x), objective_sense::minimize);
+  const solution s = solve(m, quick_options()); // presolve on by default
+  EXPECT_EQ(s.status, solve_status::infeasible);
+}
+
+namespace {
+
+/// Drives the cut generator exactly like the solver's root loop: separate,
+/// remap the basis, rebuild the simplex over the extended rows, re-solve.
+/// Returns the generator's final pool (cuts over structural variables).
+std::vector<cut> run_cut_rounds(const lp_problem& base,
+                                const std::vector<bool>& is_integer,
+                                int max_rounds) {
+  const deadline no_limit(0.0);
+  auto problem = std::make_unique<lp_problem>(base);
+  auto lp = std::make_unique<simplex_solver>(*problem, simplex_options{});
+  lp_result res = lp->solve(no_limit, false);
+  if (res.status != lp_status::optimal) return {};
+  cut_options copt;
+  copt.max_rounds = max_rounds;
+  cut_generator gen(base, is_integer, copt);
+  for (int round = 0; round < max_rounds; ++round) {
+    if (!gen.round(*lp, no_limit)) break;
+    std::vector<int> at_upper;
+    const std::vector<int> basis = gen.remap_basis(*lp, at_upper);
+    auto next_problem = std::make_unique<lp_problem>(gen.current());
+    auto next_lp = std::make_unique<simplex_solver>(*next_problem, simplex_options{});
+    next_lp->load_basis(basis, at_upper);
+    lp = std::move(next_lp);
+    problem = std::move(next_problem);
+    res = lp->solve(no_limit, true);
+    if (res.status != lp_status::optimal) break;
+  }
+  return gen.pool();
+}
+
+} // namespace
+
+TEST(Cuts, PooledCutsAreSatisfiedByTheOptimalIncumbent) {
+  // The issue's cut-validity check: every pooled cut must hold at the MILP
+  // optimum (cuts may only remove fractional points). Random models plus
+  // the PCR scheduling formulation.
+  int cuts_seen = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    prng r(seed * 104729 + 11);
+    const model m = random_bounded_milp(seed, r);
+    const solution truth = solve(m, ablation_off_options());
+    if (truth.status != solve_status::optimal) continue;
+    std::vector<bool> is_integer;
+    const lp_problem p = model_to_lp(m, is_integer);
+    for (const cut& c : run_cut_rounds(p, is_integer, 4)) {
+      double activity = 0.0;
+      for (const auto& [var, coeff] : c.terms)
+        activity += coeff * truth.values[static_cast<std::size_t>(var)];
+      EXPECT_GE(activity, c.lower - 1e-6)
+          << "seed " << seed << " " << c.kind << " cut";
+      ++cuts_seen;
+    }
+  }
+  const sched::scheduling_ilp pcr = table2_formulation("PCR", 1);
+  solver_options o = quick_options();
+  o.warm_start = pcr.warm_assignment;
+  const solution truth = solve(pcr.model, o);
+  ASSERT_EQ(truth.status, solve_status::optimal);
+  std::vector<bool> is_integer;
+  const lp_problem p = model_to_lp(pcr.model, is_integer);
+  for (const cut& c : run_cut_rounds(p, is_integer, 4)) {
+    double activity = 0.0;
+    for (const auto& [var, coeff] : c.terms)
+      activity += coeff * truth.values[static_cast<std::size_t>(var)];
+    EXPECT_GE(activity, c.lower - 1e-6) << c.kind << " cut on PCR";
+    ++cuts_seen;
+  }
+  EXPECT_GT(cuts_seen, 0); // the sweep must actually separate something
+}
+
+TEST(Cuts, TermListsAreDuplicateFreeAndSorted) {
+  // Duplicate variables in a cut's term list poison the simplex CSC (the
+  // scatter paths assume unique rows per column) -- the regression behind
+  // the false-infeasibility bug found while building this layer.
+  const sched::scheduling_ilp ra12 = table2_formulation("IVD", 2);
+  std::vector<bool> is_integer;
+  const lp_problem p = model_to_lp(ra12.model, is_integer);
+  for (const cut& c : run_cut_rounds(p, is_integer, 4)) {
+    for (std::size_t t = 1; t < c.terms.size(); ++t)
+      EXPECT_LT(c.terms[t - 1].first, c.terms[t].first) << c.kind;
+  }
+}
+
+TEST(Milp, NodeRulesAgreeOnTheOptimum) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    prng r(seed * 524287 + 1);
+    const model m = random_bounded_milp(seed, r);
+    solver_options dfs = quick_options();
+    dfs.node_selection = node_rule::dfs;
+    solver_options best = quick_options();
+    best.node_selection = node_rule::best_estimate;
+    const solution a = solve(m, dfs);
+    const solution b = solve(m, best);
+    ASSERT_EQ(a.status, b.status) << "seed " << seed;
+    if (a.status == solve_status::optimal)
+      EXPECT_NEAR(a.objective, b.objective,
+                  1e-6 * std::max(1.0, std::abs(a.objective)))
+          << "seed " << seed;
+  }
+}
+
+TEST(Milp, DefaultStackIsDeterministic) {
+  // Bit-identical repeats with the full presolve + cuts + propagation stack
+  // (the pre-existing determinism test pins the LU engine; this one pins
+  // the PR 4 layers and the best-estimate rule).
+  const sched::scheduling_ilp ilp = table2_formulation("IVD", 2);
+  for (const node_rule rule : {node_rule::dfs, node_rule::best_estimate}) {
+    solver_options o;
+    o.time_limit_seconds = 600.0; // must never bind: limits break determinism
+    o.max_nodes = 400;
+    o.node_selection = rule;
+    o.warm_start = ilp.warm_assignment;
+    const solution a = solve(ilp.model, o);
+    const solution b = solve(ilp.model, o);
+    EXPECT_EQ(a.nodes_explored, b.nodes_explored);
+    EXPECT_EQ(a.simplex_iterations, b.simplex_iterations);
+    EXPECT_EQ(a.cuts_added, b.cuts_added);
+    EXPECT_EQ(a.objective, b.objective);
+    EXPECT_EQ(a.best_bound, b.best_bound);
+    EXPECT_EQ(a.values, b.values);
+  }
+}
+
+TEST(Sched, FormulationStrengtheningPreservesTheOptimum) {
+  // Device-load inequalities and symmetry breaking must not change the
+  // optimal objective (6) value -- only how fast it is proven.
+  for (const int ops : {6, 8, 10}) {
+    const auto graph = assay::make_random_assay(ops, static_cast<std::uint64_t>(ops));
+    sched::list_scheduler_options lo;
+    lo.device_count = 2;
+    const sched::schedule warm = sched::schedule_with_list(graph, lo);
+    sched::ilp_scheduler_options base;
+    base.device_count = 2;
+    base.warm_start = warm;
+    sched::ilp_scheduler_options plain = base;
+    plain.load_valid_inequalities = false;
+    plain.break_device_symmetry = false;
+
+    const sched::scheduling_ilp strong = sched::build_scheduling_ilp(graph, base);
+    const sched::scheduling_ilp weak = sched::build_scheduling_ilp(graph, plain);
+    solver_options o = quick_options();
+    o.warm_start = strong.warm_assignment;
+    const solution a = solve(strong.model, o);
+    o.warm_start = weak.warm_assignment;
+    const solution b = solve(weak.model, o);
+    ASSERT_EQ(a.status, solve_status::optimal) << ops << " ops";
+    ASSERT_EQ(b.status, solve_status::optimal) << ops << " ops";
+    EXPECT_NEAR(a.objective, b.objective, 1e-6) << ops << " ops";
   }
 }
 
