@@ -5,6 +5,10 @@
 //   transtore_cli synth  --all [options]             every built-in assay
 //                                                    through the batch executor
 //   transtore_cli sched  <assay|file.sg> [options]   scheduling only
+//   transtore_cli serve  [options]                   long-lived service:
+//                                                    line-delimited JSON
+//                                                    requests on stdin,
+//                                                    responses on stdout
 //   transtore_cli show   <assay|file.sg>             print the DAG (DOT)
 //   transtore_cli bench-names                        list built-in assays
 //
@@ -20,25 +24,49 @@
 //   --seed S        random seed (default 1)
 //   --deadline S    wall-clock budget in seconds; a hit returns the
 //                   best-effort result and exits 3 (distinct from errors)
-//   --workers N     executor worker threads for --all (default 2)
+//   --workers N     executor worker threads for --all / serve (default 2)
+//   --queue N       serve: bounded pending-job queue; overflow requests are
+//                   rejected with status "queue_full" (0 = unbounded)
+//   --cache-capacity N  in-memory result-cache entries (default 64;
+//                   serve, or synth together with --cache-dir -- synth
+//                   only builds a cache when a disk tier is requested)
+//   --cache-dir DIR on-disk result-cache tier (synth and serve); a warm
+//                   (graph, options) pair is a lookup instead of a solve
 //
 // Exit codes: 0 success; 1 synthesis failure (capacity/infeasible/internal);
 // 2 usage or input errors; 3 deadline hit / cancelled (best-effort results,
 // when available, are still printed).
 //
+// Serve protocol (one JSON object per line; see src/api/README.md):
+//   {"id":1,"op":"synth","assay":"PCR","options":{...},"priority":0,
+//    "deadline":30}                    -> {"id":1,"status":"ok",
+//                                          "cache_hit":false,...,
+//                                          "result":{...flow document...}}
+//   {"op":"stats"} | {"op":"ping"} | {"op":"shutdown"}
+//
 // <assay> is a built-in name (PCR, IVD, CPA, RA30, RA70, RA100) or a path
 // to a sequencing-graph file in the src/assay/io.h text format.
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/executor.h"
 #include "api/pipeline.h"
+#include "api/result_cache.h"
+#include "api/serialize.h"
 #include "assay/benchmarks.h"
 #include "assay/io.h"
+#include "common/json.h"
 #include "core/report.h"
 #include "phys/layout.h"
 
@@ -55,10 +83,12 @@ bool is_builtin(const std::string& spec) {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: transtore_cli <synth|sched|show|bench-names> [assay|--all]\n"
+      "usage: transtore_cli <synth|sched|serve|show|bench-names> "
+      "[assay|--all]\n"
       "       [--devices N] [--grid WxH] [--engine heuristic|ilp|combined]\n"
       "       [--beta B] [--time-only] [--baseline] [--json FILE|-]\n"
-      "       [--svg FILE] [--seed S] [--deadline S] [--workers N]\n");
+      "       [--svg FILE] [--seed S] [--deadline S] [--workers N]\n"
+      "       [--queue N] [--cache-capacity N] [--cache-dir DIR]\n");
   return 2;
 }
 
@@ -94,7 +124,39 @@ struct cli_args {
   std::string svg_path;
   double deadline_seconds = 0.0;
   int workers = 2;
+  std::size_t queue_capacity = 0;
+  std::size_t cache_capacity = 64;
+  std::string cache_dir;
 };
+
+/// Result cache per the CLI flags, or null when nothing asked for one
+/// (synth paths only attach a cache when --cache-dir is given; serve always
+/// runs with at least the in-memory tier).
+std::shared_ptr<api::result_cache> make_cache(const cli_args& args,
+                                              bool always) {
+  if (args.cache_dir.empty() && !always) return nullptr;
+  api::result_cache_options co;
+  co.memory_entries = args.cache_capacity;
+  co.disk_dir = args.cache_dir;
+  return std::make_shared<api::result_cache>(co);
+}
+
+/// Per-assay device/grid defaults from the paper's resource table, unless
+/// the command line pinned them. Shared by `synth --all` and serve so
+/// their built-in-assay configurations (and hence cache keys) cannot
+/// drift apart.
+void apply_benchmark_resources(api::pipeline_options& options,
+                               const std::string& assay,
+                               const cli_args& args) {
+  for (const assay::benchmark_resources& r : assay::benchmark_resource_table())
+    if (assay == r.name) {
+      if (!args.devices_set) options.device_count = r.devices;
+      if (!args.grid_set) {
+        options.grid_width = r.grid;
+        options.grid_height = r.grid;
+      }
+    }
+}
 
 /// Parse flags from argv[from..). Returns false (after a diagnostic) on
 /// unknown options or malformed values.
@@ -167,6 +229,33 @@ bool parse_flags(int argc, char** argv, int from, cli_args& args) {
         std::fprintf(stderr, "error: --workers must be >= 1\n");
         return false;
       }
+    } else if (arg == "--queue") {
+      if ((value = next()) == nullptr) return false;
+      char* end = nullptr;
+      const long long queue = std::strtoll(value, &end, 10);
+      if (end == value || *end != '\0' || queue < 0) {
+        std::fprintf(stderr,
+                     "error: --queue expects a non-negative integer "
+                     "(0 = unbounded), got '%s'\n",
+                     value);
+        return false;
+      }
+      args.queue_capacity = static_cast<std::size_t>(queue);
+    } else if (arg == "--cache-capacity") {
+      if ((value = next()) == nullptr) return false;
+      char* end = nullptr;
+      const long long capacity = std::strtoll(value, &end, 10);
+      if (end == value || *end != '\0' || capacity < 1) {
+        std::fprintf(stderr,
+                     "error: --cache-capacity expects a positive integer, "
+                     "got '%s'\n",
+                     value);
+        return false;
+      }
+      args.cache_capacity = static_cast<std::size_t>(capacity);
+    } else if (arg == "--cache-dir") {
+      if ((value = next()) == nullptr) return false;
+      args.cache_dir = value;
     } else if (arg == "--all") {
       args.all = true;
     } else {
@@ -239,24 +328,25 @@ int run_synth_all(const cli_args& args) {
     j.name = c.name;
     j.graph = assay::make_benchmark(c.name);
     j.options = args.options;
-    if (!args.devices_set) j.options.device_count = c.devices;
-    if (!args.grid_set) {
-      j.options.grid_width = c.grid;
-      j.options.grid_height = c.grid;
-    }
+    apply_benchmark_resources(j.options, c.name, args);
     jobs.push_back(std::move(j));
   }
 
   api::run_context ctx;
   if (args.deadline_seconds > 0.0) ctx.set_deadline(args.deadline_seconds);
 
-  api::executor pool(api::executor_options{args.workers});
-  std::fprintf(stderr, "[batch] %zu assays, %d workers\n", jobs.size(),
-               pool.workers());
+  api::executor_options pool_options;
+  pool_options.workers = args.workers;
+  pool_options.cache = make_cache(args, /*always=*/false);
+  api::executor pool(pool_options);
+  std::fprintf(stderr, "[batch] %zu assays, %d workers%s\n", jobs.size(),
+               pool.workers(),
+               pool_options.cache ? ", result cache on" : "");
   const std::vector<api::job_outcome> outcomes = pool.run(
       jobs, ctx, [](const api::job_outcome& o) {
-        std::fprintf(stderr, "[batch] %-6s %-10s %.2fs\n", o.name.c_str(),
-                     api::to_string(o.code), o.seconds);
+        std::fprintf(stderr, "[batch] %-6s %-10s %.2fs%s\n", o.name.c_str(),
+                     api::to_string(o.code), o.seconds,
+                     o.cache_hit ? " (cache hit)" : "");
       });
 
   // With --json - the machine-readable report owns stdout; the human
@@ -289,7 +379,8 @@ int run_synth_single(const cli_args& args,
   api::run_context ctx;
   if (args.deadline_seconds > 0.0) ctx.set_deadline(args.deadline_seconds);
 
-  const api::pipeline p(graph, args.options);
+  api::pipeline p(graph, args.options);
+  if (auto cache = make_cache(args, /*always=*/false)) p.set_cache(cache);
   auto outcome = p.run(ctx);
   describe_outcome(graph.name(), outcome.code(), outcome.message());
   if (!outcome.has_value()) return exit_code_for(outcome.code());
@@ -308,6 +399,269 @@ int run_synth_single(const cli_args& args,
                   "layout"))
     return 1;
   return exit_code_for(outcome.code());
+}
+
+// ------------------------------------------------------------------- serve
+//
+// Long-lived service front end: one JSON object per request line on stdin,
+// one JSON response line on stdout (stderr carries human logs). Request
+// schema and semantics are documented in src/api/README.md.
+//
+// The read loop never blocks on a solve: synth requests are submitted to
+// the executor's service queue immediately (so a streaming client fills
+// all workers, priorities reorder the backlog, and a bounded --queue can
+// actually reject with queue_full), while a responder thread emits one
+// response per request in request order. stats and shutdown are sequence
+// points: their responses flow through the same ordered queue, so a stats
+// reply reflects every request before it and the shutdown ack is the last
+// line written.
+
+std::string error_response(const std::string& id_raw, const char* code,
+                           const std::string& message) {
+  json_writer w;
+  w.begin_object();
+  if (!id_raw.empty()) w.key("id").value_raw(id_raw);
+  w.field("status", code);
+  w.field("message", message);
+  w.end_object();
+  return w.str();
+}
+
+std::string stats_response(const std::string& id_raw,
+                           const api::executor& pool,
+                           const api::result_cache& cache) {
+  const api::cache_stats stats = cache.stats();
+  json_writer w;
+  w.begin_object();
+  if (!id_raw.empty()) w.key("id").value_raw(id_raw);
+  w.field("status", "ok");
+  w.field("op", "stats");
+  w.key("cache").begin_object();
+  w.field("lookups", static_cast<long>(stats.lookups));
+  w.field("memory_hits", static_cast<long>(stats.memory_hits));
+  w.field("disk_hits", static_cast<long>(stats.disk_hits));
+  w.field("misses", static_cast<long>(stats.misses));
+  w.field("stores", static_cast<long>(stats.stores));
+  w.field("evictions", static_cast<long>(stats.evictions));
+  w.field("disk_errors", static_cast<long>(stats.disk_errors));
+  w.field("entries", static_cast<long>(cache.size()));
+  w.end_object();
+  w.field("workers", pool.workers());
+  w.field("pending", static_cast<long>(pool.pending()));
+  w.end_object();
+  return w.str();
+}
+
+std::string synth_response(const std::string& id_raw,
+                           const api::job_outcome& outcome,
+                           const assay::sequencing_graph& graph,
+                           const api::pipeline_options& options) {
+  json_writer w;
+  w.begin_object();
+  if (!id_raw.empty()) w.key("id").value_raw(id_raw);
+  w.field("status", api::to_string(outcome.code));
+  if (!outcome.message.empty()) w.field("message", outcome.message);
+  w.field("assay", outcome.name);
+  w.field("cache_hit", outcome.cache_hit);
+  w.field("seconds", outcome.seconds);
+  if (outcome.result_json)
+    w.key("result").value_raw(*outcome.result_json);
+  else if (outcome.flow)
+    // Best-effort outcomes (time_limit/cancelled) are not cached, so no
+    // stored document exists; serialize on the fly.
+    w.key("result").value_raw(
+        api::serialize_flow(graph, options, *outcome.flow));
+  w.end_object();
+  return w.str();
+}
+
+/// One enqueued response, emitted in request order by the responder.
+struct serve_item {
+  enum class action {
+    respond, // `ready` is the complete response (errors, ping, shutdown ack)
+    synth,   // wait on `ticket`, then build the response
+    stats,   // computed at dequeue time, after every prior request resolved
+  };
+  action act = action::respond;
+  std::string id_raw;
+  std::string ready;
+  api::executor::ticket ticket = 0;
+  assay::sequencing_graph graph;   // synth: identity for best-effort docs
+  api::pipeline_options options;
+};
+
+/// Parse + submit one request line; never blocks on a solve. Returns the
+/// item to enqueue. Sets `quit` on a shutdown request.
+serve_item admit_request(const std::string& line, const cli_args& args,
+                         api::executor& pool, bool& quit) {
+  serve_item item;
+  try {
+    const json_value req = json_value::parse(line);
+    require(req.is_object(), "request must be a JSON object");
+    if (const json_value* id = req.find("id")) {
+      json_writer w;
+      write_value(w, *id);
+      item.id_raw = w.str();
+    }
+    const json_value* op = req.find("op");
+    const std::string name = op ? op->as_string() : "synth";
+
+    if (name == "stats") {
+      item.act = serve_item::action::stats;
+      return item;
+    }
+    if (name == "ping" || name == "shutdown") {
+      quit = name == "shutdown";
+      json_writer w;
+      w.begin_object();
+      if (!item.id_raw.empty()) w.key("id").value_raw(item.id_raw);
+      w.field("status", "ok");
+      w.field("op", name);
+      w.end_object();
+      item.ready = w.str();
+      return item;
+    }
+    if (name != "synth") {
+      item.ready = error_response(item.id_raw, "invalid_input",
+                                  "unknown op \"" + name + "\"");
+      return item;
+    }
+
+    // Graph: a built-in name, or an inline assay in the io.h text format.
+    const json_value* assay_name = req.find("assay");
+    const json_value* graph_text = req.find("graph");
+    if ((assay_name != nullptr) == (graph_text != nullptr)) {
+      item.ready = error_response(
+          item.id_raw, "invalid_input",
+          "synth request needs exactly one of \"assay\" (built-in name) or "
+          "\"graph\" (sequencing-graph text)");
+      return item;
+    }
+
+    api::job j;
+    api::pipeline_options base = args.options;
+    if (assay_name != nullptr) {
+      const std::string& assay = assay_name->as_string();
+      if (!is_builtin(assay)) {
+        item.ready = error_response(item.id_raw, "invalid_input",
+                                    "unknown built-in assay \"" + assay +
+                                        "\" (see bench-names)");
+        return item;
+      }
+      j.graph = assay::make_benchmark(assay);
+      // The paper's per-assay resource table, unless the request overrides.
+      apply_benchmark_resources(base, assay, args);
+    } else {
+      j.graph = assay::parse_sequencing_graph(graph_text->as_string());
+    }
+
+    if (const json_value* options = req.find("options"))
+      j.options = api::options_from_value(*options, base);
+    else
+      j.options = base;
+    if (const json_value* priority = req.find("priority"))
+      j.priority = priority->as_int();
+
+    api::run_context ctx;
+    if (const json_value* deadline = req.find("deadline"))
+      ctx.set_deadline(deadline->as_double());
+    else if (args.deadline_seconds > 0.0)
+      ctx.set_deadline(args.deadline_seconds);
+
+    item.graph = j.graph;
+    item.options = j.options;
+    auto ticket = pool.submit(std::move(j), ctx);
+    if (!ticket.has_value()) {
+      item.ready = error_response(item.id_raw, api::to_string(ticket.code()),
+                                  ticket.message());
+      return item;
+    }
+    item.act = serve_item::action::synth;
+    item.ticket = ticket.value();
+    return item;
+  } catch (const ts_error& e) {
+    item.ready = error_response(item.id_raw, "invalid_input", e.what());
+    return item;
+  } catch (const std::exception& e) {
+    item.ready = error_response(item.id_raw, "internal", e.what());
+    return item;
+  }
+}
+
+int run_serve(const cli_args& args) {
+  std::shared_ptr<api::result_cache> cache = make_cache(args, /*always=*/true);
+  api::executor_options pool_options;
+  pool_options.workers = args.workers;
+  pool_options.queue_capacity = args.queue_capacity;
+  pool_options.cache = cache;
+  api::executor pool(pool_options);
+
+  std::fprintf(stderr,
+               "[serve] ready: %d workers, queue %s, cache %zu entries%s%s\n",
+               pool.workers(),
+               args.queue_capacity > 0
+                   ? std::to_string(args.queue_capacity).c_str()
+                   : "unbounded",
+               args.cache_capacity, args.cache_dir.empty() ? "" : ", disk ",
+               args.cache_dir.c_str());
+
+  std::mutex queue_lock;
+  std::condition_variable queue_ready;
+  std::deque<serve_item> queue;
+  bool closed = false;
+
+  std::thread responder([&] {
+    for (;;) {
+      serve_item item;
+      {
+        std::unique_lock<std::mutex> guard(queue_lock);
+        queue_ready.wait(guard,
+                         [&] { return closed || !queue.empty(); });
+        if (queue.empty()) return; // closed and drained
+        item = std::move(queue.front());
+        queue.pop_front();
+      }
+      std::string response;
+      switch (item.act) {
+        case serve_item::action::respond: response = item.ready; break;
+        case serve_item::action::stats:
+          response = stats_response(item.id_raw, pool, *cache);
+          break;
+        case serve_item::action::synth: {
+          const api::job_outcome outcome = pool.wait(item.ticket);
+          std::fprintf(stderr, "[serve] %-6s %-10s %s %.2fs\n",
+                       outcome.name.c_str(), api::to_string(outcome.code),
+                       outcome.cache_hit ? "hit " : "miss", outcome.seconds);
+          response = synth_response(item.id_raw, outcome, item.graph,
+                                    item.options);
+          break;
+        }
+      }
+      std::fwrite(response.data(), 1, response.size(), stdout);
+      std::fputc('\n', stdout);
+      std::fflush(stdout);
+    }
+  });
+
+  std::string line;
+  bool quit = false;
+  while (!quit && std::getline(std::cin, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    serve_item item = admit_request(line, args, pool, quit);
+    {
+      std::lock_guard<std::mutex> guard(queue_lock);
+      queue.push_back(std::move(item));
+    }
+    queue_ready.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> guard(queue_lock);
+    closed = true;
+  }
+  queue_ready.notify_all();
+  responder.join(); // drains every accepted request, shutdown ack last
+  pool.shutdown();
+  return 0;
 }
 
 int run_sched(const cli_args& args, const assay::sequencing_graph& graph) {
@@ -347,8 +701,15 @@ int main(int argc, char** argv) {
     std::printf("\n");
     return 0;
   }
-  if (command != "synth" && command != "sched" && command != "show")
+  if (command != "synth" && command != "sched" && command != "show" &&
+      command != "serve")
     return usage();
+  if (command == "serve") {
+    cli_args args;
+    if (!parse_flags(argc, argv, 2, args)) return 2;
+    if (args.all || !args.assay_spec.empty()) return usage();
+    return run_serve(args);
+  }
   if (argc < 3) return usage();
 
   cli_args args;

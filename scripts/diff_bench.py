@@ -13,7 +13,9 @@ by more than --max-iter-ratio; wall time gets the much looser
 sub-100ms solves never trip it. Time-limited baseline records only require
 that the (assay, config) pair still runs and still produces an incumbent.
 
-Exit codes: 0 ok, 1 regression(s), 2 usage/IO error.
+Exit codes: 0 ok, 1 regression(s), 2 usage/IO error, 3 baseline file
+missing (a distinct code so CI can tell "needs a baseline refresh" apart
+from a real regression -- run the refresh-baselines workflow dispatch).
 """
 
 import argparse
@@ -21,10 +23,20 @@ import json
 import sys
 
 
-def load(path):
+def load(path, role="new"):
     try:
         with open(path) as f:
             doc = json.load(f)
+    except FileNotFoundError:
+        if role == "baseline":
+            print(f"diff_bench: baseline missing: {path} -- run the "
+                  f"refresh-baselines workflow dispatch (or the harness "
+                  f"with --smoke --out {path}) and commit the result",
+                  file=sys.stderr)
+            sys.exit(3)
+        print(f"diff_bench: {role} run file missing: {path}",
+              file=sys.stderr)
+        sys.exit(2)
     except (OSError, ValueError) as e:
         print(f"diff_bench: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
@@ -46,8 +58,8 @@ def main():
                          "(default 0.5)")
     args = ap.parse_args()
 
-    new = load(args.new_path)
-    base = load(args.baseline_path)
+    new = load(args.new_path, "new")
+    base = load(args.baseline_path, "baseline")
     failures = []
 
     for key, b in sorted(base.items()):

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Smoke test for `transtore_cli serve`: replay the six-assay batch twice
+through one long-lived server process and assert
+
+  * every first-pass request misses the cache and solves,
+  * every second-pass request is a cache hit,
+  * second-pass result documents are byte-identical to the first pass,
+  * the stats op reports exactly six stores and six memory hits.
+
+Usage: serve_smoke.py [path/to/transtore_cli]
+
+Exit codes: 0 ok, 1 assertion failed, 2 could not run the server.
+"""
+
+import json
+import subprocess
+import sys
+
+
+def result_doc(line):
+    """Raw bytes of the "result" member (always the last member the server
+    writes), for byte-level comparison between passes. None when the
+    response carries no result."""
+    marker = '"result":'
+    i = line.find(marker)
+    if i < 0:
+        return None
+    return line[i + len(marker):-1]
+
+
+def main():
+    cli = sys.argv[1] if len(sys.argv) > 1 else "./transtore_cli"
+
+    names = subprocess.run([cli, "bench-names"], capture_output=True,
+                           text=True, check=True).stdout.split()
+    if len(names) != 6:
+        print(f"serve_smoke: expected 6 built-in assays, got {names}",
+              file=sys.stderr)
+        return 1
+
+    # Heuristic engine keeps the smoke fast; the cache does not care which
+    # engine produced the result.
+    options = {"schedule_engine": "heuristic"}
+    requests = []
+    rid = 0
+    for _ in range(2):
+        for name in names:
+            rid += 1
+            requests.append({"id": rid, "op": "synth", "assay": name,
+                             "options": options})
+    requests.append({"id": "stats", "op": "stats"})
+    requests.append({"op": "shutdown"})
+    stdin = "".join(json.dumps(r) + "\n" for r in requests)
+
+    try:
+        proc = subprocess.run([cli, "serve", "--workers", "2"], input=stdin,
+                              capture_output=True, text=True, timeout=600)
+    except (OSError, subprocess.TimeoutExpired) as e:
+        print(f"serve_smoke: cannot run {cli} serve: {e}", file=sys.stderr)
+        return 2
+    if proc.returncode != 0:
+        print(f"serve_smoke: serve exited {proc.returncode}\n{proc.stderr}",
+              file=sys.stderr)
+        return 2
+
+    lines = [l for l in proc.stdout.splitlines() if l.strip()]
+    responses = {}
+    stats = None
+    for line in lines:
+        r = json.loads(line)
+        if r.get("op") == "stats":
+            stats = r
+        elif r.get("op") != "shutdown" and r.get("id") is not None:
+            responses[r["id"]] = line
+
+    failures = []
+    n = len(names)
+    for k, name in enumerate(names):
+        first_id, second_id = k + 1, n + k + 1
+        first = responses.get(first_id)
+        second = responses.get(second_id)
+        if first is None or second is None:
+            failures.append(f"{name}: missing response")
+            continue
+        f, s = json.loads(first), json.loads(second)
+        bad_status = [(which, r) for which, r in (("first", f), ("second", s))
+                      if r.get("status") != "ok"]
+        if bad_status:
+            for which, r in bad_status:
+                failures.append(
+                    f"{name}: {which} pass status {r.get('status')} "
+                    f"({r.get('message', 'no message')})")
+            continue
+        if f.get("cache_hit"):
+            failures.append(f"{name}: first pass unexpectedly hit the cache")
+        if not s.get("cache_hit"):
+            failures.append(f"{name}: second pass missed the cache")
+        d1, d2 = result_doc(first), result_doc(second)
+        if d1 is None or d2 is None:
+            failures.append(f"{name}: response is missing its result")
+        elif d1 != d2:
+            failures.append(f"{name}: second-pass result is not "
+                            f"byte-identical to the first pass")
+
+    if stats is None:
+        failures.append("stats response missing")
+    else:
+        cache = stats["cache"]
+        if cache["stores"] != n:
+            failures.append(f"expected {n} stores, got {cache['stores']}")
+        if cache["memory_hits"] != n:
+            failures.append(
+                f"expected {n} memory hits, got {cache['memory_hits']}")
+        if cache["misses"] != n:
+            failures.append(f"expected {n} misses, got {cache['misses']}")
+
+    if failures:
+        print(f"serve_smoke: {len(failures)} failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"serve_smoke: ok -- {n} assays replayed twice, "
+          f"{n} cache hits, byte-identical results")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,27 +2,200 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "common/stopwatch.h"
 
 namespace transtore::api {
+namespace {
 
-executor::executor(executor_options options) {
-  if (options.workers > 0) {
-    workers_ = options.workers;
+/// Execute one job through the (optionally cache-aware) pipeline and fold
+/// the outcome into the job_outcome vocabulary. Shared by batch and
+/// service mode so their semantics cannot drift.
+job_outcome execute_job(const job& j, const run_context& ctx,
+                        const std::shared_ptr<result_cache>& cache) {
+  job_outcome outcome;
+  outcome.name = j.name.empty() ? j.graph.name() : j.name;
+
+  stopwatch watch;
+  if (ctx.cancelled()) {
+    outcome.code = status::cancelled;
+    outcome.message = "batch: cancelled before job started";
+  } else {
+    pipeline p(j.graph, j.options);
+    if (cache) p.set_cache(cache);
+    cached_outcome r = p.run_cached(ctx);
+    outcome.code = r.outcome.code();
+    outcome.message = r.outcome.message();
+    outcome.cache_hit = r.cache_hit;
+    outcome.result_json = std::move(r.document);
+    if (r.outcome.has_value()) outcome.flow = std::move(r.outcome).take();
+  }
+  outcome.seconds = watch.elapsed_seconds();
+  return outcome;
+}
+
+} // namespace
+
+// ------------------------------------------------------------ service mode
+
+struct executor::service_state {
+  struct queued {
+    job work;
+    run_context ctx;
+    ticket id = 0;
+  };
+
+  /// Max-heap order: higher priority first, then lower ticket (FIFO).
+  struct later {
+    bool operator()(const queued& a, const queued& b) const {
+      if (a.work.priority != b.work.priority)
+        return a.work.priority < b.work.priority;
+      return a.id > b.id;
+    }
+  };
+
+  std::mutex lock;
+  std::condition_variable work_ready;
+  std::condition_variable outcome_ready;
+  std::vector<queued> heap; // std::push_heap/pop_heap with `later`
+  std::unordered_map<ticket, job_outcome> done;
+  std::unordered_set<ticket> open;    // submitted, not yet redeemed by wait()
+  std::unordered_set<ticket> claimed; // a wait() is already underway
+  ticket next_ticket = 1;
+  bool stopping = false;
+  bool workers_started = false;
+  std::vector<std::thread> threads;
+};
+
+executor::executor(executor_options options)
+    : options_(std::move(options)), service_(new service_state) {
+  if (options_.workers > 0) {
+    workers_ = options_.workers;
   } else {
     const unsigned hw = std::thread::hardware_concurrency();
     workers_ = hw > 0 ? static_cast<int>(hw) : 1;
   }
 }
 
+executor::~executor() { shutdown(); }
+
+result<executor::ticket> executor::submit(job j, const run_context& ctx) {
+  service_state& s = *service_;
+  std::unique_lock<std::mutex> guard(s.lock);
+  if (s.stopping)
+    return result<ticket>::failure(status::cancelled,
+                                   "executor: shut down, not accepting jobs");
+  if (options_.queue_capacity > 0 &&
+      s.heap.size() >= options_.queue_capacity)
+    return result<ticket>::failure(
+        status::queue_full,
+        "executor: queue at capacity (" +
+            std::to_string(options_.queue_capacity) + " pending jobs)");
+  const ticket id = s.next_ticket++;
+  s.open.insert(id);
+  s.heap.push_back(service_state::queued{std::move(j), ctx, id});
+  std::push_heap(s.heap.begin(), s.heap.end(), service_state::later{});
+  if (!s.workers_started) {
+    s.workers_started = true;
+    const std::shared_ptr<result_cache> cache = options_.cache;
+    for (int t = 0; t < workers_; ++t)
+      s.threads.emplace_back([&s, cache] {
+        for (;;) {
+          service_state::queued next;
+          {
+            std::unique_lock<std::mutex> inner(s.lock);
+            s.work_ready.wait(inner, [&s] {
+              return s.stopping || !s.heap.empty();
+            });
+            if (s.heap.empty()) return; // stopping and drained
+            std::pop_heap(s.heap.begin(), s.heap.end(),
+                          service_state::later{});
+            next = std::move(s.heap.back());
+            s.heap.pop_back();
+          }
+          job_outcome outcome = execute_job(next.work, next.ctx, cache);
+          {
+            std::lock_guard<std::mutex> inner(s.lock);
+            s.done.emplace(next.id, std::move(outcome));
+          }
+          s.outcome_ready.notify_all();
+        }
+      });
+  }
+  guard.unlock();
+  s.work_ready.notify_one();
+  return result<ticket>::success(id);
+}
+
+job_outcome executor::wait(ticket t) {
+  service_state& s = *service_;
+  std::unique_lock<std::mutex> guard(s.lock);
+  // The claim marker also catches a concurrent second wait() on the same
+  // ticket, which would otherwise block forever once the first redeems.
+  if (s.open.count(t) == 0 || !s.claimed.insert(t).second) {
+    job_outcome unknown;
+    unknown.code = status::internal;
+    unknown.message = "executor: wait on unknown, already-redeemed, or "
+                      "concurrently-waited ticket " +
+                      std::to_string(t);
+    return unknown;
+  }
+  s.outcome_ready.wait(guard, [&s, t] { return s.done.count(t) != 0; });
+  const auto it = s.done.find(t);
+  job_outcome outcome = std::move(it->second);
+  s.done.erase(it);
+  s.open.erase(t);
+  s.claimed.erase(t);
+  return outcome;
+}
+
+std::size_t executor::pending() const {
+  std::lock_guard<std::mutex> guard(service_->lock);
+  return service_->heap.size();
+}
+
+void executor::shutdown() {
+  service_state& s = *service_;
+  {
+    std::lock_guard<std::mutex> guard(s.lock);
+    s.stopping = true;
+  }
+  s.work_ready.notify_all();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> guard(s.lock);
+    threads.swap(s.threads);
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+// -------------------------------------------------------------- batch mode
+
 std::vector<job_outcome> executor::run(
     const std::vector<job>& jobs, const run_context& ctx,
     const completion_callback& on_complete) const {
   std::vector<job_outcome> outcomes(jobs.size());
   if (jobs.empty()) return outcomes;
+
+  // Dispatch order: priority desc, then submission order. With a bounded
+  // queue, only the first queue_capacity jobs of that order are admitted;
+  // the overflow is rejected up front with a structured queue_full outcome
+  // (mirroring what submit() would have told a service client).
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&jobs](std::size_t a, std::size_t b) {
+                     return jobs[a].priority > jobs[b].priority;
+                   });
+  std::size_t admitted = order.size();
+  if (options_.queue_capacity > 0 && order.size() > options_.queue_capacity)
+    admitted = options_.queue_capacity;
 
   std::atomic<std::size_t> next{0};
   std::mutex callback_mutex; // serializes on_complete and progress ticks
@@ -35,42 +208,39 @@ std::vector<job_outcome> executor::run(
     ctx.report(event.stage, event.detail);
   });
 
+  auto finish = [&](std::size_t index, job_outcome outcome) {
+    outcome.index = index;
+    {
+      std::lock_guard<std::mutex> lock(callback_mutex);
+      ctx.report("batch", outcome.name + ": " +
+                              std::string(to_string(outcome.code)));
+      if (on_complete) on_complete(outcome);
+    }
+    outcomes[index] = std::move(outcome);
+  };
+
+  for (std::size_t k = admitted; k < order.size(); ++k) {
+    const job& j = jobs[order[k]];
+    job_outcome rejected;
+    rejected.name = j.name.empty() ? j.graph.name() : j.name;
+    rejected.code = status::queue_full;
+    rejected.message =
+        "batch: queue capacity " + std::to_string(options_.queue_capacity) +
+        " exceeded by " + std::to_string(order.size() - admitted) + " jobs";
+    finish(order[k], std::move(rejected));
+  }
+
   auto worker = [&]() {
     for (;;) {
-      const std::size_t index = next.fetch_add(1);
-      if (index >= jobs.size()) return;
-      const job& j = jobs[index];
-
-      job_outcome outcome;
-      outcome.index = index;
-      outcome.name = j.name.empty() ? j.graph.name() : j.name;
-
-      stopwatch watch;
-      if (ctx.cancelled()) {
-        outcome.code = status::cancelled;
-        outcome.message = "batch: cancelled before job started";
-      } else {
-        const pipeline p(j.graph, j.options);
-        auto r = p.run(job_ctx);
-        outcome.code = r.code();
-        outcome.message = r.message();
-        if (r.has_value()) outcome.flow = std::move(r).take();
-      }
-      outcome.seconds = watch.elapsed_seconds();
-
-      {
-        std::lock_guard<std::mutex> lock(callback_mutex);
-        ctx.report("batch", outcome.name + ": " +
-                                std::string(to_string(outcome.code)));
-        if (on_complete) on_complete(outcome);
-      }
-      outcomes[index] = std::move(outcome);
+      const std::size_t k = next.fetch_add(1);
+      if (k >= admitted) return;
+      const std::size_t index = order[k];
+      finish(index, execute_job(jobs[index], job_ctx, options_.cache));
     }
   };
 
-  const int thread_count =
-      static_cast<int>(std::min<std::size_t>(
-          static_cast<std::size_t>(workers_), jobs.size()));
+  const int thread_count = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(workers_), admitted));
   if (thread_count <= 1) {
     worker();
     return outcomes;

@@ -1,66 +1,127 @@
-// Batch executor: many (graph, options) jobs through one worker pool.
+// Batch + service executor: many (graph, options) jobs through one worker
+// pool, with priorities, a bounded queue, and an optional result cache.
 //
-// The benches, the CLI's `synth --all`, and any multi-assay service front
-// end share this entry point. Jobs are independent pipeline runs; each one
-// is seeded from its own options, so results are deterministic and
-// identical for every worker count -- only the completion order varies.
-// Completed results are streamed to an optional callback (serialized by an
-// internal mutex) and returned in job order.
+// Two modes share the pool semantics:
 //
-// The run_context is shared by the whole batch: one deadline and one cancel
-// token cover all jobs, so a service can bound "synthesize these 50 design
-// points" as a single budgeted operation.
+//  * Batch -- run(jobs, ctx, on_complete): the benches, the CLI's
+//    `synth --all`, and tests. Jobs are independent pipeline runs, each
+//    seeded from its own options, so results are deterministic and
+//    identical for every worker count -- only completion order varies.
+//    Higher-priority jobs are dispatched first; when the bounded queue is
+//    smaller than the batch, the lowest-priority overflow is rejected with
+//    a structured status::queue_full outcome (those jobs never run).
+//
+//  * Service -- submit()/wait(): the long-lived front end behind
+//    `transtore_cli serve`. submit() enqueues one job (rejecting with
+//    queue_full when the bounded queue is at capacity) and returns a
+//    ticket; wait() blocks until that job's outcome is ready. Worker
+//    threads are started lazily on the first submit and joined by
+//    shutdown()/the destructor. Pending jobs are dispatched by (priority
+//    desc, ticket asc) -- FIFO within a priority level.
+//
+// When executor_options::cache is set, each job consults the cache through
+// pipeline::run_cached: a warm (graph, options) pair is a lookup instead of
+// a solve, job_outcome::cache_hit says which happened, and
+// job_outcome::result_json carries the stored flow document (byte-identical
+// across replays).
+//
+// The run_context is per batch (run) or per submission (submit): one
+// deadline and one cancel token cover all jobs it was passed with.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "api/pipeline.h"
+#include "api/result_cache.h"
 
 namespace transtore::api {
 
-/// One unit of batch work.
+/// One unit of work.
 struct job {
   std::string name; // label for reports; defaults to the graph's name
   assay::sequencing_graph graph;
   pipeline_options options;
+  /// Dispatch priority: higher runs first; ties are FIFO. Not part of the
+  /// cache key (it does not affect the result).
+  int priority = 0;
 };
 
 /// Outcome of one job, in the structured-status vocabulary of result.h.
 struct job_outcome {
-  std::size_t index = 0; // position in the submitted job list
+  std::size_t index = 0; // position in the submitted job list (batch mode)
   std::string name;
   status code = status::ok;
   std::string message;
   std::optional<flow_result> flow; // present for ok and best-effort outcomes
   double seconds = 0.0;            // wall time of this job
+  /// Cache bookkeeping (meaningful when executor_options::cache is set).
+  bool cache_hit = false;
+  std::shared_ptr<const std::string> result_json; // stored flow document
 };
 
 struct executor_options {
   /// Worker threads; 0 derives a default from std::thread::hardware_concurrency.
   int workers = 0;
+  /// Bound on *pending* (not yet started) jobs; 0 = unbounded. Overflow is
+  /// rejected with status::queue_full instead of blocking the submitter.
+  std::size_t queue_capacity = 0;
+  /// Optional shared result cache consulted (and filled) per job.
+  std::shared_ptr<result_cache> cache;
 };
 
 class executor {
 public:
   explicit executor(executor_options options = {});
+  ~executor();
+  executor(const executor&) = delete;
+  executor& operator=(const executor&) = delete;
 
   using completion_callback = std::function<void(const job_outcome&)>;
+  /// Service-mode job handle, returned by submit() and redeemed by wait().
+  using ticket = std::uint64_t;
 
-  /// Run every job and return the outcomes ordered by job index. The
-  /// optional callback observes each outcome as it completes (possibly out
-  /// of order, never concurrently). Never throws on job failures -- they
-  /// are reported through job_outcome::code.
+  /// Batch mode: run every job and return the outcomes ordered by job
+  /// index. The optional callback observes each outcome as it completes
+  /// (possibly out of order, never concurrently). Never throws on job
+  /// failures -- they are reported through job_outcome::code (including
+  /// queue_full for jobs shed by a bounded queue).
   [[nodiscard]] std::vector<job_outcome> run(
       const std::vector<job>& jobs, const run_context& ctx = {},
       const completion_callback& on_complete = {}) const;
 
+  /// Service mode: enqueue one job. Fails with status::queue_full when the
+  /// bounded queue is at capacity and with status::cancelled after
+  /// shutdown(). The run_context is captured for this job alone.
+  [[nodiscard]] result<ticket> submit(job j, const run_context& ctx = {});
+
+  /// Blocks until the job behind `t` completes and returns its outcome
+  /// (each ticket is redeemable exactly once; a second wait on the same
+  /// ticket reports status::internal).
+  [[nodiscard]] job_outcome wait(ticket t);
+
+  /// Pending (not yet started) service jobs.
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Stop accepting submissions, drain already-queued jobs, join workers.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
   [[nodiscard]] int workers() const { return workers_; }
+  [[nodiscard]] const std::shared_ptr<result_cache>& cache() const {
+    return options_.cache;
+  }
 
 private:
+  struct service_state;
+
   int workers_ = 1;
+  executor_options options_;
+  std::unique_ptr<service_state> service_;
 };
 
 } // namespace transtore::api

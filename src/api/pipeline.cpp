@@ -3,6 +3,8 @@
 #include <sstream>
 #include <utility>
 
+#include "api/result_cache.h"
+#include "api/serialize.h"
 #include "common/json.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
@@ -201,6 +203,7 @@ result<scheduled> pipeline::schedule(const run_context& ctx) const {
     so.engine = o.schedule_engine;
     so.ilp_time_limit_seconds = o.sched_ilp_time_limit;
     so.heuristic_restarts = o.heuristic_restarts;
+    so.local_search_iterations = o.local_search_iterations;
     so.seed = o.seed;
     so.cancel = ctx.token();
     so.time_budget_seconds = ctx.budget_or_zero();
@@ -406,6 +409,52 @@ std::string verified::to_json(bool include_timing) const {
 // ----------------------------------------------------------- pipeline::run
 
 result<flow_result> pipeline::run(const run_context& ctx) const {
+  if (cache_) return run_cached(ctx).outcome;
+  return run_uncached(ctx);
+}
+
+cached_outcome pipeline::run_cached(const run_context& ctx) const {
+  if (!cache_) return {run_uncached(ctx), false, nullptr};
+
+  const cache_key key = make_cache_key(state_->graph, state_->options);
+  result_cache::entry hit;
+  const result_cache::flight probe = cache_->lookup_or_lead(
+      key, hit, [&ctx] { return ctx.interrupted(); });
+  if (probe == result_cache::flight::hit) {
+    // Direct hit, disk hit, or coalesced onto a concurrent leader's solve
+    // of the same key -- either way, no solver time was paid.
+    ctx.report("cache", "hit " + state_->graph.name() + " " + key.digest());
+    return {result<flow_result>::success(*hit.flow), true, hit.document};
+  }
+  const bool leading = probe == result_cache::flight::leader;
+  auto solve_and_store = [&]() -> cached_outcome {
+    ctx.report("cache", "miss " + state_->graph.name() + " " + key.digest());
+    result<flow_result> outcome = run_uncached(ctx);
+    // Only fully completed runs are cached: a best-effort value produced
+    // under a deadline or cancel is not the deterministic answer.
+    if (!outcome.ok()) {
+      if (leading) cache_->abort_flight(key);
+      return {std::move(outcome), false, nullptr};
+    }
+    result_cache::entry entry;
+    entry.document = std::make_shared<const std::string>(
+        serialize_flow(state_->graph, state_->options, outcome.value()));
+    entry.flow = std::make_shared<const flow_result>(outcome.value());
+    cache_->store(key, entry); // completes the flight, wakes waiters
+    return {std::move(outcome), false, std::move(entry.document)};
+  };
+  try {
+    // Everything between flight election and store/abort lives inside this
+    // guard (including the progress report -- a throwing user callback must
+    // not strand the flight): waiters are always released.
+    return solve_and_store();
+  } catch (...) {
+    if (leading) cache_->abort_flight(key);
+    throw;
+  }
+}
+
+result<flow_result> pipeline::run_uncached(const run_context& ctx) const {
   stopwatch watch;
   auto stage1 = schedule(ctx);
   if (!stage1.has_value()) return stage1.propagate<flow_result>();

@@ -57,6 +57,9 @@ struct pipeline_options {
   sched::schedule_engine schedule_engine = sched::schedule_engine::combined;
   double sched_ilp_time_limit = 10.0;
   int heuristic_restarts = 24;
+  /// Simulated-annealing improvement iterations after the constructive
+  /// schedulers (sched::scheduler_options::local_search_iterations).
+  int local_search_iterations = 6000;
 
   // Architecture.
   arch::synthesis_engine arch_engine = arch::synthesis_engine::heuristic;
@@ -104,8 +107,13 @@ struct job_state {
   assay::sequencing_graph graph;
   pipeline_options options;
 };
+
+/// Internal bridge used by api/serialize.cpp to reconstruct stage values
+/// from deserialized parts (the only way to build them outside a pipeline).
+struct stage_access;
 } // namespace detail
 
+class result_cache;
 class synthesized;
 class compressed;
 class verified;
@@ -144,6 +152,7 @@ public:
 
 private:
   friend class pipeline;
+  friend struct detail::stage_access;
   std::shared_ptr<const detail::job_state> state_;
   std::shared_ptr<const sched::scheduling_result> scheduling_;
 };
@@ -171,6 +180,7 @@ public:
 
 private:
   friend class scheduled;
+  friend struct detail::stage_access;
   std::shared_ptr<const detail::job_state> state_;
   std::shared_ptr<const sched::scheduling_result> scheduling_;
   std::shared_ptr<const arch::arch_result> architecture_;
@@ -203,6 +213,7 @@ public:
 
 private:
   friend class synthesized;
+  friend struct detail::stage_access;
   std::shared_ptr<const detail::job_state> state_;
   std::shared_ptr<const sched::scheduling_result> scheduling_;
   std::shared_ptr<const arch::arch_result> architecture_;
@@ -226,12 +237,23 @@ public:
 
 private:
   friend class compressed;
+  friend struct detail::stage_access;
   std::shared_ptr<const detail::job_state> state_;
   std::shared_ptr<const sched::scheduling_result> scheduling_;
   std::shared_ptr<const arch::arch_result> architecture_;
   std::shared_ptr<const phys::layout_result> layout_;
   std::shared_ptr<const sim::sim_stats> stats_;
   std::shared_ptr<const baseline::baseline_result> baseline_; // may be null
+};
+
+/// Outcome of a cache-aware run: the structured result plus whether it was
+/// served from the cache and the full serialized document (api/serialize.h
+/// flow format) that was stored or loaded -- the service front end replies
+/// with this document verbatim so replays are byte-identical.
+struct cached_outcome {
+  result<flow_result> outcome;
+  bool cache_hit = false;
+  std::shared_ptr<const std::string> document; // null when nothing was cached
 };
 
 /// Entry point: binds a sequencing graph to a configuration. Stateless
@@ -249,16 +271,33 @@ public:
     return state_->options;
   }
 
+  /// Attach a result cache: run() becomes a lookup keyed on the canonical
+  /// content hash of (graph, options) and only solves on a miss (storing
+  /// the completed result). See api/result_cache.h.
+  pipeline& set_cache(std::shared_ptr<result_cache> cache) {
+    cache_ = std::move(cache);
+    return *this;
+  }
+
   /// Stage 1: storage-aware scheduling & binding.
   [[nodiscard]] result<scheduled> schedule(const run_context& ctx = {}) const;
 
   /// One-shot convenience: schedule -> synthesize -> compress -> verify
   /// (verification and baseline per options). Equivalent to the staged
-  /// calls; core::run_flow is a shim over this.
+  /// calls; core::run_flow is a shim over this. Consults the cache when one
+  /// is attached.
   [[nodiscard]] result<flow_result> run(const run_context& ctx = {}) const;
 
+  /// run() plus cache bookkeeping: reports whether the result came from the
+  /// cache and hands back the serialized flow document. Without an attached
+  /// cache this is run() with cache_hit = false and no document.
+  [[nodiscard]] cached_outcome run_cached(const run_context& ctx = {}) const;
+
 private:
+  friend struct detail::stage_access;
+  [[nodiscard]] result<flow_result> run_uncached(const run_context& ctx) const;
   std::shared_ptr<const detail::job_state> state_;
+  std::shared_ptr<result_cache> cache_;
 };
 
 } // namespace transtore::api

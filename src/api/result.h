@@ -24,6 +24,8 @@ enum class status {
   infeasible,    // optimization model has no solution (infeasible_error)
   capacity,      // grid/storage budget exceeded (capacity_error)
   internal,      // library invariant violated (internal_error)
+  queue_full,    // executor's bounded queue rejected the job (submit again
+                 // later or shed load); the job never ran
 };
 
 [[nodiscard]] constexpr const char* to_string(status s) {
@@ -35,6 +37,7 @@ enum class status {
     case status::infeasible: return "infeasible";
     case status::capacity: return "capacity";
     case status::internal: return "internal";
+    case status::queue_full: return "queue_full";
   }
   return "unknown";
 }

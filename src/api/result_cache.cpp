@@ -1,0 +1,336 @@
+#include "api/result_cache.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
+#include "api/serialize.h"
+#include "common/json.h"
+
+namespace transtore::api {
+namespace {
+
+[[nodiscard]] std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ull; // FNV offset basis
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull; // FNV prime
+  }
+  return h;
+}
+
+/// Round-trip-exact double rendering for the canonical text (reuses the
+/// writer so cache keys and documents agree on formatting).
+[[nodiscard]] std::string exact(double v) {
+  json_writer w;
+  w.value_exact(v);
+  return w.str();
+}
+
+} // namespace
+
+std::string cache_key::digest() const {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+cache_key make_cache_key(const assay::sequencing_graph& graph,
+                         const pipeline_options& o) {
+  std::ostringstream out;
+  out << "transtore.key.v1\n";
+
+  // --- graph, canonicalized by operation name when names are unique.
+  const int n = graph.operation_count();
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  bool unique_names = true;
+  {
+    std::vector<std::string> names;
+    names.reserve(order.size());
+    for (int i = 0; i < n; ++i) names.push_back(graph.at(i).name);
+    std::sort(names.begin(), names.end());
+    unique_names =
+        std::adjacent_find(names.begin(), names.end()) == names.end();
+  }
+  if (unique_names) {
+    std::sort(order.begin(), order.end(), [&graph](int a, int b) {
+      return graph.at(a).name < graph.at(b).name;
+    });
+  }
+  out << "graph " << graph.name() << " ops=" << n
+      << " edges=" << graph.edge_count()
+      << (unique_names ? "" : " id-order") << "\n";
+  for (const int id : order) {
+    const assay::operation& op = graph.at(id);
+    out << "op " << (unique_names ? op.name : std::to_string(id)) << " "
+        << op.duration << " <-";
+    std::vector<std::string> parents;
+    parents.reserve(op.parents.size());
+    for (const int parent : op.parents)
+      parents.push_back(unique_names ? graph.at(parent).name
+                                     : std::to_string(parent));
+    std::sort(parents.begin(), parents.end());
+    for (const std::string& parent : parents) out << " " << parent;
+    out << "\n";
+  }
+
+  // --- options: every field, exact doubles. The canonical text reuses the
+  // serializer so a new pipeline_options field added to write_options
+  // automatically changes keys (a deliberate invalidation).
+  {
+    json_writer w;
+    write_options(w, o);
+    out << "options " << w.str() << "\n";
+  }
+  // alpha/beta repeated in exact form defensively: write_options already
+  // renders them exact, but the key must never rely on lossy formatting.
+  out << "objective alpha=" << exact(o.alpha) << " beta=" << exact(o.beta)
+      << "\n";
+
+  cache_key key;
+  key.canonical = out.str();
+  key.hash = fnv1a(key.canonical);
+
+  // Id-faithful identity (see cache_key::identity): operations in id
+  // order with their parent ids. Options are omitted -- equal canonicals
+  // already imply equal options.
+  std::ostringstream id_text;
+  id_text << "transtore.id.v1\ngraph " << graph.name() << "\n";
+  for (int i = 0; i < n; ++i) {
+    const assay::operation& op = graph.at(i);
+    id_text << "op " << i << " " << op.name << " " << op.duration << " <-";
+    for (const int parent : op.parents) id_text << " " << parent;
+    id_text << "\n";
+  }
+  key.identity = id_text.str();
+  return key;
+}
+
+// ------------------------------------------------------------ result_cache
+
+result_cache::result_cache(result_cache_options options)
+    : options_(std::move(options)) {
+  if (options_.memory_entries == 0) options_.memory_entries = 1;
+}
+
+std::optional<result_cache::entry> result_cache::lookup(const cache_key& key) {
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    ++stats_.lookups;
+    const auto it = index_.find(key.canonical);
+    if (it != index_.end() && it->second->identity == key.identity) {
+      ++stats_.memory_hits;
+      touch(it->second);
+      return it->second->value;
+    }
+  }
+  // Disk probe outside the lock: deserialization is the expensive part and
+  // concurrent probes for different keys should not serialize.
+  if (options_.disk_dir.empty()) {
+    std::lock_guard<std::mutex> guard(lock_);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  std::optional<entry> from_disk = disk_lookup(key);
+  std::lock_guard<std::mutex> guard(lock_);
+  if (!from_disk) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.disk_hits;
+  insert_locked(key, *from_disk);
+  return from_disk;
+}
+
+result_cache::flight result_cache::lookup_or_lead(
+    const cache_key& key, entry& out, const std::function<bool()>& give_up) {
+  {
+    std::unique_lock<std::mutex> guard(lock_);
+    ++stats_.lookups;
+    for (;;) {
+      const auto it = index_.find(key.canonical);
+      if (it != index_.end() && it->second->identity == key.identity) {
+        ++stats_.memory_hits;
+        touch(it->second);
+        out = it->second->value;
+        return flight::hit;
+      }
+      // Equal-canonical, different-identity entries (an id-permuted twin's
+      // result) fall through: this caller recomputes and overwrites.
+      if (inflight_.insert(key.canonical).second) break; // we lead
+      // A concurrent leader is solving this key; coalesce onto its result.
+      // Short waits so give_up (deadline/cancel) is polled responsively
+      // and a leader that died without abort_flight cannot park us forever.
+      flight_done_.wait_for(guard, std::chrono::milliseconds(50));
+      if (give_up && give_up()) return flight::bypass;
+    }
+  }
+  // Leader path: probe the disk tier before conceding a miss.
+  if (!options_.disk_dir.empty()) {
+    if (std::optional<entry> from_disk = disk_lookup(key)) {
+      std::lock_guard<std::mutex> guard(lock_);
+      ++stats_.disk_hits;
+      insert_locked(key, *from_disk);
+      inflight_.erase(key.canonical);
+      flight_done_.notify_all();
+      out = std::move(*from_disk);
+      return flight::hit;
+    }
+  }
+  std::lock_guard<std::mutex> guard(lock_);
+  ++stats_.misses;
+  return flight::leader;
+}
+
+void result_cache::store(const cache_key& key, entry e) {
+  if (!options_.disk_dir.empty()) disk_store(key, e);
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    ++stats_.stores;
+    insert_locked(key, std::move(e));
+    inflight_.erase(key.canonical);
+  }
+  flight_done_.notify_all();
+}
+
+void result_cache::abort_flight(const cache_key& key) {
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    inflight_.erase(key.canonical);
+  }
+  flight_done_.notify_all();
+}
+
+cache_stats result_cache::stats() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  return stats_;
+}
+
+std::size_t result_cache::size() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  return order_.size();
+}
+
+void result_cache::touch(lru_list::iterator it) {
+  order_.splice(order_.begin(), order_, it);
+}
+
+void result_cache::insert_locked(const cache_key& key, entry e) {
+  const auto it = index_.find(key.canonical);
+  if (it != index_.end()) {
+    it->second->identity = key.identity;
+    it->second->value = std::move(e);
+    touch(it->second);
+    return;
+  }
+  order_.push_front(slot{key.canonical, key.identity, std::move(e)});
+  index_[key.canonical] = order_.begin();
+  while (order_.size() > options_.memory_entries) {
+    index_.erase(order_.back().canonical);
+    order_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::string result_cache::disk_path(const cache_key& key) const {
+  return options_.disk_dir + "/" + key.digest() + ".json";
+}
+
+std::optional<result_cache::entry> result_cache::disk_lookup(
+    const cache_key& key) {
+  std::string text;
+  {
+    std::ifstream in(disk_path(key), std::ios::binary);
+    if (!in) return std::nullopt; // plain miss: no file for this digest
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  // The file ends with the newline disk_store appended; the in-memory
+  // document must stay byte-identical to the originally stored string.
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r'))
+    text.pop_back();
+  auto parsed = deserialize_flow(text);
+  if (!parsed.ok()) {
+    std::lock_guard<std::mutex> guard(lock_);
+    ++stats_.disk_errors;
+    return std::nullopt;
+  }
+  // Exact verification: re-derive the key from the embedded identity. A
+  // digest collision (or a stale/corrupt file) reads as a miss.
+  const cache_key stored =
+      make_cache_key(parsed.value().graph, parsed.value().options);
+  if (stored.canonical != key.canonical) {
+    std::lock_guard<std::mutex> guard(lock_);
+    ++stats_.disk_errors;
+    return std::nullopt;
+  }
+  // An id-permuted twin's file (equal canonical, different id numbering)
+  // is a plain miss, not an error: the caller recomputes and overwrites.
+  if (stored.identity != key.identity) return std::nullopt;
+  flow_document doc = std::move(parsed).take();
+  entry e;
+  e.document = std::make_shared<const std::string>(std::move(text));
+  e.flow = std::make_shared<const flow_result>(std::move(doc.flow));
+  return e;
+}
+
+void result_cache::disk_store(const cache_key& key, const entry& e) {
+  if (!e.document) return;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    if (!disk_dir_ready_) {
+      fs::create_directories(options_.disk_dir, ec);
+      if (ec) {
+        ++stats_.disk_errors;
+        return;
+      }
+      disk_dir_ready_ = true;
+    }
+  }
+  const std::string path = disk_path(key);
+  // Unique per process AND thread: two servers sharing one cache dir must
+  // not interleave writes into the same temp file.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(static_cast<unsigned long long>(
+          std::hash<std::thread::id>{}(std::this_thread::get_id())));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::lock_guard<std::mutex> guard(lock_);
+      ++stats_.disk_errors;
+      return;
+    }
+    out << *e.document << "\n";
+    // Flush and re-check before the rename publishes the file: a full disk
+    // often only surfaces at the final flush, and renaming then would
+    // publish a truncated document.
+    out.flush();
+    out.close();
+    if (!out.good()) {
+      std::lock_guard<std::mutex> guard(lock_);
+      ++stats_.disk_errors;
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  fs::rename(tmp, path, ec); // atomic within one filesystem
+  if (ec) {
+    std::lock_guard<std::mutex> guard(lock_);
+    ++stats_.disk_errors;
+    fs::remove(tmp, ec);
+  }
+}
+
+} // namespace transtore::api

@@ -1,0 +1,34 @@
+// Full-fidelity JSON (de)serialization for arch::chip: grid dimensions,
+// device placement, every routed path, and every cache placement. The
+// counterpart of sched/schedule_io.h for the architecture stage; together
+// they let a synthesized design cross a process boundary (result cache,
+// `transtore_cli serve`) and be re-validated or re-compressed without
+// re-running synthesis. Round-trips byte-identically and is versioned.
+#pragma once
+
+#include <string>
+
+#include "arch/chip.h"
+#include "common/json.h"
+
+namespace transtore::arch {
+
+/// Version stamp of the chip document layout.
+inline constexpr int chip_format_version = 1;
+
+/// Write the chip as one JSON object through `w` (positioned where a value
+/// is expected) -- for embedding into larger documents.
+void write_chip(json_writer& w, const chip& c);
+
+/// Standalone document: {"format":1,"kind":"chip",...}.
+[[nodiscard]] std::string serialize(const chip& c);
+
+/// Reconstruct a chip from a parsed value (the object written by
+/// write_chip). Throws invalid_input_error on malformed or
+/// version-mismatched input.
+[[nodiscard]] chip chip_from_value(const json_value& v);
+
+/// Reconstruct from a standalone document string.
+[[nodiscard]] chip chip_from_json(const std::string& text);
+
+} // namespace transtore::arch

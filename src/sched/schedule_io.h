@@ -1,0 +1,37 @@
+// Full-fidelity JSON (de)serialization for sched::schedule, so a schedule
+// survives a process boundary (result cache, `transtore_cli serve`,
+// cross-process pipeline reuse). Unlike the metric summaries emitted by the
+// api stage values, these documents carry every op, transport leg, and
+// transfer, and round-trip byte-identically:
+//
+//   serialize(s) == serialize(schedule_from_json(serialize(s)))
+//
+// Documents are versioned ("format": 1); readers reject unknown versions.
+#pragma once
+
+#include <string>
+
+#include "common/json.h"
+#include "sched/schedule.h"
+
+namespace transtore::sched {
+
+/// Version stamp of the schedule document layout.
+inline constexpr int schedule_format_version = 1;
+
+/// Write the schedule as one JSON object through `w` (positioned where a
+/// value is expected) -- for embedding into larger documents.
+void write_schedule(json_writer& w, const schedule& s);
+
+/// Standalone document: {"format":1,"kind":"schedule",...}.
+[[nodiscard]] std::string serialize(const schedule& s);
+
+/// Reconstruct a schedule from a parsed value (the object written by
+/// write_schedule). Throws invalid_input_error on malformed or
+/// version-mismatched input.
+[[nodiscard]] schedule schedule_from_value(const json_value& v);
+
+/// Reconstruct from a standalone document string.
+[[nodiscard]] schedule schedule_from_json(const std::string& text);
+
+} // namespace transtore::sched

@@ -5,10 +5,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 #include "api/executor.h"
 #include "api/pipeline.h"
+#include "api/result_cache.h"
 #include "assay/benchmarks.h"
 #include "core/flow.h"
 #include "core/report.h"
@@ -23,6 +26,12 @@ pipeline_options heuristic_options(int devices = 1) {
   pipeline_options o;
   o.device_count = devices;
   o.schedule_engine = sched::schedule_engine::heuristic;
+  return o;
+}
+
+executor_options with_workers(int workers) {
+  executor_options o;
+  o.workers = workers;
   return o;
 }
 
@@ -249,7 +258,7 @@ TEST(ApiExecutor, DeterministicAcrossWorkerCounts) {
   }
 
   auto reports_with = [&](int workers) {
-    const executor pool(executor_options{workers});
+    const executor pool(with_workers(workers));
     const auto outcomes = pool.run(jobs);
     std::vector<std::string> reports;
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
@@ -278,7 +287,7 @@ TEST(ApiExecutor, StreamsEveryCompletion) {
     jobs.push_back(std::move(j));
   }
   std::atomic<int> seen{0};
-  const executor pool(executor_options{2});
+  const executor pool(with_workers(2));
   const auto outcomes =
       pool.run(jobs, {}, [&seen](const job_outcome&) { ++seen; });
   EXPECT_EQ(seen.load(), 2);
@@ -295,11 +304,339 @@ TEST(ApiExecutor, CancelledBatchReportsCancelled) {
   j.graph = assay::make_pcr();
   j.options = heuristic_options();
   jobs.push_back(std::move(j));
-  const executor pool(executor_options{2});
+  const executor pool(with_workers(2));
   const auto outcomes = pool.run(jobs, ctx);
   ASSERT_EQ(outcomes.size(), 1u);
   EXPECT_EQ(outcomes[0].code, status::cancelled);
   EXPECT_FALSE(outcomes[0].flow.has_value());
+}
+
+// ------------------------------------------------------------ result cache
+
+/// Six-assay batch for the replay tests: heuristic engine with a trimmed
+/// search so the full sweep stays fast in Debug/ASan builds. Deterministic
+/// per (graph, options), which is what the cache relies on.
+std::vector<job> six_assay_jobs() {
+  std::vector<job> jobs;
+  for (const assay::benchmark_resources& r :
+       assay::benchmark_resource_table()) {
+    job j;
+    j.name = r.name;
+    j.graph = assay::make_benchmark(r.name);
+    j.options = heuristic_options(r.devices);
+    j.options.grid_width = r.grid;
+    j.options.grid_height = r.grid;
+    j.options.grid_growth = 2;
+    j.options.heuristic_restarts = 2;
+    j.options.local_search_iterations = 200;
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+TEST(ApiResultCache, SixAssayReplayIsByteIdenticalWithZeroSolves) {
+  // The acceptance scenario: replaying the six-assay batch through the
+  // cache-enabled executor serves the second pass entirely from the cache
+  // -- byte-identical documents, no pipeline work at all (which subsumes
+  // "zero MILP solves": nothing past the cache probe runs).
+  const std::vector<job> jobs = six_assay_jobs();
+  executor_options options;
+  options.workers = 2;
+  options.cache = std::make_shared<result_cache>();
+  const executor pool(options);
+
+  std::atomic<int> stage_events{0};
+  run_context ctx;
+  ctx.set_progress([&stage_events](const progress_event& e) {
+    if (e.stage != "batch" && e.stage != "cache") ++stage_events;
+  });
+
+  const auto first = pool.run(jobs, ctx);
+  ASSERT_EQ(first.size(), jobs.size());
+  for (const job_outcome& o : first) {
+    EXPECT_EQ(o.code, status::ok) << o.name << ": " << o.message;
+    EXPECT_FALSE(o.cache_hit) << o.name;
+    ASSERT_NE(o.result_json, nullptr) << o.name;
+  }
+  EXPECT_GT(stage_events.load(), 0);
+  const cache_stats after_first = options.cache->stats();
+  EXPECT_EQ(after_first.stores, jobs.size());
+  EXPECT_EQ(after_first.misses, jobs.size());
+
+  stage_events = 0;
+  const auto second = pool.run(jobs, ctx);
+  ASSERT_EQ(second.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(second[i].code, status::ok) << jobs[i].name;
+    EXPECT_TRUE(second[i].cache_hit) << jobs[i].name;
+    ASSERT_NE(second[i].result_json, nullptr) << jobs[i].name;
+    // Byte-identical stored documents and summary reports.
+    EXPECT_EQ(*second[i].result_json, *first[i].result_json) << jobs[i].name;
+    ASSERT_TRUE(second[i].flow.has_value());
+    EXPECT_EQ(to_json(jobs[i].graph, *second[i].flow),
+              to_json(jobs[i].graph, *first[i].flow))
+        << jobs[i].name;
+  }
+  // Zero solver/stage activity on the replay: every request was a lookup.
+  EXPECT_EQ(stage_events.load(), 0);
+  const cache_stats after_second = options.cache->stats();
+  EXPECT_EQ(after_second.memory_hits, jobs.size());
+  EXPECT_EQ(after_second.stores, jobs.size()); // nothing new stored
+}
+
+TEST(ApiResultCache, IlpScheduleIsCachedNotResolved) {
+  // With the ILP engine the first run pays the MILP; the second run must
+  // not even reach the schedule stage (no progress events but the cache
+  // probe), proving the solve count is zero on a warm key.
+  const auto graph = assay::make_pcr();
+  pipeline_options o;
+  o.schedule_engine = sched::schedule_engine::ilp;
+
+  auto cache = std::make_shared<result_cache>();
+  pipeline p(graph, o);
+  p.set_cache(cache);
+
+  std::atomic<int> schedule_events{0};
+  run_context ctx;
+  ctx.set_progress([&schedule_events](const progress_event& e) {
+    if (e.stage == "schedule") ++schedule_events;
+  });
+
+  auto first = p.run_cached(ctx);
+  ASSERT_TRUE(first.outcome.ok()) << first.outcome.message();
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(first.outcome.value().scheduling.used_ilp);
+  EXPECT_GT(schedule_events.load(), 0);
+
+  schedule_events = 0;
+  auto second = p.run_cached(ctx);
+  ASSERT_TRUE(second.outcome.ok());
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(schedule_events.load(), 0);
+  EXPECT_EQ(*second.document, *first.document);
+  EXPECT_TRUE(second.outcome.value().scheduling.used_ilp);
+}
+
+TEST(ApiResultCache, ConcurrentSameKeyRequestsCoalesceToOneSolve) {
+  // Single-flight: two threads racing on the same (graph, options) must
+  // produce exactly one store and one miss -- the loser either coalesces
+  // onto the leader's in-flight solve or finds the stored entry, but never
+  // pays solver time twice (the stampede would also break byte-identity,
+  // because each solve stamps its own wall-clock fields).
+  const auto graph = assay::make_benchmark("RA30");
+  pipeline_options o = heuristic_options(2);
+  o.grid_growth = 2;
+  auto cache = std::make_shared<result_cache>();
+
+  std::optional<cached_outcome> outcomes[2];
+  std::thread racers[2];
+  for (int t = 0; t < 2; ++t)
+    racers[t] = std::thread([&, t] {
+      pipeline p(graph, o);
+      p.set_cache(cache);
+      outcomes[t] = p.run_cached();
+    });
+  for (std::thread& t : racers) t.join();
+
+  for (const std::optional<cached_outcome>& r : outcomes) {
+    ASSERT_TRUE(r.has_value());
+    ASSERT_TRUE(r->outcome.ok()) << r->outcome.message();
+    ASSERT_NE(r->document, nullptr);
+  }
+  EXPECT_EQ(*outcomes[0]->document, *outcomes[1]->document);
+  const cache_stats stats = cache->stats();
+  EXPECT_EQ(stats.stores, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ApiResultCache, FailedLeaderReleasesWaitersWithoutCaching) {
+  // Both racers request an unsatisfiable configuration: the leader's solve
+  // fails (capacity), the flight is aborted, the waiter takes over, fails
+  // too -- structured errors for both, nothing cached, no hang.
+  const auto graph = assay::make_benchmark("IVD");
+  pipeline_options o = heuristic_options(5);
+  o.grid_width = 2;
+  o.grid_height = 2;
+  o.arch_attempts = 2;
+  auto cache = std::make_shared<result_cache>();
+
+  std::optional<cached_outcome> outcomes[2];
+  std::thread racers[2];
+  for (int t = 0; t < 2; ++t)
+    racers[t] = std::thread([&, t] {
+      pipeline p(graph, o);
+      p.set_cache(cache);
+      outcomes[t] = p.run_cached();
+    });
+  for (std::thread& t : racers) t.join();
+
+  for (const std::optional<cached_outcome>& r : outcomes) {
+    ASSERT_TRUE(r.has_value());
+    EXPECT_FALSE(r->outcome.has_value());
+    EXPECT_EQ(r->outcome.code(), status::capacity);
+    EXPECT_FALSE(r->cache_hit);
+  }
+  EXPECT_EQ(cache->size(), 0u);
+  EXPECT_EQ(cache->stats().stores, 0u);
+}
+
+// -------------------------------------------------- service mode + queueing
+
+TEST(ApiExecutorService, PriorityOrdersPendingJobs) {
+  // One worker, blocked on the first job; two more submissions land in the
+  // queue and must be dispatched high-priority-first regardless of
+  // submission order.
+  executor pool(with_workers(1));
+
+  std::mutex lock;
+  std::condition_variable cv;
+  bool release = false;
+  bool blocker_started = false;
+  std::vector<std::string> started; // first progress event per job
+
+  auto ctx_for = [&](const std::string& label, bool blocking) {
+    run_context ctx;
+    ctx.set_progress([&, label, blocking, seen = std::make_shared<bool>(false)](
+                         const progress_event&) {
+      std::unique_lock<std::mutex> guard(lock);
+      if (!*seen) {
+        *seen = true;
+        started.push_back(label);
+        if (blocking) {
+          blocker_started = true;
+          cv.notify_all();
+          cv.wait(guard, [&release] { return release; });
+        }
+      }
+    });
+    return ctx;
+  };
+
+  job blocker;
+  blocker.name = "blocker";
+  blocker.graph = assay::make_pcr();
+  blocker.options = heuristic_options();
+  auto t_blocker = pool.submit(blocker, ctx_for("blocker", true));
+  ASSERT_TRUE(t_blocker.has_value()) << t_blocker.message();
+  {
+    std::unique_lock<std::mutex> guard(lock);
+    cv.wait(guard, [&blocker_started] { return blocker_started; });
+  }
+
+  job low = blocker;
+  low.name = "low";
+  low.priority = -1;
+  job high = blocker;
+  high.name = "high";
+  high.priority = 7;
+  auto t_low = pool.submit(low, ctx_for("low", false));
+  auto t_high = pool.submit(high, ctx_for("high", false));
+  ASSERT_TRUE(t_low.has_value());
+  ASSERT_TRUE(t_high.has_value());
+  EXPECT_EQ(pool.pending(), 2u);
+
+  {
+    std::lock_guard<std::mutex> guard(lock);
+    release = true;
+  }
+  cv.notify_all();
+
+  for (const auto& t : {t_blocker, t_low, t_high}) {
+    const job_outcome o = pool.wait(t.value());
+    EXPECT_EQ(o.code, status::ok) << o.name << ": " << o.message;
+  }
+  ASSERT_EQ(started.size(), 3u);
+  EXPECT_EQ(started[0], "blocker");
+  EXPECT_EQ(started[1], "high");
+  EXPECT_EQ(started[2], "low");
+
+  // Tickets are redeemable exactly once.
+  const job_outcome again = pool.wait(t_blocker.value());
+  EXPECT_EQ(again.code, status::internal);
+}
+
+TEST(ApiExecutorService, BoundedQueueRejectsWithQueueFull) {
+  executor_options options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  executor pool(options);
+
+  std::mutex lock;
+  std::condition_variable cv;
+  bool release = false;
+  bool blocker_started = false;
+  run_context blocking_ctx;
+  blocking_ctx.set_progress(
+      [&, seen = std::make_shared<bool>(false)](const progress_event&) {
+        std::unique_lock<std::mutex> guard(lock);
+        if (!*seen) {
+          *seen = true;
+          blocker_started = true;
+          cv.notify_all();
+          cv.wait(guard, [&release] { return release; });
+        }
+      });
+
+  job j;
+  j.graph = assay::make_pcr();
+  j.options = heuristic_options();
+
+  auto t1 = pool.submit(j, blocking_ctx); // starts running, blocks
+  ASSERT_TRUE(t1.has_value());
+  {
+    std::unique_lock<std::mutex> guard(lock);
+    cv.wait(guard, [&blocker_started] { return blocker_started; });
+  }
+  auto t2 = pool.submit(j); // fills the single queue slot
+  ASSERT_TRUE(t2.has_value());
+  auto t3 = pool.submit(j); // structured rejection
+  EXPECT_FALSE(t3.has_value());
+  EXPECT_EQ(t3.code(), status::queue_full);
+  EXPECT_NE(t3.message().find("queue"), std::string::npos);
+
+  {
+    std::lock_guard<std::mutex> guard(lock);
+    release = true;
+  }
+  cv.notify_all();
+  EXPECT_EQ(pool.wait(t1.value()).code, status::ok);
+  EXPECT_EQ(pool.wait(t2.value()).code, status::ok);
+}
+
+TEST(ApiExecutorBatch, BoundedQueueShedsLowestPriorityJobs) {
+  // Batch mode mirrors submit(): with capacity 2 and three jobs, the
+  // lowest-priority one is rejected up front with queue_full and the other
+  // two run to completion.
+  std::vector<job> jobs = six_assay_jobs();
+  jobs.erase(jobs.begin(), jobs.begin() + 3); // keep RA30, IVD, PCR (quick)
+  jobs[0].priority = 1;
+  jobs[1].priority = -3; // the one to shed
+  jobs[2].priority = 2;
+
+  executor_options options;
+  options.workers = 2;
+  options.queue_capacity = 2;
+  const executor pool(options);
+  const auto outcomes = pool.run(jobs);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].code, status::ok) << outcomes[0].message;
+  EXPECT_EQ(outcomes[1].code, status::queue_full);
+  EXPECT_FALSE(outcomes[1].flow.has_value());
+  EXPECT_EQ(outcomes[2].code, status::ok) << outcomes[2].message;
+}
+
+TEST(ApiExecutorService, ShutdownRefusesNewSubmissions) {
+  executor pool(with_workers(1));
+  job j;
+  j.graph = assay::make_pcr();
+  j.options = heuristic_options();
+  auto t1 = pool.submit(j);
+  ASSERT_TRUE(t1.has_value());
+  EXPECT_EQ(pool.wait(t1.value()).code, status::ok);
+  pool.shutdown();
+  auto t2 = pool.submit(j);
+  EXPECT_FALSE(t2.has_value());
+  EXPECT_EQ(t2.code(), status::cancelled);
 }
 
 } // namespace
