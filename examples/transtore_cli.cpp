@@ -32,20 +32,31 @@
 //                   only builds a cache when a disk tier is requested)
 //   --cache-dir DIR on-disk result-cache tier (synth and serve); a warm
 //                   (graph, options) pair is a lookup instead of a solve
+//   --fault SPEC    synth: after synthesis, inject SPEC at ~50%% of the
+//                   schedule and run the api::recover retry ladder. SPEC is
+//                   "auto" (a survivable device+storage scenario is chosen)
+//                   or comma-separated tokens device:N valve:N edge:N
+//                   storage:N. With --json the recovery document is written
+//                   instead of the flow document.
 //
-// Exit codes: 0 success; 1 synthesis failure (capacity/infeasible/internal);
-// 2 usage or input errors; 3 deadline hit / cancelled (best-effort results,
-// when available, are still printed).
+// Exit codes: 0 success (including degraded recoveries); 1 synthesis
+// failure (capacity/infeasible/internal); 2 usage or input errors; 3
+// deadline hit / cancelled (best-effort results, when available, are still
+// printed).
 //
 // Serve protocol (one JSON object per line; see src/api/README.md):
 //   {"id":1,"op":"synth","assay":"PCR","options":{...},"priority":0,
 //    "deadline":30}                    -> {"id":1,"status":"ok",
 //                                          "cache_hit":false,...,
 //                                          "result":{...flow document...}}
+//   {"id":2,"op":"recover","assay":"PCR","at":0.5,"fault":"auto"}
+//                                      -> {"id":2,"status":"ok|degraded",
+//                                          "rung":...,"recovery":{...}}
 //   {"op":"stats"} | {"op":"ping"} | {"op":"shutdown"}
 //
 // <assay> is a built-in name (PCR, IVD, CPA, RA30, RA70, RA100) or a path
 // to a sequencing-graph file in the src/assay/io.h text format.
+#include <cmath>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -62,13 +73,16 @@
 
 #include "api/executor.h"
 #include "api/pipeline.h"
+#include "api/recover.h"
 #include "api/result_cache.h"
 #include "api/serialize.h"
+#include "arch/fault.h"
 #include "assay/benchmarks.h"
 #include "assay/io.h"
 #include "common/json.h"
 #include "core/report.h"
 #include "phys/layout.h"
+#include "sim/fault_injector.h"
 
 namespace {
 
@@ -88,7 +102,8 @@ int usage() {
       "       [--devices N] [--grid WxH] [--engine heuristic|ilp|combined]\n"
       "       [--beta B] [--time-only] [--baseline] [--json FILE|-]\n"
       "       [--svg FILE] [--seed S] [--deadline S] [--workers N]\n"
-      "       [--queue N] [--cache-capacity N] [--cache-dir DIR]\n");
+      "       [--queue N] [--cache-capacity N] [--cache-dir DIR]\n"
+      "       [--fault auto|device:N,valve:N,edge:N,storage:N]\n");
   return 2;
 }
 
@@ -127,7 +142,59 @@ struct cli_args {
   std::size_t queue_capacity = 0;
   std::size_t cache_capacity = 64;
   std::string cache_dir;
+  // --fault: inject after synthesis and run the recovery ladder.
+  bool fault_requested = false;
+  bool fault_auto = false;
+  arch::fault_set faults;
 };
+
+/// Parse a --fault SPEC: "auto" or comma-separated kind:id tokens.
+bool parse_fault_spec(const std::string& spec, cli_args& args) {
+  args.fault_requested = true;
+  if (spec == "auto") {
+    args.fault_auto = true;
+    return true;
+  }
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string token =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    const std::size_t colon = token.find(':');
+    char* end = nullptr;
+    const long id = colon == std::string::npos
+                        ? -1
+                        : std::strtol(token.c_str() + colon + 1, &end, 10);
+    if (colon == std::string::npos || end == token.c_str() + colon + 1 ||
+        *end != '\0' || id < 0) {
+      std::fprintf(stderr,
+                   "error: --fault token '%s' is not kind:id (kinds: device "
+                   "valve edge storage; id >= 0)\n",
+                   token.c_str());
+      return false;
+    }
+    const std::string kind = token.substr(0, colon);
+    if (kind == "device") args.faults.devices.push_back(static_cast<int>(id));
+    else if (kind == "valve") args.faults.valves.push_back(static_cast<int>(id));
+    else if (kind == "edge") args.faults.edges.push_back(static_cast<int>(id));
+    else if (kind == "storage")
+      args.faults.storage.push_back(static_cast<int>(id));
+    else {
+      std::fprintf(stderr,
+                   "error: --fault kind '%s' unknown (device valve edge "
+                   "storage)\n",
+                   kind.c_str());
+      return false;
+    }
+  }
+  if (args.faults.empty()) {
+    std::fprintf(stderr, "error: --fault spec '%s' names no resources\n",
+                 spec.c_str());
+    return false;
+  }
+  return true;
+}
 
 /// Result cache per the CLI flags, or null when nothing asked for one
 /// (synth paths only attach a cache when --cache-dir is given; serve always
@@ -256,6 +323,9 @@ bool parse_flags(int argc, char** argv, int from, cli_args& args) {
     } else if (arg == "--cache-dir") {
       if ((value = next()) == nullptr) return false;
       args.cache_dir = value;
+    } else if (arg == "--fault") {
+      if ((value = next()) == nullptr) return false;
+      if (!parse_fault_spec(value, args)) return false;
     } else if (arg == "--all") {
       args.all = true;
     } else {
@@ -273,6 +343,7 @@ bool parse_flags(int argc, char** argv, int from, cli_args& args) {
 int exit_code_for(api::status code) {
   switch (code) {
     case api::status::ok: return 0;
+    case api::status::degraded: return 0; // recovery succeeded, just slower
     case api::status::time_limit:
     case api::status::cancelled: return 3;
     case api::status::invalid_input: return 2;
@@ -283,7 +354,10 @@ int exit_code_for(api::status code) {
 void describe_outcome(const std::string& label, api::status code,
                       const std::string& message) {
   if (code == api::status::ok) return;
-  if (code == api::status::time_limit)
+  if (code == api::status::degraded)
+    std::fprintf(stderr, "%s: degraded -- %s\n", label.c_str(),
+                 message.c_str());
+  else if (code == api::status::time_limit)
     std::fprintf(stderr, "%s: deadline hit -- %s\n", label.c_str(),
                  message.c_str());
   else if (code == api::status::cancelled)
@@ -374,6 +448,55 @@ int run_synth_all(const cli_args& args) {
   return exit_code;
 }
 
+/// --fault path: inject the requested (or auto-chosen) fault at ~50% of
+/// the synthesized schedule and run the recovery ladder. Returns the exit
+/// code; with --json the recovery document replaces the flow document.
+int run_fault_recovery(const cli_args& args,
+                       const assay::sequencing_graph& graph,
+                       const api::flow_result& flow,
+                       const api::run_context& ctx) {
+  std::FILE* report_stream = args.json_path == "-" ? stderr : stdout;
+  const sched::schedule& s = flow.scheduling.best;
+  api::recovery_request req;
+  req.graph = graph;
+  req.options = args.options;
+  req.original = flow;
+  if (args.fault_auto) {
+    const auto scenario = sim::choose_fault_scenario(
+        graph, s, flow.architecture.result, flow.architecture.workload, 0.5);
+    if (!scenario) {
+      std::fprintf(stderr,
+                   "%s: no survivable fault scenario (every injectable "
+                   "fault would strand completed work)\n",
+                   graph.name().c_str());
+      return 1;
+    }
+    req.faults = scenario->faults;
+    req.fault_time = scenario->fault_time;
+  } else {
+    req.faults = args.faults;
+    req.fault_time =
+        std::max(0, static_cast<int>(std::floor(s.makespan() * 0.5)));
+  }
+
+  auto rec = api::recover(req, ctx);
+  describe_outcome(graph.name() + " recovery", rec.code(), rec.message());
+  if (!rec.has_value()) return exit_code_for(rec.code());
+  const api::recovery_result& r = rec.value();
+  std::fprintf(report_stream,
+               "  recovery: %s at t=%d via %s, tE=%d (was %d), "
+               "%zu ops kept, %zu rescheduled\n",
+               api::to_string(rec.code()), r.fault_time,
+               api::to_string(r.rung), r.recovered_makespan,
+               r.original_makespan, r.completed_ops.size(),
+               r.rescheduled_ops.size());
+  if (!args.json_path.empty() &&
+      !write_text(args.json_path, api::to_json(graph, args.options, r),
+                  "recovery report"))
+    return 1;
+  return exit_code_for(rec.code());
+}
+
 int run_synth_single(const cli_args& args,
                      const assay::sequencing_graph& graph) {
   api::run_context ctx;
@@ -388,6 +511,7 @@ int run_synth_single(const cli_args& args,
   const api::flow_result& r = outcome.value();
   std::fprintf(args.json_path == "-" ? stderr : stdout, "%s",
                r.report(graph).c_str());
+  if (args.fault_requested) return run_fault_recovery(args, graph, r, ctx);
   if (!args.json_path.empty() &&
       !write_text(args.json_path,
                   with_outcome(api::to_json(graph, r), outcome.code()),
@@ -444,6 +568,9 @@ std::string stats_response(const std::string& id_raw,
   w.field("stores", static_cast<long>(stats.stores));
   w.field("evictions", static_cast<long>(stats.evictions));
   w.field("disk_errors", static_cast<long>(stats.disk_errors));
+  w.field("negative_hits", static_cast<long>(stats.negative_hits));
+  w.field("negative_stores", static_cast<long>(stats.negative_stores));
+  w.field("negative_evictions", static_cast<long>(stats.negative_evictions));
   w.field("entries", static_cast<long>(cache.size()));
   w.end_object();
   w.field("workers", pool.workers());
@@ -480,6 +607,7 @@ struct serve_item {
   enum class action {
     respond, // `ready` is the complete response (errors, ping, shutdown ack)
     synth,   // wait on `ticket`, then build the response
+    recover, // wait on `ticket`, then run fault recovery on the result
     stats,   // computed at dequeue time, after every prior request resolved
   };
   action act = action::respond;
@@ -488,7 +616,95 @@ struct serve_item {
   api::executor::ticket ticket = 0;
   assay::sequencing_graph graph;   // synth: identity for best-effort docs
   api::pipeline_options options;
+  // recover only: the requested fault ("auto" = pick a survivable one).
+  bool fault_auto = true;
+  arch::fault_set faults;
+  double fault_at = 0.5;
 };
+
+/// Canonical negative-cache scenario tag for one (faults, fault_time).
+std::string scenario_tag(const arch::fault_set& f, int fault_time) {
+  auto ints = [](const char* label, const std::vector<int>& ids) {
+    std::string out;
+    if (ids.empty()) return out;
+    out += std::string(" ") + label + "=";
+    for (std::size_t i = 0; i < ids.size(); ++i)
+      out += (i ? "," : "") + std::to_string(ids[i]);
+    return out;
+  };
+  return "recover t=" + std::to_string(fault_time) +
+         ints("devices", f.devices) + ints("valves", f.valves) +
+         ints("edges", f.edges) + ints("storage", f.storage);
+}
+
+/// Build the response to a `recover` request once the base synthesis
+/// resolved. Runs on the responder thread: the recovery ladder itself is
+/// cheap next to a cold synthesis, and responses stay in request order.
+std::string recover_response(const serve_item& item,
+                             const api::job_outcome& outcome,
+                             api::result_cache& cache) {
+  if (!outcome.flow || outcome.code != api::status::ok)
+    return error_response(item.id_raw, api::to_string(outcome.code),
+                          outcome.message.empty()
+                              ? "base synthesis did not complete"
+                              : outcome.message);
+  const api::flow_result& flow = *outcome.flow;
+  const sched::schedule& s = flow.scheduling.best;
+
+  api::recovery_request req;
+  req.graph = item.graph;
+  req.options = item.options;
+  req.original = flow;
+  if (item.fault_auto) {
+    const auto scenario = sim::choose_fault_scenario(
+        item.graph, s, flow.architecture.result, flow.architecture.workload,
+        item.fault_at);
+    if (!scenario)
+      return error_response(item.id_raw, "infeasible",
+                            "no survivable fault scenario for this design");
+    req.faults = scenario->faults;
+    req.fault_time = scenario->fault_time;
+  } else {
+    req.faults = item.faults;
+    req.fault_time =
+        std::max(0, static_cast<int>(std::floor(s.makespan() *
+                                                item.fault_at)));
+  }
+  req.faults.normalize();
+
+  // Recovery outcomes are deterministic per (graph, options, scenario):
+  // structurally impossible recoveries are answered from the negative tier.
+  const api::cache_key key = api::make_cache_key(
+      item.graph, item.options, scenario_tag(req.faults, req.fault_time));
+  if (const auto negative = cache.lookup_negative(key))
+    return error_response(item.id_raw, api::to_string(negative->code),
+                          negative->message);
+
+  auto rec = api::recover(req);
+  if (!rec.has_value()) {
+    cache.store_negative(key, api::result_cache::negative_entry{
+                                  rec.code(), rec.message()});
+    return error_response(item.id_raw, api::to_string(rec.code()),
+                          rec.message());
+  }
+  const api::recovery_result& r = rec.value();
+  json_writer w;
+  w.begin_object();
+  if (!item.id_raw.empty()) w.key("id").value_raw(item.id_raw);
+  w.field("status", api::to_string(rec.code()));
+  if (!rec.message().empty()) w.field("message", rec.message());
+  w.field("assay", item.graph.name());
+  w.field("cache_hit", outcome.cache_hit);
+  w.field("rung", api::to_string(r.rung));
+  w.field("fault_time", r.fault_time);
+  w.field("original_makespan", r.original_makespan);
+  w.field("recovered_makespan", r.recovered_makespan);
+  w.field("completed", static_cast<long>(r.completed_ops.size()));
+  w.field("rescheduled", static_cast<long>(r.rescheduled_ops.size()));
+  w.key("recovery").value_raw(api::to_json(item.graph, item.options, r));
+  w.end_object();
+  return w.str();
+}
 
 /// Parse + submit one request line; never blocks on a solve. Returns the
 /// item to enqueue. Sets `quit` on a shutdown request.
@@ -521,11 +737,12 @@ serve_item admit_request(const std::string& line, const cli_args& args,
       item.ready = w.str();
       return item;
     }
-    if (name != "synth") {
+    if (name != "synth" && name != "recover") {
       item.ready = error_response(item.id_raw, "invalid_input",
                                   "unknown op \"" + name + "\"");
       return item;
     }
+    const bool recovering = name == "recover";
 
     // Graph: a built-in name, or an inline assay in the io.h text format.
     const json_value* assay_name = req.find("assay");
@@ -533,8 +750,8 @@ serve_item admit_request(const std::string& line, const cli_args& args,
     if ((assay_name != nullptr) == (graph_text != nullptr)) {
       item.ready = error_response(
           item.id_raw, "invalid_input",
-          "synth request needs exactly one of \"assay\" (built-in name) or "
-          "\"graph\" (sequencing-graph text)");
+          name + " request needs exactly one of \"assay\" (built-in name) "
+          "or \"graph\" (sequencing-graph text)");
       return item;
     }
 
@@ -562,6 +779,36 @@ serve_item admit_request(const std::string& line, const cli_args& args,
     if (const json_value* priority = req.find("priority"))
       j.priority = priority->as_int();
 
+    if (recovering) {
+      // The injected fault: "auto" (default) or an explicit resource set.
+      if (const json_value* at = req.find("at")) {
+        item.fault_at = at->as_double();
+        require(item.fault_at >= 0.0 && item.fault_at <= 1.0,
+                "\"at\" must be a fraction in [0, 1]");
+      }
+      if (const json_value* fault = req.find("fault")) {
+        if (fault->is_string()) {
+          require(fault->as_string() == "auto",
+                  "\"fault\" must be \"auto\" or a fault object");
+        } else {
+          // A partial object is fine: absent resource kinds are healthy.
+          item.fault_auto = false;
+          auto ints = [](const json_value* a) {
+            std::vector<int> out;
+            if (a != nullptr)
+              for (const json_value& e : a->elements())
+                out.push_back(e.as_int());
+            return out;
+          };
+          item.faults.devices = ints(fault->find("devices"));
+          item.faults.valves = ints(fault->find("valves"));
+          item.faults.edges = ints(fault->find("edges"));
+          item.faults.storage = ints(fault->find("storage"));
+          require(!item.faults.empty(), "\"fault\" names no resources");
+        }
+      }
+    }
+
     api::run_context ctx;
     if (const json_value* deadline = req.find("deadline"))
       ctx.set_deadline(deadline->as_double());
@@ -576,7 +823,8 @@ serve_item admit_request(const std::string& line, const cli_args& args,
                                   ticket.message());
       return item;
     }
-    item.act = serve_item::action::synth;
+    item.act = recovering ? serve_item::action::recover
+                          : serve_item::action::synth;
     item.ticket = ticket.value();
     return item;
   } catch (const ts_error& e) {
@@ -636,6 +884,14 @@ int run_serve(const cli_args& args) {
                                     item.options);
           break;
         }
+        case serve_item::action::recover: {
+          const api::job_outcome outcome = pool.wait(item.ticket);
+          response = recover_response(item, outcome, *cache);
+          std::fprintf(stderr, "[serve] %-6s recover (base %s, %s)\n",
+                       outcome.name.c_str(), api::to_string(outcome.code),
+                       outcome.cache_hit ? "hit" : "miss");
+          break;
+        }
       }
       std::fwrite(response.data(), 1, response.size(), stdout);
       std::fputc('\n', stdout);
@@ -643,16 +899,53 @@ int run_serve(const cli_args& args) {
     }
   });
 
-  std::string line;
-  bool quit = false;
-  while (!quit && std::getline(std::cin, line)) {
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    serve_item item = admit_request(line, args, pool, quit);
+  // Hardened read loop: a hard per-line size cap and explicit handling of
+  // input that ends mid-line. Malformed lines of any kind produce one
+  // structured error response and the loop carries on -- a misbehaving
+  // client can never kill the service or make it exit non-zero.
+  constexpr std::size_t max_request_line = std::size_t{1} << 20; // 1 MiB
+  auto enqueue = [&](serve_item item) {
     {
       std::lock_guard<std::mutex> guard(queue_lock);
       queue.push_back(std::move(item));
     }
     queue_ready.notify_one();
+  };
+  std::string line;
+  bool quit = false;
+  while (!quit) {
+    line.clear();
+    bool oversized = false;
+    bool newline_seen = false;
+    int c;
+    while ((c = std::cin.get()) != EOF) {
+      if (c == '\n') {
+        newline_seen = true;
+        break;
+      }
+      if (line.size() < max_request_line) line.push_back(static_cast<char>(c));
+      else oversized = true; // keep consuming up to the newline
+    }
+    if (line.empty() && !newline_seen) break; // clean EOF at a line boundary
+    if (oversized) {
+      serve_item item;
+      item.ready = error_response(
+          "", "invalid_input", "request line exceeds the 1 MiB limit");
+      enqueue(std::move(item));
+      if (!newline_seen) break;
+      continue;
+    }
+    if (!newline_seen) {
+      // EOF struck mid-line: the request is truncated by definition (the
+      // protocol is newline-delimited), so answer it as such and stop.
+      serve_item item;
+      item.ready = error_response(
+          "", "invalid_input", "input ended mid-line (truncated request)");
+      enqueue(std::move(item));
+      break;
+    }
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    enqueue(admit_request(line, args, pool, quit));
   }
   {
     std::lock_guard<std::mutex> guard(queue_lock);

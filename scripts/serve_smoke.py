@@ -5,7 +5,10 @@ through one long-lived server process and assert
   * every first-pass request misses the cache and solves,
   * every second-pass request is a cache hit,
   * second-pass result documents are byte-identical to the first pass,
-  * the stats op reports exactly six stores and six memory hits.
+  * a `recover` request (auto fault at 50% execution) reuses the cached
+    base result and answers ok or degraded with a spliced schedule,
+  * the stats op reports exactly six stores and seven memory hits (the
+    six replays plus the recovery's base lookup).
 
 Usage: serve_smoke.py [path/to/transtore_cli]
 
@@ -48,6 +51,11 @@ def main():
             rid += 1
             requests.append({"id": rid, "op": "synth", "assay": name,
                              "options": options})
+    # One mid-assay fault recovery on a multi-device design: the base
+    # synthesis is already cached, so only the recovery ladder runs.
+    recover_assay = "RA30" if "RA30" in names else names[0]
+    requests.append({"id": "recover", "op": "recover", "assay": recover_assay,
+                     "at": 0.5, "fault": "auto", "options": options})
     requests.append({"id": "stats", "op": "stats"})
     requests.append({"op": "shutdown"})
     stdin = "".join(json.dumps(r) + "\n" for r in requests)
@@ -102,17 +110,45 @@ def main():
             failures.append(f"{name}: second-pass result is not "
                             f"byte-identical to the first pass")
 
+    recovery = responses.get("recover")
+    if recovery is None:
+        failures.append("recover: missing response")
+    else:
+        r = json.loads(recovery)
+        if r.get("status") not in ("ok", "degraded"):
+            failures.append(f"recover: status {r.get('status')} "
+                            f"({r.get('message', 'no message')})")
+        else:
+            if not r.get("cache_hit"):
+                failures.append("recover: base synthesis missed the cache")
+            if r.get("rung") not in ("reroute", "reschedule", "resynthesize"):
+                failures.append(f"recover: unexpected rung {r.get('rung')}")
+            if r.get("completed", 0) <= 0:
+                failures.append("recover: no completed operations kept")
+            rec = r.get("recovery", {})
+            if rec.get("recovered_makespan", 0) <= 0:
+                failures.append("recover: no recovered schedule in response")
+            if sorted(rec.get("completed_ops", []) +
+                      rec.get("rescheduled_ops", [])) != \
+                    sorted(set(rec.get("completed_ops", []) +
+                               rec.get("rescheduled_ops", []))):
+                failures.append("recover: op partition has duplicates")
+
     if stats is None:
         failures.append("stats response missing")
     else:
         cache = stats["cache"]
         if cache["stores"] != n:
             failures.append(f"expected {n} stores, got {cache['stores']}")
-        if cache["memory_hits"] != n:
+        # n replay hits plus the recovery's base-synthesis lookup.
+        if cache["memory_hits"] != n + 1:
             failures.append(
-                f"expected {n} memory hits, got {cache['memory_hits']}")
+                f"expected {n + 1} memory hits, got {cache['memory_hits']}")
         if cache["misses"] != n:
             failures.append(f"expected {n} misses, got {cache['misses']}")
+        if cache["negative_stores"] != 0:
+            failures.append(f"expected 0 negative stores, "
+                            f"got {cache['negative_stores']}")
 
     if failures:
         print(f"serve_smoke: {len(failures)} failure(s):", file=sys.stderr)
@@ -120,7 +156,7 @@ def main():
             print(f"  {f}", file=sys.stderr)
         return 1
     print(f"serve_smoke: ok -- {n} assays replayed twice, "
-          f"{n} cache hits, byte-identical results")
+          f"{n} cache hits, byte-identical results, 1 fault recovery")
     return 0
 
 

@@ -194,8 +194,19 @@ result<scheduled> pipeline::schedule(const run_context& ctx) const {
     state_->graph.validate();
     const pipeline_options& o = state_->options;
 
+    // Failed devices shrink the schedulable pool: the schedule is built
+    // directly on the surviving count (device ids stay compact; fault ids
+    // above the configured count are grid-specific noise and ignored here).
+    arch::fault_set faults = o.faults;
+    faults.normalize();
+    int failed_devices = 0;
+    for (int d : faults.devices)
+      if (d < o.device_count) ++failed_devices;
+    if (failed_devices >= o.device_count)
+      throw infeasible_error("schedule: every device is failed");
+
     sched::scheduler_options so;
-    so.device_count = o.device_count;
+    so.device_count = o.device_count - failed_devices;
     so.timing = o.timing;
     so.alpha = o.alpha;
     so.beta = o.beta;
@@ -262,6 +273,11 @@ result<synthesized> scheduled::synthesize(const synthesize_overrides& over,
     ao.ilp.time_limit_seconds = o.arch_ilp_time_limit;
     ao.cancel = ctx.token();
     ao.time_budget_seconds = ctx.budget_or_zero();
+    // Device faults were consumed at the scheduling stage (the schedule is
+    // built on the surviving pool); only physical-resource faults reach
+    // placement and routing.
+    ao.faults = o.faults;
+    ao.faults.devices.clear();
     const int growth = over.grid_growth.value_or(o.grid_growth);
 
     synthesized stage;
@@ -417,6 +433,15 @@ cached_outcome pipeline::run_cached(const run_context& ctx) const {
   if (!cache_) return {run_uncached(ctx), false, nullptr};
 
   const cache_key key = make_cache_key(state_->graph, state_->options);
+  if (const auto negative = cache_->lookup_negative(key)) {
+    // A structurally failing request (infeasible / invalid_input) is
+    // deterministic for the key: replay the recorded failure instead of
+    // re-solving to it.
+    ctx.report("cache",
+               "negative hit " + state_->graph.name() + " " + key.digest());
+    return {result<flow_result>::failure(negative->code, negative->message),
+            true, nullptr};
+  }
   result_cache::entry hit;
   const result_cache::flight probe = cache_->lookup_or_lead(
       key, hit, [&ctx] { return ctx.interrupted(); });
@@ -434,6 +459,11 @@ cached_outcome pipeline::run_cached(const run_context& ctx) const {
     // under a deadline or cancel is not the deterministic answer.
     if (!outcome.ok()) {
       if (leading) cache_->abort_flight(key);
+      if (outcome.code() == status::infeasible ||
+          outcome.code() == status::invalid_input)
+        cache_->store_negative(
+            key, result_cache::negative_entry{outcome.code(),
+                                              outcome.message()});
       return {std::move(outcome), false, nullptr};
     }
     result_cache::entry entry;

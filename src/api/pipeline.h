@@ -69,6 +69,11 @@ struct pipeline_options {
   /// one-step-larger grid (0 = fail immediately, the paper's fixed-grid
   /// protocol). The grid actually used is visible in the chip.
   int grid_growth = 0;
+  /// Resources known to be failed before the run starts (arch/fault.h).
+  /// Failed devices shrink the schedulable device pool; failed valves,
+  /// channel segments, and storage segments are never placed on, routed
+  /// over, or used for caching. Empty = healthy chip.
+  arch::fault_set faults;
 
   // Physical design.
   phys::phys_options physical{};

@@ -1,0 +1,94 @@
+// Mid-assay fault recovery -- the retry ladder over a faulted run.
+//
+// recover() takes a completed synthesis result, a fault set, and the time
+// step at which the faults struck, and produces a single verifier-passing
+// schedule + chip in which every operation that had started before the
+// fault is kept verbatim (completed work is never re-executed) and the
+// remainder is re-planned around the failed resources. Three rungs are
+// tried in order, each strictly more invasive and each cancellable through
+// the run_context:
+//
+//   1. reroute      -- the schedule survives as-is (no future operation was
+//                      bound to a failed device); only the chip's paths and
+//                      cache segments are re-derived around the banned
+//                      resources, with devices pinned to their original
+//                      nodes. This models re-programming the valve control
+//                      sequence as if the routes had avoided the faults all
+//                      along (time-dependent re-routing of a half-executed
+//                      plan is out of scope).
+//   2. reschedule   -- the remaining sub-DAG is spliced onto the healthy
+//                      devices (sched/splice.h) and the chip re-routed on
+//                      the original grid, devices still pinned.
+//   3. resynthesize -- the spliced schedule is re-synthesized on a
+//                      replacement grid with free placement and growth;
+//                      valve/edge/storage faults are cleared (they name
+//                      segments of the broken chip), device exclusions are
+//                      kept.
+//
+// Outcome mapping: success when the recovered makespan does not exceed the
+// original; status::degraded (with the full value) when recovery succeeded
+// but finishes later; status::infeasible naming the blocking resource when
+// no rung can help (sim::recovery_blocker).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/pipeline.h"
+#include "api/result.h"
+#include "api/run_context.h"
+#include "api/serialize.h"
+#include "arch/fault.h"
+
+namespace transtore::api {
+
+/// Which rung of the retry ladder produced the recovery.
+enum class recovery_rung { none = 0, reroute = 1, reschedule = 2,
+                           resynthesize = 3 };
+
+[[nodiscard]] const char* to_string(recovery_rung r);
+
+/// Everything recover() needs: the run's identity, its original result,
+/// and the injected fault.
+struct recovery_request {
+  assay::sequencing_graph graph;
+  pipeline_options options; // configuration the original run was made with
+  flow_result original;     // the run being recovered
+  arch::fault_set faults;
+  int fault_time = 0;
+};
+
+/// A successful (possibly degraded) recovery.
+struct recovery_result {
+  recovery_rung rung = recovery_rung::none;
+  int fault_time = 0;
+  int original_makespan = 0;
+  int recovered_makespan = 0;
+  std::vector<int> completed_ops;   // prefix kept verbatim (started < T)
+  std::vector<int> rescheduled_ops; // remainder re-planned (empty on rung 1)
+  /// The recovered run: spliced schedule, re-routed or re-synthesized chip,
+  /// compacted layout, simulator stats. Every wall-clock field is zeroed so
+  /// recovery documents are byte-identical across runs and machines.
+  flow_result recovered;
+};
+
+/// Run the retry ladder. Returns ok or degraded with a recovery_result,
+/// infeasible naming the blocking resource, or the usual structured
+/// cancellation/deadline/internal outcomes.
+[[nodiscard]] result<recovery_result> recover(const recovery_request& req,
+                                              const run_context& ctx = {});
+
+/// Resume recovery from a serialized checkpoint document (the
+/// cross-process path): same ladder, fault set and time taken from the
+/// checkpoint state.
+[[nodiscard]] result<recovery_result> recover(const checkpoint_document& doc,
+                                              const run_context& ctx = {});
+
+/// The recovery outcome as one JSON document (used by the serve front end
+/// and `transtore_cli --fault`): rung, makespans, op partition, and the
+/// embedded flow document of the recovered run.
+[[nodiscard]] std::string to_json(const assay::sequencing_graph& graph,
+                                  const pipeline_options& options,
+                                  const recovery_result& r);
+
+} // namespace transtore::api

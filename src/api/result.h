@@ -20,6 +20,8 @@ enum class status {
   ok,            // stage completed inside its budget
   time_limit,    // deadline hit; a best-effort value may still be present
   cancelled,     // cancel token fired; a best-effort value may be present
+  degraded,      // fault recovery succeeded but the recovered schedule
+                 // finishes later than the original (value present)
   invalid_input, // malformed graph/options (maps invalid_input_error)
   infeasible,    // optimization model has no solution (infeasible_error)
   capacity,      // grid/storage budget exceeded (capacity_error)
@@ -33,6 +35,7 @@ enum class status {
     case status::ok: return "ok";
     case status::time_limit: return "time_limit";
     case status::cancelled: return "cancelled";
+    case status::degraded: return "degraded";
     case status::invalid_input: return "invalid_input";
     case status::infeasible: return "infeasible";
     case status::capacity: return "capacity";

@@ -44,6 +44,12 @@ std::string cache_key::digest() const {
 
 cache_key make_cache_key(const assay::sequencing_graph& graph,
                          const pipeline_options& o) {
+  return make_cache_key(graph, o, std::string());
+}
+
+cache_key make_cache_key(const assay::sequencing_graph& graph,
+                         const pipeline_options& o,
+                         const std::string& scenario) {
   std::ostringstream out;
   out << "transtore.key.v1\n";
 
@@ -94,6 +100,9 @@ cache_key make_cache_key(const assay::sequencing_graph& graph,
   // renders them exact, but the key must never rely on lossy formatting.
   out << "objective alpha=" << exact(o.alpha) << " beta=" << exact(o.beta)
       << "\n";
+  // Appended only when present: the empty-scenario key is byte-identical
+  // to the plain two-argument key (existing digests and disk files hold).
+  if (!scenario.empty()) out << "scenario " << scenario << "\n";
 
   cache_key key;
   key.canonical = out.str();
@@ -209,6 +218,42 @@ void result_cache::abort_flight(const cache_key& key) {
   flight_done_.notify_all();
 }
 
+std::optional<result_cache::negative_entry> result_cache::lookup_negative(
+    const cache_key& key) {
+  std::lock_guard<std::mutex> guard(lock_);
+  const auto it = negative_index_.find(key.canonical);
+  if (it == negative_index_.end() || it->second->identity != key.identity)
+    return std::nullopt;
+  ++stats_.negative_hits;
+  negative_order_.splice(negative_order_.begin(), negative_order_,
+                         it->second);
+  return it->second->value;
+}
+
+void result_cache::store_negative(const cache_key& key, negative_entry e) {
+  if (e.code != status::infeasible && e.code != status::invalid_input)
+    return; // only structural failures are deterministic for the key
+  std::lock_guard<std::mutex> guard(lock_);
+  if (options_.negative_entries == 0) return;
+  ++stats_.negative_stores;
+  const auto it = negative_index_.find(key.canonical);
+  if (it != negative_index_.end()) {
+    it->second->identity = key.identity;
+    it->second->value = std::move(e);
+    negative_order_.splice(negative_order_.begin(), negative_order_,
+                           it->second);
+    return;
+  }
+  negative_order_.push_front(
+      negative_slot{key.canonical, key.identity, std::move(e)});
+  negative_index_[key.canonical] = negative_order_.begin();
+  while (negative_order_.size() > options_.negative_entries) {
+    negative_index_.erase(negative_order_.back().canonical);
+    negative_order_.pop_back();
+    ++stats_.negative_evictions;
+  }
+}
+
 cache_stats result_cache::stats() const {
   std::lock_guard<std::mutex> guard(lock_);
   return stats_;
@@ -305,20 +350,27 @@ void result_cache::disk_store(const cache_key& key, const entry& e) {
       path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
       std::to_string(static_cast<unsigned long long>(
           std::hash<std::thread::id>{}(std::this_thread::get_id())));
+  // FILE* instead of ofstream: the bytes must be fsync'd to stable storage
+  // *before* the rename publishes the file, or a crash between rename and
+  // writeback could leave a truncated document under the final name (the
+  // rename can survive a crash that the data does not). A failed fsync is
+  // treated like a failed write: the temp file is discarded and the store
+  // becomes a recorded disk error, never a corrupt published entry.
   {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    std::FILE* out = std::fopen(tmp.c_str(), "wb");
     if (!out) {
       std::lock_guard<std::mutex> guard(lock_);
       ++stats_.disk_errors;
       return;
     }
-    out << *e.document << "\n";
-    // Flush and re-check before the rename publishes the file: a full disk
-    // often only surfaces at the final flush, and renaming then would
-    // publish a truncated document.
-    out.flush();
-    out.close();
-    if (!out.good()) {
+    const std::string& doc = *e.document;
+    const bool wrote =
+        std::fwrite(doc.data(), 1, doc.size(), out) == doc.size() &&
+        std::fputc('\n', out) != EOF;
+    const bool synced =
+        wrote && std::fflush(out) == 0 && ::fsync(::fileno(out)) == 0;
+    const bool closed = std::fclose(out) == 0;
+    if (!wrote || !synced || !closed) {
       std::lock_guard<std::mutex> guard(lock_);
       ++stats_.disk_errors;
       fs::remove(tmp, ec);

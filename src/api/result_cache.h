@@ -69,12 +69,23 @@ struct cache_key {
 [[nodiscard]] cache_key make_cache_key(const assay::sequencing_graph& graph,
                                        const pipeline_options& options);
 
+/// Same key extended by a scenario tag (e.g. a fault-recovery scenario's
+/// canonical description). An empty tag yields exactly the plain key, so
+/// pre-existing keys and disk files stay stable.
+[[nodiscard]] cache_key make_cache_key(const assay::sequencing_graph& graph,
+                                       const pipeline_options& options,
+                                       const std::string& scenario);
+
 struct result_cache_options {
   /// Entries held by the in-memory LRU tier.
   std::size_t memory_entries = 64;
   /// Directory of the on-disk tier; empty disables it. Created on first
   /// store if missing.
   std::string disk_dir;
+  /// Entries held by the (memory-only) negative tier: structurally failed
+  /// outcomes (infeasible / invalid_input) that are deterministic for the
+  /// key and therefore pointless to re-solve. 0 disables negative caching.
+  std::size_t negative_entries = 256;
 };
 
 struct cache_stats {
@@ -87,6 +98,11 @@ struct cache_stats {
   /// Disk entries that could not be read, parsed, or key-verified (treated
   /// as misses).
   std::uint64_t disk_errors = 0;
+  /// Negative tier (counted separately from the positive tiers above;
+  /// negative probes do not touch `lookups`/`misses`).
+  std::uint64_t negative_hits = 0;
+  std::uint64_t negative_stores = 0;
+  std::uint64_t negative_evictions = 0;
 };
 
 class result_cache {
@@ -132,6 +148,23 @@ public:
   /// waiting caller inherits leadership.
   void abort_flight(const cache_key& key);
 
+  /// A cached structural failure: the status and message the solver is
+  /// guaranteed to reproduce for this key.
+  struct negative_entry {
+    status code = status::infeasible;
+    std::string message;
+  };
+
+  /// Probe the negative tier (memory-only, bounded, LRU). Not part of the
+  /// single-flight protocol: callers probe before lookup_or_lead.
+  [[nodiscard]] std::optional<negative_entry> lookup_negative(
+      const cache_key& key);
+
+  /// Record a structural failure for this key. Only infeasible and
+  /// invalid_input outcomes are accepted (anything else is dropped --
+  /// time_limit/cancelled/internal are not deterministic for the key).
+  void store_negative(const cache_key& key, negative_entry e);
+
   [[nodiscard]] cache_stats stats() const;
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] const result_cache_options& options() const {
@@ -153,10 +186,19 @@ private:
   void disk_store(const cache_key& key, const entry& e);
   [[nodiscard]] std::string disk_path(const cache_key& key) const;
 
+  struct negative_slot {
+    std::string canonical;
+    std::string identity;
+    negative_entry value;
+  };
+  using negative_list = std::list<negative_slot>;
+
   result_cache_options options_;
   mutable std::mutex lock_;
   lru_list order_; // front = most recent
   std::unordered_map<std::string, lru_list::iterator> index_; // by canonical
+  negative_list negative_order_; // front = most recent
+  std::unordered_map<std::string, negative_list::iterator> negative_index_;
   std::unordered_set<std::string> inflight_; // keys being solved by a leader
   std::condition_variable flight_done_;
   cache_stats stats_;

@@ -117,6 +117,26 @@ namespace {
                             "\"");
 }
 
+[[nodiscard]] const char* to_string(sched::crossing_state s) {
+  switch (s) {
+    case sched::crossing_state::internal: return "internal";
+    case sched::crossing_state::delivered: return "delivered";
+    case sched::crossing_state::stored: return "stored";
+    case sched::crossing_state::pending: return "pending";
+  }
+  return "pending";
+}
+
+[[nodiscard]] sched::crossing_state crossing_state_from(
+    const std::string& name) {
+  if (name == "internal") return sched::crossing_state::internal;
+  if (name == "delivered") return sched::crossing_state::delivered;
+  if (name == "stored") return sched::crossing_state::stored;
+  if (name == "pending") return sched::crossing_state::pending;
+  throw invalid_input_error("serialize: unknown crossing state \"" + name +
+                            "\"");
+}
+
 // --------------------------------------------------------- result sections
 
 void write_scheduling(json_writer& w, const sched::scheduling_result& r) {
@@ -294,6 +314,52 @@ void write_baseline(json_writer& w, const baseline::baseline_result& b) {
   return b;
 }
 
+void write_checkpoint_state(json_writer& w, const sim::checkpoint& cp) {
+  w.begin_object();
+  w.key("faults");
+  arch::write_fault_set(w, cp.faults);
+  w.field("fault_time", cp.fault_time);
+  auto ints = [&w](const std::string& key, const std::vector<int>& values) {
+    w.begin_array(key);
+    for (int v : values) w.value(v);
+    w.end_array();
+  };
+  ints("completed", cp.completed);
+  ints("in_flight", cp.in_flight);
+  w.begin_array("fluids");
+  for (const sim::fluid_position& fp : cp.fluids) {
+    w.begin_object();
+    w.field("transfer", fp.transfer_index);
+    w.field("state", to_string(fp.state));
+    w.field("chip_edge", fp.chip_edge);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+[[nodiscard]] sim::checkpoint checkpoint_state_from_value(
+    const json_value& v) {
+  sim::checkpoint cp;
+  cp.faults = arch::fault_set_from_value(v.at("faults"));
+  cp.fault_time = v.at("fault_time").as_int();
+  auto ints = [&v](const char* key) {
+    std::vector<int> out;
+    for (const json_value& e : v.at(key).elements()) out.push_back(e.as_int());
+    return out;
+  };
+  cp.completed = ints("completed");
+  cp.in_flight = ints("in_flight");
+  for (const json_value& f : v.at("fluids").elements()) {
+    sim::fluid_position fp;
+    fp.transfer_index = f.at("transfer").as_int();
+    fp.state = crossing_state_from(f.at("state").as_string());
+    fp.chip_edge = f.at("chip_edge").as_int();
+    cp.fluids.push_back(fp);
+  }
+  return cp;
+}
+
 // ------------------------------------------------------- document plumbing
 
 void write_header(json_writer& w, const char* kind,
@@ -412,6 +478,18 @@ void write_options(json_writer& w, const pipeline_options& o) {
   w.field("storage_length", o.physical.storage_length);
   w.field("run_baseline", o.run_baseline);
   w.field("verify", o.verify);
+  // Fault keys are emitted only when present so documents (and cache keys)
+  // of healthy runs are byte-identical to the pre-fault format.
+  auto fault_ints = [&w](const char* key, const std::vector<int>& values) {
+    if (values.empty()) return;
+    w.begin_array(key);
+    for (int v : values) w.value(v);
+    w.end_array();
+  };
+  fault_ints("fault_devices", o.faults.devices);
+  fault_ints("fault_valves", o.faults.valves);
+  fault_ints("fault_edges", o.faults.edges);
+  fault_ints("fault_storage", o.faults.storage);
   // Seeds above 2^53 would lose precision as JSON numbers; emit those as
   // decimal strings (the reader accepts both forms).
   if (o.seed <= (std::uint64_t{1} << 53))
@@ -457,6 +535,15 @@ pipeline_options options_from_value(const json_value& v,
       o.physical.storage_length = value.as_int();
     else if (key == "run_baseline") o.run_baseline = value.as_bool();
     else if (key == "verify") o.verify = value.as_bool();
+    else if (key == "fault_devices" || key == "fault_valves" ||
+             key == "fault_edges" || key == "fault_storage") {
+      std::vector<int> ids;
+      for (const json_value& e : value.elements()) ids.push_back(e.as_int());
+      if (key == "fault_devices") o.faults.devices = std::move(ids);
+      else if (key == "fault_valves") o.faults.valves = std::move(ids);
+      else if (key == "fault_edges") o.faults.edges = std::move(ids);
+      else o.faults.storage = std::move(ids);
+    }
     else if (key == "seed") {
       if (value.is_string()) {
         // from_chars keeps malformed/negative seeds in the ts_error
@@ -536,6 +623,60 @@ result<flow_document> deserialize_flow(const std::string& text) {
     return result<flow_document>::success(std::move(out));
   } catch (...) {
     return failure_from_current_exception<flow_document>();
+  }
+}
+
+// ----------------------------------------------------- checkpoint documents
+
+std::string serialize_checkpoint(const assay::sequencing_graph& graph,
+                                 const pipeline_options& options,
+                                 const flow_result& flow,
+                                 const sim::checkpoint& state) {
+  json_writer w;
+  w.begin_object();
+  write_header(w, "checkpoint", graph, options);
+  w.key("scheduling");
+  write_scheduling(w, flow.scheduling);
+  w.key("architecture");
+  write_architecture(w, flow.architecture);
+  w.key("layout");
+  write_layout(w, flow.layout);
+  if (flow.stats) {
+    w.key("stats");
+    write_stats(w, *flow.stats);
+  }
+  if (flow.baseline) {
+    w.key("baseline");
+    write_baseline(w, *flow.baseline);
+  }
+  w.field_exact("total_seconds", flow.total_seconds);
+  w.key("checkpoint");
+  write_checkpoint_state(w, state);
+  w.end_object();
+  return w.str();
+}
+
+result<checkpoint_document> deserialize_checkpoint(const std::string& text) {
+  try {
+    const json_value doc = parse_document(text, "checkpoint");
+    checkpoint_document out;
+    out.graph = graph_from_value(doc.at("graph"));
+    out.options = options_from_value(doc.at("options"));
+    out.flow.scheduling = scheduling_from_value(doc.at("scheduling"));
+    out.flow.scheduling.best.validate(out.graph);
+    out.flow.architecture = architecture_from_value(
+        doc.at("architecture"), out.flow.scheduling.best);
+    out.flow.architecture.result.validate(out.flow.architecture.workload);
+    out.flow.layout = layout_from_value(doc.at("layout"));
+    if (const json_value* stats = doc.find("stats"))
+      out.flow.stats = stats_from_value(*stats);
+    if (const json_value* baseline = doc.find("baseline"))
+      out.flow.baseline = baseline_from_value(*baseline);
+    out.flow.total_seconds = doc.at("total_seconds").as_double();
+    out.state = checkpoint_state_from_value(doc.at("checkpoint"));
+    return result<checkpoint_document>::success(std::move(out));
+  } catch (...) {
+    return failure_from_current_exception<checkpoint_document>();
   }
 }
 

@@ -25,6 +25,7 @@
 #include "api/pipeline.h"
 #include "api/result.h"
 #include "common/json.h"
+#include "sim/fault_injector.h"
 
 namespace transtore::api {
 
@@ -60,6 +61,25 @@ struct flow_document {
                                          const pipeline_options& options,
                                          const flow_result& flow);
 [[nodiscard]] result<flow_document> deserialize_flow(const std::string& text);
+
+// ----------------------------------------------------- checkpoint documents
+
+/// A deserialized checkpoint document: the faulted run's identity, its
+/// original (pre-fault) result, and the frozen execution state at the fault
+/// time. api::recover resumes from this in any process -- the
+/// cross-process analogue of handing recover() the in-memory pieces.
+struct checkpoint_document {
+  assay::sequencing_graph graph;
+  pipeline_options options;
+  flow_result flow;
+  sim::checkpoint state;
+};
+
+[[nodiscard]] std::string serialize_checkpoint(
+    const assay::sequencing_graph& graph, const pipeline_options& options,
+    const flow_result& flow, const sim::checkpoint& state);
+[[nodiscard]] result<checkpoint_document> deserialize_checkpoint(
+    const std::string& text);
 
 // ---------------------------------------------------------- stage documents
 

@@ -1,0 +1,86 @@
+// Hardware fault model for flow-based chips (after Su & Chakrabarty's
+// fault-tolerant reconfiguration framing).
+//
+// A fault_set names the resources that have failed on a physical chip:
+//
+//   * devices -- operation devices (mixers) that can no longer execute
+//                operations. Failed devices are excluded at the scheduling
+//                level only; their grid nodes stay routable so that legs
+//                already executed before the failure remain representable.
+//   * valves  -- grid switch nodes that stick closed. A failed valve bans
+//                its node and every incident channel segment.
+//   * edges   -- channel segments that clog. A failed segment can neither
+//                carry transport paths nor cache a sample.
+//   * storage -- channel segments whose caching is unreliable but that
+//                still pass fluid (storage-only bans).
+//
+// The set is grid-specific: valve/edge/storage ids index one concrete
+// connection grid. Recovery on a replacement (grown) grid therefore clears
+// them and keeps only the device exclusions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/connection_grid.h"
+#include "common/json.h"
+
+namespace transtore::arch {
+
+struct fault_set {
+  std::vector<int> devices;
+  std::vector<int> valves;
+  std::vector<int> edges;
+  std::vector<int> storage;
+
+  [[nodiscard]] bool empty() const {
+    return devices.empty() && valves.empty() && edges.empty() &&
+           storage.empty();
+  }
+
+  /// Sort and deduplicate every list (canonical form for serialization
+  /// and cache keys).
+  void normalize();
+
+  /// Throws invalid_input_error when any id is out of range for the given
+  /// grid / device count. Call after normalize().
+  void validate(const connection_grid& grid, int device_count) const;
+
+  friend bool operator==(const fault_set&, const fault_set&) = default;
+};
+
+/// node_count-sized map of grid nodes banned for placement and routing
+/// (the failed valves).
+[[nodiscard]] std::vector<bool> banned_node_map(const fault_set& faults,
+                                                const connection_grid& grid);
+
+/// edge_count-sized map of segments banned for transport: failed segments
+/// plus every segment incident to a failed valve.
+[[nodiscard]] std::vector<bool> banned_edge_map(const fault_set& faults,
+                                                const connection_grid& grid);
+
+/// edge_count-sized map of segments banned for caching: the transport bans
+/// plus the storage-only failures.
+[[nodiscard]] std::vector<bool> banned_storage_map(const fault_set& faults,
+                                                   const connection_grid& grid);
+
+/// Version stamp of the fault document layout.
+inline constexpr int fault_format_version = 1;
+
+/// Write the fault set as one JSON object through `w` (positioned where a
+/// value is expected) -- for embedding into larger documents.
+void write_fault_set(json_writer& w, const fault_set& f);
+
+/// Standalone document: {"format":1,"kind":"faults",...}.
+[[nodiscard]] std::string serialize(const fault_set& f);
+
+/// Reconstruct a fault set from a parsed value (the object written by
+/// write_fault_set). Range validation is deferred to fault_set::validate
+/// since the grid is not known here. Throws invalid_input_error on
+/// malformed input.
+[[nodiscard]] fault_set fault_set_from_value(const json_value& v);
+
+/// Reconstruct from a standalone document string.
+[[nodiscard]] fault_set fault_set_from_json(const std::string& text);
+
+} // namespace transtore::arch

@@ -62,6 +62,31 @@ ilp_synthesis_result synthesize_with_ilp(const connection_grid& grid,
           "synthesize_with_ilp: placement size mismatch");
   const int num_edges = grid.edge_count();
   const int num_nodes = grid.node_count();
+  require(options.banned_nodes.empty() ||
+              static_cast<int>(options.banned_nodes.size()) == num_nodes,
+          "synthesize_with_ilp: banned_nodes size mismatch");
+  require(options.banned_edges.empty() ||
+              static_cast<int>(options.banned_edges.size()) == num_edges,
+          "synthesize_with_ilp: banned_edges size mismatch");
+  require(options.banned_storage.empty() ||
+              static_cast<int>(options.banned_storage.size()) == num_edges,
+          "synthesize_with_ilp: banned_storage size mismatch");
+  auto node_banned = [&](int n) {
+    return !options.banned_nodes.empty() &&
+           options.banned_nodes[static_cast<std::size_t>(n)];
+  };
+  auto edge_banned = [&](int e) {
+    if (!options.banned_edges.empty() &&
+        options.banned_edges[static_cast<std::size_t>(e)])
+      return true;
+    const auto [u, v] = grid.endpoints(e);
+    return node_banned(u) || node_banned(v);
+  };
+  auto storage_banned = [&](int e) {
+    return edge_banned(e) ||
+           (!options.banned_storage.empty() &&
+            options.banned_storage[static_cast<std::size_t>(e)]);
+  };
   std::vector<int> device_at_node(static_cast<std::size_t>(num_nodes), -1);
   for (std::size_t d = 0; d < device_nodes.size(); ++d)
     device_at_node[static_cast<std::size_t>(device_nodes[d])] =
@@ -95,6 +120,7 @@ ilp_synthesis_result synthesize_with_ilp(const connection_grid& grid,
     const int src = terminal_source(task);
     const int dst = terminal_target(task);
     for (int e = 0; e < num_edges; ++e) {
+      if (edge_banned(e)) continue; // faulted segment or valve
       const auto [u, v] = grid.endpoints(e);
       auto allowed_node = [&](int n) {
         const int dev = device_at_node[static_cast<std::size_t>(n)];
@@ -157,6 +183,7 @@ ilp_synthesis_result synthesize_with_ilp(const connection_grid& grid,
     // segment so the incumbent stays representable).
     std::vector<int> ranked;
     for (int e = 0; e < num_edges; ++e) {
+      if (storage_banned(e)) continue;
       const auto [u, v] = grid.endpoints(e);
       const bool u_dev = device_at_node[static_cast<std::size_t>(u)] >= 0;
       const bool v_dev = device_at_node[static_cast<std::size_t>(v)] >= 0;

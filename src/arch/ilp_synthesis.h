@@ -23,6 +23,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "arch/chip.h"
 #include "milp/solver.h"
@@ -39,6 +40,12 @@ struct ilp_synthesis_options {
   bool log_progress = false;
   /// Cooperative cancellation, forwarded to the MILP solver.
   cancel_token cancel;
+  /// Faulted resources (see arch/fault.h): no arc variables are created on
+  /// banned nodes/edges and banned storage segments are never candidates.
+  /// Empty = no bans; otherwise sized node_count / edge_count / edge_count.
+  std::vector<bool> banned_nodes;
+  std::vector<bool> banned_edges;
+  std::vector<bool> banned_storage;
 };
 
 struct ilp_synthesis_result {

@@ -75,8 +75,20 @@ std::vector<int> place_devices(const connection_grid& grid,
                                const placement_options& options) {
   const int devices = workload.device_count;
   require(devices > 0, "place_devices: no devices");
-  if (devices > grid.node_count())
-    throw capacity_error("place_devices: grid smaller than device count");
+  require(options.banned_nodes.empty() ||
+              static_cast<int>(options.banned_nodes.size()) ==
+                  grid.node_count(),
+          "place_devices: banned_nodes size mismatch");
+  auto banned = [&](int n) {
+    return !options.banned_nodes.empty() &&
+           options.banned_nodes[static_cast<std::size_t>(n)];
+  };
+  int free_nodes = 0;
+  for (int n = 0; n < grid.node_count(); ++n)
+    if (!banned(n)) ++free_nodes;
+  if (devices > free_nodes)
+    throw capacity_error(
+        "place_devices: grid has fewer usable nodes than devices");
 
   prng rng(options.seed);
 
@@ -86,7 +98,9 @@ std::vector<int> place_devices(const connection_grid& grid,
   std::vector<int> boundary;
   for (int y = 0; y < grid.height(); ++y)
     for (int x = 0; x < grid.width(); ++x)
-      if (x == 0 || y == 0 || x == grid.width() - 1 || y == grid.height() - 1)
+      if ((x == 0 || y == 0 || x == grid.width() - 1 ||
+           y == grid.height() - 1) &&
+          !banned(grid.node_at(x, y)))
         boundary.push_back(grid.node_at(x, y));
   std::vector<int> nodes;
   if (devices <= static_cast<int>(boundary.size())) {
@@ -101,7 +115,7 @@ std::vector<int> place_devices(const connection_grid& grid,
   for (int n = 0; static_cast<int>(nodes.size()) < devices &&
                   n < grid.node_count();
        ++n)
-    if (std::find(nodes.begin(), nodes.end(), n) == nodes.end())
+    if (!banned(n) && std::find(nodes.begin(), nodes.end(), n) == nodes.end())
       nodes.push_back(n);
   nodes.resize(static_cast<std::size_t>(devices));
 
@@ -131,7 +145,8 @@ std::vector<int> place_devices(const connection_grid& grid,
     } else {
       const int target =
           static_cast<int>(rng.index(static_cast<std::size_t>(grid.node_count())));
-      if (occupied[static_cast<std::size_t>(target)]) continue;
+      if (occupied[static_cast<std::size_t>(target)] || banned(target))
+        continue;
       candidate[static_cast<std::size_t>(d)] = target;
     }
     const long candidate_cost = placement_cost(grid, workload, candidate);

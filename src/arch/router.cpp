@@ -200,6 +200,36 @@ chip route_workload(const connection_grid& grid,
     device_at_node[static_cast<std::size_t>(device_nodes[d])] =
         static_cast<int>(d);
 
+  // Faulted resources are modelled as permanent reservations, so the path
+  // finder avoids them without any special casing. Storage-only bans are
+  // checked at segment selection below (a ban must also veto empty holds,
+  // which never conflict with reservations).
+  const time_interval forever{0, 1 << 30};
+  if (!options.banned_nodes.empty()) {
+    require(static_cast<int>(options.banned_nodes.size()) ==
+                grid.node_count(),
+            "route_workload: banned_nodes size mismatch");
+    for (int n = 0; n < grid.node_count(); ++n)
+      if (options.banned_nodes[static_cast<std::size_t>(n)])
+        occ.reserve_node(n, forever);
+  }
+  if (!options.banned_edges.empty()) {
+    require(static_cast<int>(options.banned_edges.size()) ==
+                grid.edge_count(),
+            "route_workload: banned_edges size mismatch");
+    for (int e = 0; e < grid.edge_count(); ++e)
+      if (options.banned_edges[static_cast<std::size_t>(e)])
+        occ.reserve_edge(e, forever);
+  }
+  require(options.banned_storage.empty() ||
+              static_cast<int>(options.banned_storage.size()) ==
+                  grid.edge_count(),
+          "route_workload: banned_storage size mismatch");
+  auto storage_banned = [&](int e) {
+    return !options.banned_storage.empty() &&
+           options.banned_storage[static_cast<std::size_t>(e)];
+  };
+
   path_finder finder(grid, occ, device_at_node, used, options);
 
   result.paths.resize(workload.tasks.size());
@@ -252,6 +282,7 @@ chip route_workload(const connection_grid& grid,
     // "on-the-spot caching ... closer to the target device").
     std::vector<int> candidates;
     for (int e = 0; e < grid.edge_count(); ++e) {
+      if (storage_banned(e)) continue;
       if (!occ.edge_free(e, task.window) || !occ.edge_free(e, cache.hold) ||
           !occ.edge_free(e, fetch_task.window))
         continue;

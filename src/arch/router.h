@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "arch/chip.h"
 
@@ -26,6 +27,12 @@ struct router_options {
   double new_edge_cost = 1.0;  // cost of claiming an untouched segment
   double reuse_cost = 0.4;     // cost of reusing an already-claimed segment
   int candidate_segments = 32; // storage segments tried per cache
+  /// Faulted resources (see arch/fault.h): banned nodes/edges carry no
+  /// path, banned storage segments cache no sample. Empty = no bans;
+  /// otherwise sized node_count / edge_count / edge_count.
+  std::vector<bool> banned_nodes;
+  std::vector<bool> banned_edges;
+  std::vector<bool> banned_storage;
 };
 
 /// Route every task of the workload on `grid` with devices at

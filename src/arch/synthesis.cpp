@@ -15,6 +15,24 @@ arch_result synthesize_architecture(const sched::schedule& s,
   const connection_grid grid(options.grid_width, options.grid_height);
   routing_workload workload = derive_workload(s);
 
+  fault_set faults = options.faults;
+  faults.normalize();
+  faults.validate(grid, workload.device_count);
+  const std::vector<bool> banned_nodes =
+      faults.empty() ? std::vector<bool>{} : banned_node_map(faults, grid);
+  const std::vector<bool> banned_edges =
+      faults.empty() ? std::vector<bool>{} : banned_edge_map(faults, grid);
+  const std::vector<bool> banned_storage =
+      faults.empty() ? std::vector<bool>{} : banned_storage_map(faults, grid);
+  if (options.fixed_placement) {
+    require(static_cast<int>(options.fixed_placement->size()) ==
+                workload.device_count,
+            "synthesize_architecture: fixed placement size mismatch");
+    for (int node : *options.fixed_placement)
+      require(node >= 0 && node < grid.node_count(),
+              "synthesize_architecture: fixed placement node out of range");
+  }
+
   std::optional<chip> routed;
   int attempts_used = 0;
   bool interrupted = false;
@@ -30,16 +48,25 @@ arch_result synthesize_architecture(const sched::schedule& s,
     ++attempts_used;
     placement_options p = options.placement;
     p.seed = options.placement.seed + static_cast<std::uint64_t>(attempt);
+    p.banned_nodes = banned_nodes;
     router_options r = options.router;
     r.seed = options.router.seed + static_cast<std::uint64_t>(attempt);
+    r.banned_nodes = banned_nodes;
+    r.banned_edges = banned_edges;
+    r.banned_storage = banned_storage;
     try {
-      const std::vector<int> nodes = place_devices(grid, workload, p);
+      const std::vector<int> nodes = options.fixed_placement
+                                         ? *options.fixed_placement
+                                         : place_devices(grid, workload, p);
       routed = route_workload(grid, workload, nodes, r);
     } catch (const capacity_error& e) {
       last_error = e.what();
       log_at(log_level::info, "arch: attempt ", attempt + 1, " failed: ",
              e.what());
     }
+    // With a pinned placement every attempt is identical; retrying cannot
+    // succeed where the first attempt failed.
+    if (options.fixed_placement && !routed) break;
   }
   if (!routed) {
     if (interrupted)
@@ -60,6 +87,9 @@ arch_result synthesize_architecture(const sched::schedule& s,
     ilp_synthesis_options io = options.ilp;
     io.warm_start = *routed;
     io.cancel = options.cancel;
+    io.banned_nodes = banned_nodes;
+    io.banned_edges = banned_edges;
+    io.banned_storage = banned_storage;
     // Clamp to the remaining stage budget (1ms floor); a configured limit
     // of 0 ("uncapped") becomes exactly the remaining budget.
     if (options.time_budget_seconds > 0.0) {

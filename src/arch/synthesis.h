@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "arch/fault.h"
 #include "arch/ilp_synthesis.h"
 #include "arch/placement.h"
 #include "arch/router.h"
@@ -35,6 +36,13 @@ struct arch_options {
   /// afterwards the routed chip is returned as-is.
   double time_budget_seconds = 0.0;
   cancel_token cancel;
+  /// Faulted resources on this grid (valves/segments/storage; device
+  /// exclusions are a scheduling concern and ignored here). The derived
+  /// ban maps are copied into the placement, router, and ILP options.
+  fault_set faults;
+  /// Pin every device to the given grid node (skips placement); used by
+  /// fault recovery to keep the executed prefix's geometry valid.
+  std::optional<std::vector<int>> fixed_placement;
 };
 
 struct arch_result {

@@ -19,6 +19,7 @@ flow_result run_flow(const assay::sequencing_graph& graph,
     case api::status::time_limit:
     case api::status::cancelled: throw cancelled_error(outcome.message());
     case api::status::ok:
+    case api::status::degraded: // produced only by api::recover, never here
     case api::status::internal:
     case api::status::queue_full: break; // queue_full never reaches the shim
   }

@@ -1,0 +1,268 @@
+#include "sched/splice.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/prng.h"
+#include "common/stopwatch.h"
+
+namespace transtore::sched {
+namespace {
+
+/// Longest execution-time path from each op to any sink (inclusive) --
+/// the same priority the list scheduler uses.
+std::vector<int> remaining_path(const assay::sequencing_graph& graph) {
+  std::vector<int> order = graph.topological_order();
+  std::vector<int> path(static_cast<std::size_t>(graph.operation_count()), 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int best = 0;
+    for (int child : graph.children(*it))
+      best = std::max(best, path[static_cast<std::size_t>(child)]);
+    path[static_cast<std::size_t>(*it)] = best + graph.at(*it).duration;
+  }
+  return path;
+}
+
+} // namespace
+
+crossing_state classify_crossing(const schedule& s, const edge_transfer& tr,
+                                 int fault_time) {
+  if (s.ops[static_cast<std::size_t>(tr.target_op)].start < fault_time)
+    return crossing_state::internal;
+  switch (tr.kind) {
+    case transfer_kind::handoff:
+      return crossing_state::pending;
+    case transfer_kind::direct:
+      return s.legs[static_cast<std::size_t>(tr.direct_leg)].window.begin <
+                     fault_time
+                 ? crossing_state::delivered
+                 : crossing_state::pending;
+    case transfer_kind::cached:
+      if (s.legs[static_cast<std::size_t>(tr.fetch_leg)].window.begin <
+          fault_time)
+        return crossing_state::delivered;
+      if (s.legs[static_cast<std::size_t>(tr.store_leg)].window.begin <
+          fault_time)
+        return crossing_state::stored;
+      return crossing_state::pending;
+  }
+  return crossing_state::pending;
+}
+
+std::optional<std::string> blocking_resource(
+    const assay::sequencing_graph& graph, const schedule& original,
+    int fault_time, const std::vector<bool>& failed_devices) {
+  (void)graph;
+  if (failed_devices.empty()) return std::nullopt;
+  auto dev_failed = [&](int d) {
+    return d >= 0 && d < static_cast<int>(failed_devices.size()) &&
+           failed_devices[static_cast<std::size_t>(d)];
+  };
+
+  int healthy = 0;
+  for (int d = 0; d < original.device_count; ++d)
+    if (!dev_failed(d)) ++healthy;
+  bool has_remainder = false;
+  for (const scheduled_op& so : original.ops) {
+    if (so.start >= fault_time) has_remainder = true;
+    if (so.start < fault_time && so.end > fault_time && dev_failed(so.device))
+      return "operation " + std::to_string(so.op) +
+             " is in flight on failed device " + std::to_string(so.device);
+  }
+  if (has_remainder && healthy == 0) return std::string("every device failed");
+
+  for (const edge_transfer& tr : original.transfers) {
+    const scheduled_op& producer =
+        original.ops[static_cast<std::size_t>(tr.source_op)];
+    const scheduled_op& consumer =
+        original.ops[static_cast<std::size_t>(tr.target_op)];
+    const crossing_state cls = classify_crossing(original, tr, fault_time);
+    if (cls == crossing_state::pending && producer.start < fault_time &&
+        dev_failed(producer.device))
+      return "result of operation " + std::to_string(tr.source_op) +
+             " is trapped in failed device " + std::to_string(producer.device);
+    if (cls == crossing_state::delivered && dev_failed(consumer.device))
+      return "input of operation " + std::to_string(tr.target_op) +
+             " was already delivered to failed device " +
+             std::to_string(consumer.device);
+  }
+  return std::nullopt;
+}
+
+splice_result splice_schedule(const assay::sequencing_graph& graph,
+                              const schedule& original, int fault_time,
+                              const splice_options& options) {
+  graph.validate();
+  const int n = graph.operation_count();
+  require(static_cast<int>(original.ops.size()) == n,
+          "splice_schedule: schedule/graph op count mismatch");
+  require(options.device_count == original.device_count,
+          "splice_schedule: device count mismatch");
+  require(options.timing.transport_time == original.transport_time,
+          "splice_schedule: transport time mismatch");
+  require(options.restarts >= 1, "splice_schedule: need at least one restart");
+  require(fault_time >= 0, "splice_schedule: fault time must be >= 0");
+  require(options.failed_devices.empty() ||
+              static_cast<int>(options.failed_devices.size()) ==
+                  options.device_count,
+          "splice_schedule: failed_devices size mismatch");
+
+  if (const auto blocked = blocking_resource(graph, original, fault_time,
+                                             options.failed_devices))
+    throw infeasible_error("splice_schedule: " + *blocked);
+
+  splice_result out;
+  for (int op = 0; op < n; ++op) {
+    if (original.ops[static_cast<std::size_t>(op)].start < fault_time)
+      out.prefix_ops.push_back(op);
+    else
+      out.remainder_ops.push_back(op);
+  }
+  if (out.remainder_ops.empty()) {
+    out.spliced = original;
+    return out;
+  }
+
+  auto dev_failed = [&](int d) {
+    return !options.failed_devices.empty() &&
+           options.failed_devices[static_cast<std::size_t>(d)];
+  };
+
+  // Classify every edge and derive which original legs survive verbatim
+  // and which consumers are pinned (their operand already arrived at the
+  // original device).
+  std::vector<crossing_state> cls(original.transfers.size());
+  std::vector<bool> keep_leg(original.legs.size(), false);
+  std::vector<int> pinned(static_cast<std::size_t>(n), -1);
+  for (std::size_t i = 0; i < original.transfers.size(); ++i) {
+    const edge_transfer& tr = original.transfers[i];
+    cls[i] = classify_crossing(original, tr, fault_time);
+    if (cls[i] != crossing_state::internal && cls[i] != crossing_state::delivered)
+      continue;
+    if (tr.kind == transfer_kind::cached) {
+      keep_leg[static_cast<std::size_t>(tr.store_leg)] = true;
+      keep_leg[static_cast<std::size_t>(tr.fetch_leg)] = true;
+    } else if (tr.kind == transfer_kind::direct) {
+      keep_leg[static_cast<std::size_t>(tr.direct_leg)] = true;
+    }
+    if (cls[i] == crossing_state::delivered)
+      pinned[static_cast<std::size_t>(tr.target_op)] =
+          original.ops[static_cast<std::size_t>(tr.target_op)].device;
+  }
+  for (std::size_t i = 0; i < original.legs.size(); ++i)
+    if (original.legs[i].kind == leg_kind::reagent &&
+        original.legs[i].target_op >= 0 &&
+        original.ops[static_cast<std::size_t>(original.legs[i].target_op)]
+                .start < fault_time)
+      keep_leg[i] = true;
+
+  // Prefix ops in (start, id) order: precedence guarantees every parent
+  // starts strictly before its child, so parents seed first.
+  std::vector<int> seed_order = out.prefix_ops;
+  std::sort(seed_order.begin(), seed_order.end(), [&](int a, int b) {
+    const int sa = original.ops[static_cast<std::size_t>(a)].start;
+    const int sb = original.ops[static_cast<std::size_t>(b)].start;
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+
+  auto seeded_builder = [&]() {
+    timeline_builder builder(graph, options.device_count, options.timing);
+    for (int op : seed_order) {
+      const scheduled_op& so = original.ops[static_cast<std::size_t>(op)];
+      builder.seed_operation(op, so.device, so.start, so.end);
+    }
+    std::vector<int> leg_map(original.legs.size(), -1);
+    for (std::size_t i = 0; i < original.legs.size(); ++i)
+      if (keep_leg[i])
+        leg_map[i] = builder.seed_leg(original.legs[i]);
+    for (std::size_t i = 0; i < original.transfers.size(); ++i) {
+      const edge_transfer& tr = original.transfers[i];
+      if (cls[i] == crossing_state::internal || cls[i] == crossing_state::delivered) {
+        edge_transfer copy = tr;
+        if (copy.store_leg >= 0)
+          copy.store_leg = leg_map[static_cast<std::size_t>(copy.store_leg)];
+        if (copy.fetch_leg >= 0)
+          copy.fetch_leg = leg_map[static_cast<std::size_t>(copy.fetch_leg)];
+        if (copy.direct_leg >= 0)
+          copy.direct_leg = leg_map[static_cast<std::size_t>(copy.direct_leg)];
+        builder.seed_transfer(copy);
+      } else if (cls[i] == crossing_state::stored) {
+        builder.seed_pending_out(
+            tr.source_op, tr.target_op,
+            original.legs[static_cast<std::size_t>(tr.store_leg)].window);
+      }
+    }
+    builder.floor_ports(fault_time);
+    return builder;
+  };
+
+  const std::vector<int> priority = remaining_path(graph);
+  const double beta = options.storage_aware ? options.beta : 0.0;
+  prng rng(options.seed);
+
+  auto greedy_remainder = [&](double noise) {
+    timeline_builder builder = seeded_builder();
+    for (std::size_t step = 0; step < out.remainder_ops.size(); ++step) {
+      int best_op = -1;
+      int best_device = -1;
+      double best_score = std::numeric_limits<double>::infinity();
+      int best_priority = -1;
+      for (int op : out.remainder_ops) {
+        if (!builder.ready(op)) continue;
+        for (int d = 0; d < options.device_count; ++d) {
+          if (dev_failed(d)) continue;
+          if (pinned[static_cast<std::size_t>(op)] >= 0 &&
+              d != pinned[static_cast<std::size_t>(op)])
+            continue;
+          const auto placement = builder.preview(op, d);
+          double score =
+              options.alpha * placement.end +
+              beta * static_cast<double>(placement.cache_time_added);
+          if (noise > 0.0) score += rng.uniform_real(0.0, noise);
+          const int prio = priority[static_cast<std::size_t>(op)];
+          bool tie_better;
+          if (options.storage_aware)
+            tie_better = prio > best_priority ||
+                         (prio == best_priority && op < best_op);
+          else
+            tie_better = op < best_op;
+          const bool better = score < best_score - 1e-9 ||
+                              (score < best_score + 1e-9 && tie_better);
+          if (better) {
+            best_score = score;
+            best_op = op;
+            best_device = d;
+            best_priority = prio;
+          }
+        }
+      }
+      check(best_op >= 0, "splice_schedule: no placeable remainder op");
+      builder.commit(best_op, best_device);
+    }
+    return builder.build();
+  };
+
+  const double final_beta = options.storage_aware ? options.beta : 0.0;
+  schedule best;
+  double best_objective = std::numeric_limits<double>::infinity();
+  const deadline budget(options.time_budget_seconds, options.cancel);
+  for (int attempt = 0; attempt < options.restarts; ++attempt) {
+    if (attempt > 0 && budget.expired()) break;
+    const double noise = attempt == 0
+                             ? 0.0
+                             : options.timing.transport_time *
+                                   (0.5 + 2.0 * rng.uniform_real());
+    schedule candidate = greedy_remainder(noise);
+    const double objective = candidate.objective(options.alpha, final_beta);
+    if (objective < best_objective) {
+      best_objective = objective;
+      best = std::move(candidate);
+    }
+  }
+  best.validate(graph);
+  out.spliced = std::move(best);
+  return out;
+}
+
+} // namespace transtore::sched

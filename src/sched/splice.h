@@ -1,0 +1,88 @@
+// Schedule splicing for mid-assay fault recovery.
+//
+// Given a schedule that has executed up to a fault time T, splice_schedule
+// keeps the executed prefix verbatim -- every operation started before T,
+// every transport leg departed before T, every sample already parked in
+// channel storage -- and re-plans only the remaining sub-DAG on the healthy
+// devices, producing one validated schedule in which completed work is
+// never re-executed.
+//
+// The crossing state at T is classified per sequencing-graph edge:
+//
+//   * internal  -- producer and consumer both started before T: the whole
+//                  transfer is installed verbatim.
+//   * delivered -- the delivering leg (direct or fetch) departed before T:
+//                  legs and transfer are installed verbatim and the
+//                  consumer is pinned to its original device (the fluid is
+//                  already arriving there).
+//   * stored    -- the store leg departed before T but the fetch has not:
+//                  the sample sits in channel storage; the consumer's
+//                  commit re-creates the identical store leg and extends
+//                  the hold to its new fetch time (it may land on any
+//                  healthy device).
+//   * pending   -- nothing departed: the fluid is still in its producer's
+//                  mixer and the transfer is re-resolved from scratch
+//                  (including a possible re-handoff).
+//
+// Conditions no re-planning can fix (an operation in flight on a failed
+// device, a fluid trapped in or already delivered into a failed device's
+// mixer) are reported through blocking_resource() and make splice_schedule
+// throw infeasible_error naming the resource.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "assay/sequencing_graph.h"
+#include "common/interrupt.h"
+#include "sched/timing.h"
+
+namespace transtore::sched {
+
+struct splice_options {
+  int device_count = 1;
+  timing_options timing{};
+  /// Per-device failure map (empty = no failed devices). Failed devices
+  /// receive no remainder operations.
+  std::vector<bool> failed_devices;
+  double alpha = 1.0;
+  double beta = 0.15;
+  bool storage_aware = true;
+  /// Noisy greedy restarts over the remainder (first pass is pure greedy).
+  int restarts = 8;
+  std::uint64_t seed = 1;
+  double time_budget_seconds = 0.0;
+  cancel_token cancel;
+};
+
+struct splice_result {
+  schedule spliced;
+  std::vector<int> prefix_ops;    // ops kept verbatim (started before T)
+  std::vector<int> remainder_ops; // ops re-planned (sorted ascending)
+};
+
+/// Where one edge's fluid is at the fault time (see the file comment).
+enum class crossing_state { internal, delivered, stored, pending };
+
+/// Classify one transfer of `s` at `fault_time`.
+[[nodiscard]] crossing_state classify_crossing(const schedule& s,
+                                               const edge_transfer& tr,
+                                               int fault_time);
+
+/// Schedule-level conditions that make recovery impossible under any retry
+/// rung. Returns a description naming the blocking resource, or nullopt.
+[[nodiscard]] std::optional<std::string> blocking_resource(
+    const assay::sequencing_graph& graph, const schedule& original,
+    int fault_time, const std::vector<bool>& failed_devices);
+
+/// Splice `original` at `fault_time`: keep the executed prefix, re-plan
+/// the remainder on healthy devices. Throws infeasible_error (with the
+/// blocking resource named) when recovery is impossible, and
+/// invalid_input_error on malformed arguments.
+[[nodiscard]] splice_result splice_schedule(
+    const assay::sequencing_graph& graph, const schedule& original,
+    int fault_time, const splice_options& options);
+
+} // namespace transtore::sched

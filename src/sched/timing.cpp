@@ -114,9 +114,26 @@ timeline_builder::plan timeline_builder::compute(int op, int device) const {
   };
 
   // 2. Place the in-legs for transported operands, earliest-available first.
+  //    Edges whose transfer is already resolved (checkpoint seeding) need
+  //    no new leg; they only floor the start by their arrival time.
   std::vector<int> parents = graph_.at(op).parents;
   if (handoff_parent >= 0)
     parents.erase(std::find(parents.begin(), parents.end(), handoff_parent));
+  int arrival_floor = 0;
+  for (auto it = parents.begin(); it != parents.end();) {
+    const auto& tr = transfers_[static_cast<std::size_t>(edge_of(*it, op))];
+    if (!tr.has_value()) {
+      ++it;
+      continue;
+    }
+    int arrival = end_[static_cast<std::size_t>(*it)];
+    if (tr->kind == transfer_kind::cached)
+      arrival = legs_[static_cast<std::size_t>(tr->fetch_leg)].window.end;
+    else if (tr->kind == transfer_kind::direct)
+      arrival = legs_[static_cast<std::size_t>(tr->direct_leg)].window.end;
+    arrival_floor = std::max(arrival_floor, arrival);
+    it = parents.erase(it);
+  }
   std::sort(parents.begin(), parents.end(), [&](int a, int b) {
     const auto wa = outs_[static_cast<std::size_t>(edge_of(a, op))];
     const auto wb = outs_[static_cast<std::size_t>(edge_of(b, op))];
@@ -128,7 +145,7 @@ timeline_builder::plan timeline_builder::compute(int op, int device) const {
     return a < b;
   });
 
-  int t = port[static_cast<std::size_t>(device)];
+  int t = std::max(port[static_cast<std::size_t>(device)], arrival_floor);
   for (int parent : parents) {
     const int e = edge_of(parent, op);
     const time_interval w = out_window(e, parent);
@@ -276,6 +293,86 @@ timeline_builder::placement timeline_builder::commit(int op, int device) {
   const plan p = compute(op, device);
   apply(p, op, device);
   return p.result;
+}
+
+void timeline_builder::seed_operation(int op, int device, int start, int end) {
+  require(device >= 0 && device < device_count_,
+          "timeline_builder: seed device out of range");
+  require(ready(op), "timeline_builder: seeded op not ready");
+  require(start <= end, "timeline_builder: seeded interval is reversed");
+  committed_ops_[static_cast<std::size_t>(op)] = true;
+  device_of_[static_cast<std::size_t>(op)] = device;
+  start_[static_cast<std::size_t>(op)] = start;
+  end_[static_cast<std::size_t>(op)] = end;
+  last_op_[static_cast<std::size_t>(device)] = op;
+  port_free_[static_cast<std::size_t>(device)] =
+      std::max(port_free_[static_cast<std::size_t>(device)], end);
+  ++committed_count_;
+}
+
+int timeline_builder::seed_leg(const transport_leg& leg) {
+  require(leg.window.length() == options_.transport_time,
+          "timeline_builder: seeded leg has wrong length");
+  auto floor_port = [&](int device) {
+    if (device < 0) return;
+    require(device < device_count_,
+            "timeline_builder: seeded leg device out of range");
+    port_free_[static_cast<std::size_t>(device)] = std::max(
+        port_free_[static_cast<std::size_t>(device)], leg.window.end);
+  };
+  floor_port(leg.from_device);
+  floor_port(leg.to_device);
+  // In the dedicated-storage baseline, store and fetch legs also hold the
+  // unit's access port.
+  if (options_.storage_ports > 0 &&
+      (leg.kind == leg_kind::store || leg.kind == leg_kind::fetch)) {
+    const std::size_t storage_port = static_cast<std::size_t>(device_count_);
+    port_free_[storage_port] =
+        std::max(port_free_[storage_port], leg.window.end);
+  }
+  legs_.push_back(leg);
+  return static_cast<int>(legs_.size()) - 1;
+}
+
+void timeline_builder::seed_transfer(const edge_transfer& tr) {
+  const int e = edge_of(tr.source_op, tr.target_op);
+  check(!transfers_[static_cast<std::size_t>(e)].has_value(),
+        "timeline_builder: seeded transfer resolved twice");
+  const int leg_count = static_cast<int>(legs_.size());
+  auto require_leg = [&](int leg) {
+    require(leg >= 0 && leg < leg_count,
+            "timeline_builder: seeded transfer references unknown leg");
+  };
+  outs_[static_cast<std::size_t>(e)].emitted = true;
+  if (tr.kind == transfer_kind::cached) {
+    require_leg(tr.store_leg);
+    require_leg(tr.fetch_leg);
+    outs_[static_cast<std::size_t>(e)].window =
+        legs_[static_cast<std::size_t>(tr.store_leg)].window;
+  } else if (tr.kind == transfer_kind::direct) {
+    require_leg(tr.direct_leg);
+    outs_[static_cast<std::size_t>(e)].window =
+        legs_[static_cast<std::size_t>(tr.direct_leg)].window;
+  }
+  transfers_[static_cast<std::size_t>(e)] = tr;
+}
+
+void timeline_builder::seed_pending_out(int parent, int child,
+                                        time_interval window) {
+  const int e = edge_of(parent, child);
+  require(committed(parent),
+          "timeline_builder: pending out before its producer");
+  require(window.length() == options_.transport_time,
+          "timeline_builder: pending out window has wrong length");
+  outs_[static_cast<std::size_t>(e)].emitted = true;
+  outs_[static_cast<std::size_t>(e)].window = window;
+  const int pd = device_of_[static_cast<std::size_t>(parent)];
+  port_free_[static_cast<std::size_t>(pd)] =
+      std::max(port_free_[static_cast<std::size_t>(pd)], window.end);
+}
+
+void timeline_builder::floor_ports(int t) {
+  for (int& frontier : port_free_) frontier = std::max(frontier, t);
 }
 
 schedule timeline_builder::build() const {

@@ -77,6 +77,33 @@ public:
   /// All parents of `op` committed (so it can be placed).
   [[nodiscard]] bool ready(int op) const;
 
+  // --- Checkpoint seeding (fault recovery) --------------------------------
+  // These install a partially executed schedule verbatim so the remainder
+  // of the assay can be re-planned after it. Seed operations in ascending
+  // (start, id) order so every parent is committed before its children.
+
+  /// Commit `op` on `device` with a fixed, already-executed interval.
+  void seed_operation(int op, int device, int start, int end);
+
+  /// Append an already-executed transport leg verbatim; returns its index
+  /// in the final leg list (for remapping seed_transfer leg references).
+  int seed_leg(const transport_leg& leg);
+
+  /// Install an already-resolved edge transfer. Leg indices must be values
+  /// returned by seed_leg. commit() of the consumer then treats the edge
+  /// as delivered and only floors its start by the arrival time.
+  void seed_transfer(const edge_transfer& tr);
+
+  /// Record that the fluid of edge (parent, child) already left its
+  /// producer with the given store-out window but was not delivered yet:
+  /// committing the consumer re-creates the identical store leg and
+  /// extends the hold up to its new fetch time.
+  void seed_pending_out(int parent, int child, time_interval window);
+
+  /// Raise every port frontier to at least `t` (no new activity may be
+  /// planned before the fault time).
+  void floor_ports(int t);
+
   /// Assemble the final schedule; requires every operation committed.
   [[nodiscard]] schedule build() const;
 

@@ -1,0 +1,79 @@
+// Fault injection against a running design (tentpole of the robustness
+// layer; fault model in arch/fault.h).
+//
+// take_checkpoint() freezes the execution state of a synthesized design at
+// a chosen time step: which operations have completed, which are mid-mix,
+// and where every crossing fluid physically is (still in its producer's
+// mixer, parked in a channel segment, or already delivered). The
+// checkpoint is what api::recover re-plans from, and what crosses a
+// process boundary when recovery resumes elsewhere.
+//
+// choose_fault_scenario() picks a deterministic, survivable fault for a
+// design -- one failed device (when the design has more than one) plus one
+// failed storage segment -- at a fraction of the makespan. It is the
+// driver behind `--fault auto` / the serve `recover` op's "auto" mode and
+// the acceptance tests.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/chip.h"
+#include "arch/fault.h"
+#include "arch/workload.h"
+#include "assay/sequencing_graph.h"
+#include "sched/splice.h"
+
+namespace transtore::sim {
+
+/// Where one crossing fluid is at the fault time.
+struct fluid_position {
+  int transfer_index = -1; // into schedule::transfers
+  sched::crossing_state state = sched::crossing_state::pending;
+  int chip_edge = -1;      // storage segment holding the sample (stored only)
+};
+
+/// Frozen execution state at `fault_time`.
+struct checkpoint {
+  arch::fault_set faults;
+  int fault_time = 0;
+  std::vector<int> completed; // ops with end <= fault_time
+  std::vector<int> in_flight; // ops with start < fault_time < end
+  std::vector<fluid_position> fluids; // crossing transfers only
+};
+
+/// Freeze the execution state of (schedule, chip) at `fault_time` with
+/// `faults` injected.
+[[nodiscard]] checkpoint take_checkpoint(const sched::schedule& s,
+                                         const arch::chip& chip,
+                                         const arch::routing_workload& workload,
+                                         const arch::fault_set& faults,
+                                         int fault_time);
+
+/// Combined fatal-condition check: the schedule-level conditions of
+/// sched::blocking_resource plus the chip-level one (a sample parked on a
+/// faulted storage segment). Returns a description naming the blocking
+/// resource, or nullopt when recovery can proceed.
+[[nodiscard]] std::optional<std::string> recovery_blocker(
+    const assay::sequencing_graph& graph, const sched::schedule& s,
+    const arch::chip& chip, const arch::routing_workload& workload,
+    const arch::fault_set& faults, int fault_time);
+
+/// A concrete injectable fault scenario.
+struct fault_scenario {
+  arch::fault_set faults;
+  int fault_time = 0;
+};
+
+/// Deterministically pick a survivable scenario at ~`fraction` of the
+/// makespan: the first device whose failure is recoverable (skipped
+/// entirely for single-device designs, where any device failure is fatal)
+/// plus the first storage segment nothing has departed towards yet.
+/// Returns nullopt when no resource can be failed survivably.
+[[nodiscard]] std::optional<fault_scenario> choose_fault_scenario(
+    const assay::sequencing_graph& graph, const sched::schedule& s,
+    const arch::chip& chip, const arch::routing_workload& workload,
+    double fraction);
+
+} // namespace transtore::sim
