@@ -76,6 +76,7 @@
 #include "api/recover.h"
 #include "api/result_cache.h"
 #include "api/serialize.h"
+#include "api/serve.h"
 #include "arch/fault.h"
 #include "assay/benchmarks.h"
 #include "assay/io.h"
@@ -102,7 +103,9 @@ int usage() {
       "       [--devices N] [--grid WxH] [--engine heuristic|ilp|combined]\n"
       "       [--beta B] [--time-only] [--baseline] [--json FILE|-]\n"
       "       [--svg FILE] [--seed S] [--deadline S] [--workers N]\n"
-      "       [--queue N] [--cache-capacity N] [--cache-dir DIR]\n"
+      "       [--queue N] [--cache-capacity N] [--cache-bytes N]\n"
+      "       [--cache-dir DIR] [--socket PATH] [--tcp PORT]\n"
+      "       [--max-inflight N]\n"
       "       [--fault auto|device:N,valve:N,edge:N,storage:N]\n");
   return 2;
 }
@@ -141,7 +144,13 @@ struct cli_args {
   int workers = 2;
   std::size_t queue_capacity = 0;
   std::size_t cache_capacity = 64;
+  std::size_t cache_bytes = 0; // 0 = entry-count bound only
   std::string cache_dir;
+  // serve transport: default is stdio; --socket/--tcp switch to the
+  // multi-connection listener front end.
+  std::string socket_path;
+  int tcp_port = -1;
+  std::size_t max_inflight = 0; // per-connection backpressure cap
   // --fault: inject after synthesis and run the recovery ladder.
   bool fault_requested = false;
   bool fault_auto = false;
@@ -205,6 +214,7 @@ std::shared_ptr<api::result_cache> make_cache(const cli_args& args,
   api::result_cache_options co;
   co.memory_entries = args.cache_capacity;
   co.disk_dir = args.cache_dir;
+  co.memory_bytes = args.cache_bytes;
   return std::make_shared<api::result_cache>(co);
 }
 
@@ -320,9 +330,48 @@ bool parse_flags(int argc, char** argv, int from, cli_args& args) {
         return false;
       }
       args.cache_capacity = static_cast<std::size_t>(capacity);
+    } else if (arg == "--cache-bytes") {
+      if ((value = next()) == nullptr) return false;
+      char* end = nullptr;
+      const long long bytes = std::strtoll(value, &end, 10);
+      if (end == value || *end != '\0' || bytes < 0) {
+        std::fprintf(stderr,
+                     "error: --cache-bytes expects a non-negative byte "
+                     "budget (0 = unbounded), got '%s'\n",
+                     value);
+        return false;
+      }
+      args.cache_bytes = static_cast<std::size_t>(bytes);
     } else if (arg == "--cache-dir") {
       if ((value = next()) == nullptr) return false;
       args.cache_dir = value;
+    } else if (arg == "--socket") {
+      if ((value = next()) == nullptr) return false;
+      args.socket_path = value;
+    } else if (arg == "--tcp") {
+      if ((value = next()) == nullptr) return false;
+      char* end = nullptr;
+      const long port = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || port < 0 || port > 65535) {
+        std::fprintf(stderr,
+                     "error: --tcp expects a port in [0, 65535] "
+                     "(0 = ephemeral), got '%s'\n",
+                     value);
+        return false;
+      }
+      args.tcp_port = static_cast<int>(port);
+    } else if (arg == "--max-inflight") {
+      if ((value = next()) == nullptr) return false;
+      char* end = nullptr;
+      const long long cap = std::strtoll(value, &end, 10);
+      if (end == value || *end != '\0' || cap < 0) {
+        std::fprintf(stderr,
+                     "error: --max-inflight expects a non-negative cap "
+                     "(0 = unbounded), got '%s'\n",
+                     value);
+        return false;
+      }
+      args.max_inflight = static_cast<std::size_t>(cap);
     } else if (arg == "--fault") {
       if ((value = next()) == nullptr) return false;
       if (!parse_fault_spec(value, args)) return false;
@@ -553,8 +602,15 @@ std::string error_response(const std::string& id_raw, const char* code,
 
 std::string stats_response(const std::string& id_raw,
                            const api::executor& pool,
-                           const api::result_cache& cache) {
+                           const api::result_cache& cache,
+                           const api::serve_front* front) {
+  // Both snapshots are internally atomic: occupancy (entries/bytes,
+  // pending/running) is captured under the same lock as the counters, so
+  // the cross-invariants (lookups == hits + misses, submitted ==
+  // completed + running + pending + unredeemed) hold in every response no
+  // matter what runs concurrently.
   const api::cache_stats stats = cache.stats();
+  const api::executor_stats exec = pool.stats();
   json_writer w;
   w.begin_object();
   if (!id_raw.empty()) w.key("id").value_raw(id_raw);
@@ -565,16 +621,62 @@ std::string stats_response(const std::string& id_raw,
   w.field("memory_hits", static_cast<long>(stats.memory_hits));
   w.field("disk_hits", static_cast<long>(stats.disk_hits));
   w.field("misses", static_cast<long>(stats.misses));
+  w.field("coalesced_hits", static_cast<long>(stats.coalesced_hits));
   w.field("stores", static_cast<long>(stats.stores));
   w.field("evictions", static_cast<long>(stats.evictions));
+  w.field("bytes_evicted", static_cast<long>(stats.bytes_evicted));
   w.field("disk_errors", static_cast<long>(stats.disk_errors));
   w.field("negative_hits", static_cast<long>(stats.negative_hits));
   w.field("negative_stores", static_cast<long>(stats.negative_stores));
   w.field("negative_evictions", static_cast<long>(stats.negative_evictions));
-  w.field("entries", static_cast<long>(cache.size()));
+  w.field("negative_entries", static_cast<long>(stats.negative_entries));
+  w.field("entries", static_cast<long>(stats.entries));
+  w.field("bytes", static_cast<long>(stats.bytes));
   w.end_object();
+  w.key("executor").begin_object();
   w.field("workers", pool.workers());
-  w.field("pending", static_cast<long>(pool.pending()));
+  w.field("pending", static_cast<long>(exec.pending));
+  w.field("running", static_cast<long>(exec.running));
+  w.field("submitted", static_cast<long>(exec.submitted));
+  w.field("completed", static_cast<long>(exec.completed));
+  w.field("rejected_queue_full",
+          static_cast<long>(exec.rejected_queue_full));
+  w.field("cache_hits", static_cast<long>(exec.cache_hits));
+  w.end_object();
+  if (front != nullptr) {
+    const api::serve_stats s = front->stats();
+    w.key("serve").begin_object();
+    w.field("connections_accepted",
+            static_cast<long>(s.connections_accepted));
+    w.field("connections_open", static_cast<long>(s.connections_open));
+    w.field("requests", static_cast<long>(s.requests));
+    w.field("responses", static_cast<long>(s.responses));
+    w.field("shed", static_cast<long>(s.shed));
+    w.field("framing_errors", static_cast<long>(s.framing_errors));
+    w.field("bytes_in", static_cast<long>(s.bytes_in));
+    w.field("bytes_out", static_cast<long>(s.bytes_out));
+    w.begin_array("connection_requests");
+    for (const std::uint64_t r : s.open_connection_requests)
+      w.value(static_cast<long>(r));
+    w.end_array();
+    w.key("latency").begin_object();
+    for (const auto& [op, h] : s.latency) {
+      w.key(op).begin_object();
+      w.field("count", static_cast<long>(h.count));
+      w.field("total_ms", h.total_ms);
+      w.field("max_ms", h.max_ms);
+      w.begin_array("buckets");
+      for (const std::uint64_t b : h.buckets)
+        w.value(static_cast<long>(b));
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+  // Legacy top-level mirrors of the executor snapshot.
+  w.field("workers", pool.workers());
+  w.field("pending", static_cast<long>(exec.pending));
   w.end_object();
   return w.str();
 }
@@ -611,6 +713,10 @@ struct serve_item {
     stats,   // computed at dequeue time, after every prior request resolved
   };
   action act = action::respond;
+  /// Metric label for the serve front end's per-op latency histograms
+  /// (static strings only -- the item outlives admit_request's locals).
+  const char* op = "error";
+  bool shed = false; // rejected by the bounded executor queue
   std::string id_raw;
   std::string ready;
   api::executor::ticket ticket = 0;
@@ -724,10 +830,12 @@ serve_item admit_request(const std::string& line, const cli_args& args,
 
     if (name == "stats") {
       item.act = serve_item::action::stats;
+      item.op = "stats";
       return item;
     }
     if (name == "ping" || name == "shutdown") {
       quit = name == "shutdown";
+      item.op = quit ? "shutdown" : "ping";
       json_writer w;
       w.begin_object();
       if (!item.id_raw.empty()) w.key("id").value_raw(item.id_raw);
@@ -743,6 +851,7 @@ serve_item admit_request(const std::string& line, const cli_args& args,
       return item;
     }
     const bool recovering = name == "recover";
+    item.op = recovering ? "recover" : "synth";
 
     // Graph: a built-in name, or an inline assay in the io.h text format.
     const json_value* assay_name = req.find("assay");
@@ -819,6 +928,7 @@ serve_item admit_request(const std::string& line, const cli_args& args,
     item.options = j.options;
     auto ticket = pool.submit(std::move(j), ctx);
     if (!ticket.has_value()) {
+      item.shed = ticket.code() == api::status::queue_full;
       item.ready = error_response(item.id_raw, api::to_string(ticket.code()),
                                   ticket.message());
       return item;
@@ -836,7 +946,138 @@ serve_item admit_request(const std::string& line, const cli_args& args,
   }
 }
 
+/// Best-effort extraction of the request's raw "id" member, for responses
+/// built without full admission (load shedding happens before parsing the
+/// request body).
+std::string request_id_raw(const std::string& line) {
+  try {
+    const json_value req = json_value::parse(line);
+    if (!req.is_object()) return "";
+    if (const json_value* id = req.find("id")) {
+      json_writer w;
+      write_value(w, *id);
+      return w.str();
+    }
+  } catch (...) {
+  }
+  return "";
+}
+
+/// Socket serve mode: an api::serve_front multiplexes many concurrent
+/// unix/TCP connections onto the one executor and shared cache. Requests
+/// are admitted exactly as in stdio mode (admit_request); deferred
+/// responses resolve in request order on each connection's writer thread,
+/// so stats/shutdown stay sequence points per connection. With
+/// --max-inflight, a connection that outruns its responses is shed with a
+/// structured queue_full error instead of queueing unbounded work.
+int run_serve_socket(const cli_args& args) {
+  std::shared_ptr<api::result_cache> cache = make_cache(args, /*always=*/true);
+  api::executor_options pool_options;
+  pool_options.workers = args.workers;
+  pool_options.queue_capacity = args.queue_capacity;
+  pool_options.cache = cache;
+  api::executor pool(pool_options);
+
+  api::serve_front* front_ptr = nullptr; // set before start(); see below
+
+  api::serve_options so;
+  so.unix_path = args.socket_path;
+  so.tcp_port = args.tcp_port;
+  so.max_inflight = args.max_inflight;
+  so.framing_error = [](const char* code, const std::string& message) {
+    return error_response("", code, message);
+  };
+
+  auto handler = [&args, &pool, &cache, &front_ptr](
+                     const std::string& line,
+                     const api::serve_request_info& info) -> api::serve_reply {
+    api::serve_reply reply;
+    if (info.overloaded) {
+      reply.op = "shed";
+      reply.shed = true;
+      reply.line = error_response(
+          request_id_raw(line), "queue_full",
+          "connection " + std::to_string(info.connection) + " has " +
+              std::to_string(info.inflight) +
+              " responses in flight (cap " +
+              std::to_string(args.max_inflight) +
+              "); wait for a response before sending more");
+      return reply;
+    }
+    bool quit = false;
+    serve_item item = admit_request(line, args, pool, quit);
+    reply.op = item.op;
+    reply.shed = item.shed;
+    switch (item.act) {
+      case serve_item::action::respond:
+        reply.line = std::move(item.ready);
+        if (quit) {
+          reply.shutdown_server = true;
+          reply.close_connection = true;
+        }
+        break;
+      case serve_item::action::stats: {
+        const std::string id_raw = item.id_raw;
+        reply.finish = [id_raw, &pool, &cache, &front_ptr] {
+          return stats_response(id_raw, pool, *cache, front_ptr);
+        };
+        break;
+      }
+      case serve_item::action::synth:
+      case serve_item::action::recover: {
+        auto it = std::make_shared<serve_item>(std::move(item));
+        reply.finish = [it, &pool, &cache] {
+          const api::job_outcome outcome = pool.wait(it->ticket);
+          if (it->act == serve_item::action::recover) {
+            std::fprintf(stderr, "[serve] %-6s recover (base %s, %s)\n",
+                         outcome.name.c_str(), api::to_string(outcome.code),
+                         outcome.cache_hit ? "hit" : "miss");
+            return recover_response(*it, outcome, *cache);
+          }
+          std::fprintf(stderr, "[serve] %-6s %-10s %s %.2fs\n",
+                       outcome.name.c_str(), api::to_string(outcome.code),
+                       outcome.cache_hit ? "hit " : "miss", outcome.seconds);
+          return synth_response(it->id_raw, outcome, it->graph, it->options);
+        };
+        break;
+      }
+    }
+    return reply;
+  };
+
+  api::serve_front front(so, handler);
+  front_ptr = &front; // requests cannot arrive before start()
+  const std::string err = front.start();
+  if (!err.empty()) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[serve] listening: %s%s%s%d workers, queue %s, "
+               "max-inflight %s\n",
+               args.socket_path.empty() ? "" : args.socket_path.c_str(),
+               args.socket_path.empty() ? "" : ", ",
+               front.tcp_port() >= 0
+                   ? ("tcp 127.0.0.1:" + std::to_string(front.tcp_port()) +
+                      ", ")
+                         .c_str()
+                   : "",
+               pool.workers(),
+               args.queue_capacity > 0
+                   ? std::to_string(args.queue_capacity).c_str()
+                   : "unbounded",
+               args.max_inflight > 0
+                   ? std::to_string(args.max_inflight).c_str()
+                   : "unbounded");
+  front.wait(); // until a connection sends {"op":"shutdown"}
+  front.stop();
+  pool.shutdown();
+  return 0;
+}
+
 int run_serve(const cli_args& args) {
+  if (!args.socket_path.empty() || args.tcp_port >= 0)
+    return run_serve_socket(args);
   std::shared_ptr<api::result_cache> cache = make_cache(args, /*always=*/true);
   api::executor_options pool_options;
   pool_options.workers = args.workers;
@@ -873,7 +1114,8 @@ int run_serve(const cli_args& args) {
       switch (item.act) {
         case serve_item::action::respond: response = item.ready; break;
         case serve_item::action::stats:
-          response = stats_response(item.id_raw, pool, *cache);
+          response = stats_response(item.id_raw, pool, *cache,
+                                    /*front=*/nullptr);
           break;
         case serve_item::action::synth: {
           const api::job_outcome outcome = pool.wait(item.ticket);

@@ -12,6 +12,9 @@ by more than --max-iter-ratio; wall time gets the much looser
 --max-time-ratio (CI machines are noisy) with an absolute floor so
 sub-100ms solves never trip it. Time-limited baseline records only require
 that the (assay, config) pair still runs and still produces an incumbent.
+Throughput records (any baseline record carrying "requests_per_sec", as
+written by serve_smoke.py --out) must not fall below the baseline rate by
+more than the --max-time-ratio factor.
 
 Exit codes: 0 ok, 1 regression(s), 2 usage/IO error, 3 baseline file
 missing (a distinct code so CI can tell "needs a baseline refresh" apart
@@ -67,6 +70,16 @@ def main():
         n = new.get(key)
         if n is None:
             failures.append(f"{assay}/{config}: record missing from new run")
+            continue
+        if b.get("requests_per_sec", 0.0) > 0.0:
+            # Serving-throughput baseline: the rate may wobble with CI
+            # noise, but must not collapse.
+            br, nr = b["requests_per_sec"], n.get("requests_per_sec", 0.0)
+            if nr < br / args.max_time_ratio:
+                failures.append(
+                    f"{assay}/{config}: throughput regressed "
+                    f"{br:.1f} -> {nr:.1f} req/s "
+                    f"(> {args.max_time_ratio:.1f}x slower)")
             continue
         if b.get("status") != "optimal":
             # Time-limited baseline: just require an incumbent-bearing run.

@@ -1,6 +1,8 @@
 #!/usr/bin/env python3
-"""Smoke test for `transtore_cli serve`: replay the six-assay batch twice
-through one long-lived server process and assert
+"""Smoke and soak tests for `transtore_cli serve`.
+
+Default (stdio) mode -- replay the six-assay batch twice through one
+long-lived server process on stdin/stdout and assert
 
   * every first-pass request misses the cache and solves,
   * every second-pass request is a cache hit,
@@ -10,14 +12,40 @@ through one long-lived server process and assert
   * the stats op reports exactly six stores and seven memory hits (the
     six replays plus the recovery's base lookup).
 
-Usage: serve_smoke.py [path/to/transtore_cli]
+Socket mode (--socket) -- the same server behind its unix-socket listener,
+under many concurrent connections:
+
+  * warm pass: one connection solves the six assays (all misses),
+  * soak pass: --connections concurrent connections each replay all six;
+    every response must be an ok cache hit, byte-identical to the warm
+    pass, and the measured requests/sec is recorded,
+  * the stats op's atomic snapshot must account for exactly the traffic
+    sent (6 stores/misses, connections*6 memory hits, zero sheds),
+  * overload pass: a second server with --workers 1 --queue 2 takes a
+    32-request burst of distinct keys; every request must be answered
+    (status ok or a structured queue_full -- nothing dropped silently),
+    at least one must be shed, and the server must stay alive through a
+    final ping and exit 0.
+
+With --out FILE the soak measurements are written in the BENCH json shape
+so scripts/diff_bench.py can gate requests_per_sec against a committed
+baseline.
+
+Usage: serve_smoke.py [path/to/transtore_cli] [--socket]
+                      [--connections N] [--out FILE]
 
 Exit codes: 0 ok, 1 assertion failed, 2 could not run the server.
 """
 
+import argparse
 import json
+import os
+import socket
 import subprocess
 import sys
+import tempfile
+import threading
+import time
 
 
 def result_doc(line):
@@ -31,9 +59,10 @@ def result_doc(line):
     return line[i + len(marker):-1]
 
 
-def main():
-    cli = sys.argv[1] if len(sys.argv) > 1 else "./transtore_cli"
+# ----------------------------------------------------------------- stdio
 
+
+def stdio_smoke(cli):
     names = subprocess.run([cli, "bench-names"], capture_output=True,
                            text=True, check=True).stdout.split()
     if len(names) != 6:
@@ -158,6 +187,292 @@ def main():
     print(f"serve_smoke: ok -- {n} assays replayed twice, "
           f"{n} cache hits, byte-identical results, 1 fault recovery")
     return 0
+
+
+# ---------------------------------------------------------------- socket
+
+
+class Conn:
+    """One line-delimited JSON client connection on a unix socket."""
+
+    def __init__(self, path):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.connect(path)
+        self.file = self.sock.makefile("rw")
+
+    def send(self, request):
+        self.file.write(json.dumps(request) + "\n")
+
+    def flush(self):
+        self.file.flush()
+
+    def recv_line(self):
+        return self.file.readline().rstrip("\n")
+
+    def recv(self):
+        return json.loads(self.recv_line())
+
+    def close(self):
+        self.file.close()
+        self.sock.close()
+
+
+def start_server(cli, sock_path, extra_flags, log):
+    proc = subprocess.Popen([cli, "serve", "--socket", sock_path] +
+                            extra_flags, stdout=subprocess.DEVNULL,
+                            stderr=log)
+    deadline = time.monotonic() + 30.0
+    while not os.path.exists(sock_path):
+        if proc.poll() is not None or time.monotonic() > deadline:
+            raise RuntimeError(f"server did not come up on {sock_path}")
+        time.sleep(0.02)
+    return proc
+
+
+def socket_smoke(cli, connections, out_path):
+    names = subprocess.run([cli, "bench-names"], capture_output=True,
+                           text=True, check=True).stdout.split()
+    options = {"schedule_engine": "heuristic"}
+    failures = []
+    bench_records = []
+    tmp = tempfile.mkdtemp(prefix="transtore_serve_smoke_")
+    log = open(os.path.join(tmp, "serve.log"), "w")
+
+    # ---- server 1: warm + soak ------------------------------------------
+    sock1 = os.path.join(tmp, "soak.sock")
+    server = start_server(cli, sock1, ["--workers", "2"], log)
+
+    warm = Conn(sock1)
+    warm_start = time.monotonic()
+    for i, name in enumerate(names):
+        warm.send({"id": i, "op": "synth", "assay": name,
+                   "options": options})
+    warm.flush()
+    warm_docs = {}
+    for _ in names:
+        line = warm.recv_line()
+        r = json.loads(line)
+        name = r.get("assay")
+        if r.get("status") != "ok":
+            failures.append(f"warm {name}: status {r.get('status')}")
+        elif r.get("cache_hit"):
+            failures.append(f"warm {name}: unexpectedly hit the cache")
+        else:
+            warm_docs[name] = result_doc(line)
+    warm_seconds = time.monotonic() - warm_start
+
+    def replay(tag, errors):
+        try:
+            c = Conn(sock1)
+            for i, name in enumerate(names):
+                c.send({"id": f"{tag}-{i}", "op": "synth", "assay": name,
+                        "options": options})
+            c.flush()
+            for _ in names:
+                line = c.recv_line()
+                r = json.loads(line)
+                name = r.get("assay")
+                if r.get("status") != "ok":
+                    errors.append(f"{tag} {name}: status {r.get('status')}")
+                elif not r.get("cache_hit"):
+                    errors.append(f"{tag} {name}: missed the cache")
+                elif result_doc(line) != warm_docs.get(name):
+                    errors.append(f"{tag} {name}: result not byte-identical "
+                                  f"to the warm pass")
+            c.close()
+        except OSError as e:
+            errors.append(f"{tag}: connection error: {e}")
+
+    soak_errors = []
+    threads = [threading.Thread(target=replay, args=(f"c{k}", soak_errors))
+               for k in range(connections)]
+    soak_start = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    soak_seconds = time.monotonic() - soak_start
+    failures.extend(soak_errors)
+    soak_requests = connections * len(names)
+    soak_rps = soak_requests / soak_seconds if soak_seconds > 0 else 0.0
+
+    # Atomic stats snapshot must account exactly for the traffic sent. The
+    # writer threads record response metrics just after the bytes hit the
+    # socket, so a client can observe its last response a hair before the
+    # counters move -- poll until the synth latency count settles.
+    n = len(names)
+    deadline = time.monotonic() + 5.0
+    while True:
+        warm.send({"id": "stats", "op": "stats"})
+        warm.flush()
+        stats = warm.recv()
+        synth_count = stats.get("serve", {}).get("latency", {}) \
+            .get("synth", {}).get("count", 0)
+        if synth_count >= n + connections * n or \
+                time.monotonic() > deadline:
+            break
+        time.sleep(0.01)
+    cache = stats.get("cache", {})
+    serve = stats.get("serve", {})
+    pool = stats.get("executor", {})
+    checks = [
+        (cache.get("stores"), n, "cache.stores"),
+        (cache.get("misses"), n, "cache.misses"),
+        (cache.get("memory_hits"), soak_requests, "cache.memory_hits"),
+        (cache.get("entries"), n, "cache.entries"),
+        (serve.get("shed"), 0, "serve.shed"),
+        (serve.get("framing_errors"), 0, "serve.framing_errors"),
+        (serve.get("connections_accepted"), connections + 1,
+         "serve.connections_accepted"),
+        (pool.get("rejected_queue_full"), 0,
+         "executor.rejected_queue_full"),
+        (pool.get("submitted"), n + soak_requests, "executor.submitted"),
+    ]
+    for got, want, label in checks:
+        if got != want:
+            failures.append(f"stats: {label} = {got}, expected {want}")
+    if cache.get("lookups") != (cache.get("memory_hits", 0) +
+                                cache.get("disk_hits", 0) +
+                                cache.get("misses", 0)):
+        failures.append(f"stats: lookup identity violated: {cache}")
+    synth_latency = serve.get("latency", {}).get("synth", {})
+    if synth_latency.get("count") != n + soak_requests:
+        failures.append(f"stats: latency.synth.count = "
+                        f"{synth_latency.get('count')}, expected "
+                        f"{n + soak_requests}")
+    if cache.get("bytes", 0) <= 0:
+        failures.append("stats: cache.bytes not accounted")
+
+    warm.send({"op": "shutdown"})
+    warm.flush()
+    if warm.recv().get("op") != "shutdown":
+        failures.append("soak server: no shutdown ack")
+    warm.close()
+    if server.wait(timeout=60) != 0:
+        failures.append(f"soak server exited {server.returncode}")
+
+    # ---- server 2: overload ---------------------------------------------
+    # One worker and a two-slot queue against a 32-request burst of
+    # distinct cache keys: most submissions must be shed with a structured
+    # queue_full, every request must be answered, the server must survive.
+    sock2 = os.path.join(tmp, "overload.sock")
+    server = start_server(
+        cli, sock2, ["--workers", "1", "--queue", "2"], log)
+    burst_conns, burst_reqs = 16, 2
+    statuses = {}
+    overload_errors = []
+
+    def burst(k):
+        try:
+            c = Conn(sock2)
+            for j in range(burst_reqs):
+                rid = f"b{k}-{j}"
+                c.send({"id": rid, "op": "synth", "assay": "PCR",
+                        "options": dict(options,
+                                        seed=1 + k * burst_reqs + j)})
+            c.flush()
+            for _ in range(burst_reqs):
+                r = c.recv()
+                statuses[r.get("id")] = r.get("status")
+            c.close()
+        except OSError as e:
+            overload_errors.append(f"burst {k}: connection error: {e}")
+
+    overload_start = time.monotonic()
+    threads = [threading.Thread(target=burst, args=(k,))
+               for k in range(burst_conns)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    overload_seconds = time.monotonic() - overload_start
+    failures.extend(overload_errors)
+
+    expected_ids = {f"b{k}-{j}" for k in range(burst_conns)
+                    for j in range(burst_reqs)}
+    missing = expected_ids - statuses.keys()
+    if missing:
+        failures.append(f"overload: {len(missing)} request(s) never "
+                        f"answered: {sorted(missing)[:4]}...")
+    bad = {i: s for i, s in statuses.items()
+           if s not in ("ok", "queue_full")}
+    if bad:
+        failures.append(f"overload: unexpected statuses {bad}")
+    shed = sum(1 for s in statuses.values() if s == "queue_full")
+    if shed == 0:
+        failures.append("overload: bounded queue never shed a request")
+
+    # The server must still be fully alive after the burst.
+    c = Conn(sock2)
+    c.send({"id": "alive", "op": "ping"})
+    c.flush()
+    if c.recv().get("status") != "ok":
+        failures.append("overload: ping after the burst failed")
+    c.send({"id": "stats", "op": "stats"})
+    c.flush()
+    stats = c.recv()
+    if stats.get("executor", {}).get("rejected_queue_full") != shed:
+        failures.append(
+            f"overload: executor.rejected_queue_full = "
+            f"{stats.get('executor', {}).get('rejected_queue_full')}, "
+            f"expected {shed}")
+    c.send({"op": "shutdown"})
+    c.flush()
+    c.recv()
+    c.close()
+    if server.wait(timeout=60) != 0:
+        failures.append(f"overload server exited {server.returncode}")
+    log.close()
+
+    bench_records = [
+        {"assay": "six_assays", "config": "warm_cold_solve",
+         "status": "throughput", "requests": n, "seconds": warm_seconds,
+         "requests_per_sec": n / warm_seconds, "connections": 1},
+        {"assay": "six_assays", "config": f"soak_hits_c{connections}",
+         "status": "throughput", "requests": soak_requests,
+         "seconds": soak_seconds, "requests_per_sec": soak_rps,
+         "connections": connections},
+        {"assay": "PCR", "config": "overload_w1_q2",
+         "status": "throughput",
+         "requests": burst_conns * burst_reqs,
+         "seconds": overload_seconds, "queue_full": shed,
+         "connections": burst_conns},
+    ]
+    if out_path:
+        with open(out_path, "w") as f:
+            json.dump({"tool": "serve_smoke", "results": bench_records}, f,
+                      indent=1)
+        print(f"serve_smoke: wrote {out_path}")
+
+    if failures:
+        print(f"serve_smoke: {len(failures)} failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"serve_smoke: ok -- socket soak: {connections} connections x "
+          f"{n} assays all byte-identical hits at {soak_rps:.0f} req/s; "
+          f"overload: {shed}/{burst_conns * burst_reqs} shed with "
+          f"queue_full, none dropped")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("cli", nargs="?", default="./transtore_cli")
+    ap.add_argument("--socket", action="store_true",
+                    help="run the unix-socket soak instead of stdio mode")
+    ap.add_argument("--connections", type=int, default=16,
+                    help="concurrent soak connections (default 16)")
+    ap.add_argument("--out", default="",
+                    help="write soak measurements as BENCH json")
+    args = ap.parse_args()
+    try:
+        if args.socket:
+            return socket_smoke(args.cli, args.connections, args.out)
+        return stdio_smoke(args.cli)
+    except (OSError, RuntimeError, subprocess.SubprocessError) as e:
+        print(f"serve_smoke: cannot run {args.cli}: {e}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

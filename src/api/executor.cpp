@@ -34,6 +34,8 @@ job_outcome execute_job(const job& j, const run_context& ctx,
     outcome.message = r.outcome.message();
     outcome.cache_hit = r.cache_hit;
     outcome.result_json = std::move(r.document);
+    // The shared handle moves straight through: a cache hit never copies
+    // the flow_result on its way to the caller.
     if (r.outcome.has_value()) outcome.flow = std::move(r.outcome).take();
   }
   outcome.seconds = watch.elapsed_seconds();
@@ -71,6 +73,13 @@ struct executor::service_state {
   bool stopping = false;
   bool workers_started = false;
   std::vector<std::thread> threads;
+  // Lifetime counters for executor::stats(); all mutated under `lock` so
+  // a snapshot is internally consistent with the queue itself.
+  std::size_t running = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t cache_hits = 0;
 };
 
 executor::executor(executor_options options)
@@ -92,12 +101,15 @@ result<executor::ticket> executor::submit(job j, const run_context& ctx) {
     return result<ticket>::failure(status::cancelled,
                                    "executor: shut down, not accepting jobs");
   if (options_.queue_capacity > 0 &&
-      s.heap.size() >= options_.queue_capacity)
+      s.heap.size() >= options_.queue_capacity) {
+    ++s.rejected_queue_full;
     return result<ticket>::failure(
         status::queue_full,
         "executor: queue at capacity (" +
             std::to_string(options_.queue_capacity) + " pending jobs)");
+  }
   const ticket id = s.next_ticket++;
+  ++s.submitted;
   s.open.insert(id);
   s.heap.push_back(service_state::queued{std::move(j), ctx, id});
   std::push_heap(s.heap.begin(), s.heap.end(), service_state::later{});
@@ -118,10 +130,14 @@ result<executor::ticket> executor::submit(job j, const run_context& ctx) {
                           service_state::later{});
             next = std::move(s.heap.back());
             s.heap.pop_back();
+            ++s.running;
           }
           job_outcome outcome = execute_job(next.work, next.ctx, cache);
           {
             std::lock_guard<std::mutex> inner(s.lock);
+            --s.running;
+            ++s.completed;
+            if (outcome.cache_hit) ++s.cache_hits;
             s.done.emplace(next.id, std::move(outcome));
           }
           s.outcome_ready.notify_all();
@@ -158,6 +174,19 @@ job_outcome executor::wait(ticket t) {
 std::size_t executor::pending() const {
   std::lock_guard<std::mutex> guard(service_->lock);
   return service_->heap.size();
+}
+
+executor_stats executor::stats() const {
+  service_state& s = *service_;
+  std::lock_guard<std::mutex> guard(s.lock);
+  executor_stats out;
+  out.pending = s.heap.size();
+  out.running = s.running;
+  out.submitted = s.submitted;
+  out.completed = s.completed;
+  out.rejected_queue_full = s.rejected_queue_full;
+  out.cache_hits = s.cache_hits;
+  return out;
 }
 
 void executor::shutdown() {

@@ -57,8 +57,11 @@ struct job_outcome {
   std::string name;
   status code = status::ok;
   std::string message;
-  std::optional<flow_result> flow; // present for ok and best-effort outcomes
-  double seconds = 0.0;            // wall time of this job
+  /// Present for ok and best-effort outcomes. Shared and immutable: a
+  /// cache hit hands out the cache entry's own flow_result (no per-hit
+  /// copy); a solve hands out the freshly computed one.
+  std::shared_ptr<const flow_result> flow;
+  double seconds = 0.0; // wall time of this job
   /// Cache bookkeeping (meaningful when executor_options::cache is set).
   bool cache_hit = false;
   std::shared_ptr<const std::string> result_json; // stored flow document
@@ -72,6 +75,21 @@ struct executor_options {
   std::size_t queue_capacity = 0;
   /// Optional shared result cache consulted (and filled) per job.
   std::shared_ptr<result_cache> cache;
+};
+
+/// One atomic snapshot of the service-mode queue: every field is captured
+/// under a single lock, so `submitted == completed + running + pending +
+/// unredeemed-done` holds in every snapshot no matter what runs
+/// concurrently (the observability contract of the serve `stats` op).
+struct executor_stats {
+  std::size_t pending = 0;   // accepted, not yet claimed by a worker
+  std::size_t running = 0;   // claimed by a worker, not yet completed
+  std::uint64_t submitted = 0; // accepted service submissions, lifetime
+  std::uint64_t completed = 0; // jobs whose outcome was recorded
+  /// Submissions rejected by the bounded queue (status::queue_full); these
+  /// are NOT counted in `submitted` -- they never entered the queue.
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t cache_hits = 0; // completed jobs served from the cache
 };
 
 class executor {
@@ -106,6 +124,10 @@ public:
 
   /// Pending (not yet started) service jobs.
   [[nodiscard]] std::size_t pending() const;
+
+  /// Atomic snapshot of the service-mode queue counters (see
+  /// executor_stats). Batch-mode run() does not touch these.
+  [[nodiscard]] executor_stats stats() const;
 
   /// Stop accepting submissions, drain already-queued jobs, join workers.
   /// Idempotent; also run by the destructor.

@@ -424,14 +424,39 @@ std::string verified::to_json(bool include_timing) const {
 
 // ----------------------------------------------------------- pipeline::run
 
+namespace {
+
+/// Move a by-value pipeline outcome into the shared-pointer vocabulary of
+/// cached_outcome (one move, never a copy).
+result<std::shared_ptr<const flow_result>> share_outcome(
+    result<flow_result>&& r) {
+  using shared = std::shared_ptr<const flow_result>;
+  if (!r.has_value()) return r.propagate<shared>();
+  const status code = r.code();
+  const std::string message = r.message();
+  shared flow = std::make_shared<const flow_result>(std::move(r).take());
+  if (code == status::ok) return result<shared>::success(std::move(flow));
+  return result<shared>::partial(code, std::move(flow), message);
+}
+
+} // namespace
+
 result<flow_result> pipeline::run(const run_context& ctx) const {
-  if (cache_) return run_cached(ctx).outcome;
-  return run_uncached(ctx);
+  if (!cache_) return run_uncached(ctx);
+  cached_outcome c = run_cached(ctx);
+  if (!c.outcome.has_value()) return c.outcome.propagate<flow_result>();
+  // run()'s by-value contract costs one copy out of the shared entry;
+  // callers that want the zero-copy handle use run_cached() directly.
+  flow_result copy = *c.outcome.value();
+  if (c.outcome.ok()) return result<flow_result>::success(std::move(copy));
+  return result<flow_result>::partial(c.outcome.code(), std::move(copy),
+                                      c.outcome.message());
 }
 
 cached_outcome pipeline::run_cached(const run_context& ctx) const {
-  if (!cache_) return {run_uncached(ctx), false, nullptr};
+  if (!cache_) return {share_outcome(run_uncached(ctx)), false, nullptr};
 
+  using shared = std::shared_ptr<const flow_result>;
   const cache_key key = make_cache_key(state_->graph, state_->options);
   if (const auto negative = cache_->lookup_negative(key)) {
     // A structurally failing request (infeasible / invalid_input) is
@@ -439,22 +464,23 @@ cached_outcome pipeline::run_cached(const run_context& ctx) const {
     // re-solving to it.
     ctx.report("cache",
                "negative hit " + state_->graph.name() + " " + key.digest());
-    return {result<flow_result>::failure(negative->code, negative->message),
+    return {result<shared>::failure(negative->code, negative->message),
             true, nullptr};
   }
-  result_cache::entry hit;
+  result_cache::entry_ptr hit;
   const result_cache::flight probe = cache_->lookup_or_lead(
       key, hit, [&ctx] { return ctx.interrupted(); });
   if (probe == result_cache::flight::hit) {
     // Direct hit, disk hit, or coalesced onto a concurrent leader's solve
-    // of the same key -- either way, no solver time was paid.
+    // of the same key -- either way, no solver time was paid, and the
+    // shared entry is handed out as-is: no flow_result or document copy.
     ctx.report("cache", "hit " + state_->graph.name() + " " + key.digest());
-    return {result<flow_result>::success(*hit.flow), true, hit.document};
+    return {result<shared>::success(hit->flow), true, hit->document};
   }
   const bool leading = probe == result_cache::flight::leader;
   auto solve_and_store = [&]() -> cached_outcome {
     ctx.report("cache", "miss " + state_->graph.name() + " " + key.digest());
-    result<flow_result> outcome = run_uncached(ctx);
+    result<shared> outcome = share_outcome(run_uncached(ctx));
     // Only fully completed runs are cached: a best-effort value produced
     // under a deadline or cancel is not the deterministic answer.
     if (!outcome.ok()) {
@@ -468,8 +494,8 @@ cached_outcome pipeline::run_cached(const run_context& ctx) const {
     }
     result_cache::entry entry;
     entry.document = std::make_shared<const std::string>(
-        serialize_flow(state_->graph, state_->options, outcome.value()));
-    entry.flow = std::make_shared<const flow_result>(outcome.value());
+        serialize_flow(state_->graph, state_->options, *outcome.value()));
+    entry.flow = outcome.value(); // the same shared object the caller gets
     cache_->store(key, entry); // completes the flight, wakes waiters
     return {std::move(outcome), false, std::move(entry.document)};
   };

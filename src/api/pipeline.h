@@ -255,8 +255,13 @@ private:
 /// served from the cache and the full serialized document (api/serialize.h
 /// flow format) that was stored or loaded -- the service front end replies
 /// with this document verbatim so replays are byte-identical.
+///
+/// The value is a *shared immutable* flow_result: a cache hit hands out
+/// the cache entry's own object (and document bytes), so serving a hit
+/// copies nothing -- every concurrent hit on a key shares one flow_result
+/// and one document string with the cache.
 struct cached_outcome {
-  result<flow_result> outcome;
+  result<std::shared_ptr<const flow_result>> outcome;
   bool cache_hit = false;
   std::shared_ptr<const std::string> document; // null when nothing was cached
 };
@@ -294,8 +299,11 @@ public:
   [[nodiscard]] result<flow_result> run(const run_context& ctx = {}) const;
 
   /// run() plus cache bookkeeping: reports whether the result came from the
-  /// cache and hands back the serialized flow document. Without an attached
-  /// cache this is run() with cache_hit = false and no document.
+  /// cache, shares (never copies) the cached flow_result, and hands back
+  /// the serialized flow document. Without an attached cache this is run()
+  /// with cache_hit = false and no document. This is the zero-copy path
+  /// the executor and serve front end use; run() itself pays one copy to
+  /// honour its by-value contract.
   [[nodiscard]] cached_outcome run_cached(const run_context& ctx = {}) const;
 
 private:

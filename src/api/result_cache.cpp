@@ -130,7 +130,7 @@ result_cache::result_cache(result_cache_options options)
   if (options_.memory_entries == 0) options_.memory_entries = 1;
 }
 
-std::optional<result_cache::entry> result_cache::lookup(const cache_key& key) {
+result_cache::entry_ptr result_cache::lookup(const cache_key& key) {
   {
     std::lock_guard<std::mutex> guard(lock_);
     ++stats_.lookups;
@@ -146,28 +146,31 @@ std::optional<result_cache::entry> result_cache::lookup(const cache_key& key) {
   if (options_.disk_dir.empty()) {
     std::lock_guard<std::mutex> guard(lock_);
     ++stats_.misses;
-    return std::nullopt;
+    return nullptr;
   }
-  std::optional<entry> from_disk = disk_lookup(key);
+  entry_ptr from_disk = disk_lookup(key);
   std::lock_guard<std::mutex> guard(lock_);
   if (!from_disk) {
     ++stats_.misses;
-    return std::nullopt;
+    return nullptr;
   }
   ++stats_.disk_hits;
-  insert_locked(key, *from_disk);
+  insert_locked(key, from_disk);
   return from_disk;
 }
 
 result_cache::flight result_cache::lookup_or_lead(
-    const cache_key& key, entry& out, const std::function<bool()>& give_up) {
+    const cache_key& key, entry_ptr& out,
+    const std::function<bool()>& give_up) {
   {
     std::unique_lock<std::mutex> guard(lock_);
     ++stats_.lookups;
+    bool waited = false;
     for (;;) {
       const auto it = index_.find(key.canonical);
       if (it != index_.end() && it->second->identity == key.identity) {
         ++stats_.memory_hits;
+        if (waited) ++stats_.coalesced_hits; // rode a leader's solve
         touch(it->second);
         out = it->second->value;
         return flight::hit;
@@ -179,18 +182,19 @@ result_cache::flight result_cache::lookup_or_lead(
       // Short waits so give_up (deadline/cancel) is polled responsively
       // and a leader that died without abort_flight cannot park us forever.
       flight_done_.wait_for(guard, std::chrono::milliseconds(50));
+      waited = true;
       if (give_up && give_up()) return flight::bypass;
     }
   }
   // Leader path: probe the disk tier before conceding a miss.
   if (!options_.disk_dir.empty()) {
-    if (std::optional<entry> from_disk = disk_lookup(key)) {
+    if (entry_ptr from_disk = disk_lookup(key)) {
       std::lock_guard<std::mutex> guard(lock_);
       ++stats_.disk_hits;
-      insert_locked(key, *from_disk);
+      insert_locked(key, from_disk);
       inflight_.erase(key.canonical);
       flight_done_.notify_all();
-      out = std::move(*from_disk);
+      out = std::move(from_disk);
       return flight::hit;
     }
   }
@@ -201,10 +205,11 @@ result_cache::flight result_cache::lookup_or_lead(
 
 void result_cache::store(const cache_key& key, entry e) {
   if (!options_.disk_dir.empty()) disk_store(key, e);
+  entry_ptr shared = std::make_shared<const entry>(std::move(e));
   {
     std::lock_guard<std::mutex> guard(lock_);
     ++stats_.stores;
-    insert_locked(key, std::move(e));
+    insert_locked(key, std::move(shared));
     inflight_.erase(key.canonical);
   }
   flight_done_.notify_all();
@@ -256,7 +261,14 @@ void result_cache::store_negative(const cache_key& key, negative_entry e) {
 
 cache_stats result_cache::stats() const {
   std::lock_guard<std::mutex> guard(lock_);
-  return stats_;
+  // One atomic snapshot: the occupancy fields are captured under the same
+  // lock as the counters, so a concurrent store can never yield a stats
+  // document whose numbers disagree with each other.
+  cache_stats out = stats_;
+  out.entries = order_.size();
+  out.bytes = bytes_;
+  out.negative_entries = negative_order_.size();
+  return out;
 }
 
 std::size_t result_cache::size() const {
@@ -268,17 +280,33 @@ void result_cache::touch(lru_list::iterator it) {
   order_.splice(order_.begin(), order_, it);
 }
 
-void result_cache::insert_locked(const cache_key& key, entry e) {
+void result_cache::insert_locked(const cache_key& key, entry_ptr e) {
   const auto it = index_.find(key.canonical);
   if (it != index_.end()) {
+    bytes_ -= charge(it->second->value);
+    bytes_ += charge(e);
     it->second->identity = key.identity;
     it->second->value = std::move(e);
     touch(it->second);
+    evict_to_budget_locked();
     return;
   }
+  bytes_ += charge(e);
   order_.push_front(slot{key.canonical, key.identity, std::move(e)});
   index_[key.canonical] = order_.begin();
-  while (order_.size() > options_.memory_entries) {
+  evict_to_budget_locked();
+}
+
+void result_cache::evict_to_budget_locked() {
+  // Entry-count bound first, then the byte budget; both stop before
+  // evicting the most recently touched entry, so one oversized document
+  // still caches (exceeding the byte budget by exactly that entry).
+  while (order_.size() > 1 &&
+         (order_.size() > options_.memory_entries ||
+          (options_.memory_bytes > 0 && bytes_ > options_.memory_bytes))) {
+    const std::size_t released = charge(order_.back().value);
+    bytes_ -= released;
+    stats_.bytes_evicted += released;
     index_.erase(order_.back().canonical);
     order_.pop_back();
     ++stats_.evictions;
@@ -289,12 +317,11 @@ std::string result_cache::disk_path(const cache_key& key) const {
   return options_.disk_dir + "/" + key.digest() + ".json";
 }
 
-std::optional<result_cache::entry> result_cache::disk_lookup(
-    const cache_key& key) {
+result_cache::entry_ptr result_cache::disk_lookup(const cache_key& key) {
   std::string text;
   {
     std::ifstream in(disk_path(key), std::ios::binary);
-    if (!in) return std::nullopt; // plain miss: no file for this digest
+    if (!in) return nullptr; // plain miss: no file for this digest
     std::ostringstream buffer;
     buffer << in.rdbuf();
     text = buffer.str();
@@ -307,7 +334,7 @@ std::optional<result_cache::entry> result_cache::disk_lookup(
   if (!parsed.ok()) {
     std::lock_guard<std::mutex> guard(lock_);
     ++stats_.disk_errors;
-    return std::nullopt;
+    return nullptr;
   }
   // Exact verification: re-derive the key from the embedded identity. A
   // digest collision (or a stale/corrupt file) reads as a miss.
@@ -316,16 +343,16 @@ std::optional<result_cache::entry> result_cache::disk_lookup(
   if (stored.canonical != key.canonical) {
     std::lock_guard<std::mutex> guard(lock_);
     ++stats_.disk_errors;
-    return std::nullopt;
+    return nullptr;
   }
   // An id-permuted twin's file (equal canonical, different id numbering)
   // is a plain miss, not an error: the caller recomputes and overwrites.
-  if (stored.identity != key.identity) return std::nullopt;
+  if (stored.identity != key.identity) return nullptr;
   flow_document doc = std::move(parsed).take();
   entry e;
   e.document = std::make_shared<const std::string>(std::move(text));
   e.flow = std::make_shared<const flow_result>(std::move(doc.flow));
-  return e;
+  return std::make_shared<const entry>(std::move(e));
 }
 
 void result_cache::disk_store(const cache_key& key, const entry& e) {

@@ -11,12 +11,19 @@
 // text is kept alongside and compared exactly on every lookup, so a hash
 // collision degrades to a miss, never to a wrong result.
 //
-// Tiers. An in-memory LRU tier (bounded entry count) sits in front of an
-// optional on-disk tier (one file per key, <dir>/<16-hex-digest>.json,
-// written atomically via rename). Disk entries are the api/serialize.h flow
+// Tiers. An in-memory LRU tier (bounded by entry count AND by a byte
+// budget charged from stored document sizes) sits in front of an optional
+// on-disk tier (one file per key, <dir>/<16-hex-digest>.json, written
+// atomically via rename). Disk entries are the api/serialize.h flow
 // documents themselves -- self-describing and human-inspectable; on a disk
 // hit the document is deserialized, its key re-derived from the embedded
 // (graph, options) and verified, and the entry promoted into memory.
+//
+// Zero-copy hits. Entries are immutable and handed out as
+// shared_ptr<const entry>: a hit shares the stored flow_result and
+// document bytes with the cache (and with every other concurrent hit)
+// instead of deep-copying them -- the serve front end writes the document
+// bytes straight from the shared entry.
 //
 // Only fully completed (status::ok) results are cached; best-effort
 // time_limit/cancelled outcomes and failures are always recomputed.
@@ -86,6 +93,13 @@ struct result_cache_options {
   /// outcomes (infeasible / invalid_input) that are deterministic for the
   /// key and therefore pointless to re-solve. 0 disables negative caching.
   std::size_t negative_entries = 256;
+  /// Byte budget of the in-memory tier, each entry charged the size of its
+  /// stored document. 0 = no byte bound (entry count still applies).
+  /// Least-recently-used entries are evicted until the tier fits; the most
+  /// recently stored entry is always kept, so a single document larger
+  /// than the budget still caches (the budget is then exceeded by exactly
+  /// that one entry).
+  std::size_t memory_bytes = 0;
 };
 
 struct cache_stats {
@@ -95,6 +109,12 @@ struct cache_stats {
   std::uint64_t misses = 0;
   std::uint64_t stores = 0;
   std::uint64_t evictions = 0;
+  /// Bytes released by memory-tier evictions (document sizes of evicted
+  /// entries; the on-disk copies, when a disk tier exists, remain).
+  std::uint64_t bytes_evicted = 0;
+  /// Memory hits that coalesced onto a concurrent leader's in-flight solve
+  /// (a subset of memory_hits: the waiter paid a wait, not a solve).
+  std::uint64_t coalesced_hits = 0;
   /// Disk entries that could not be read, parsed, or key-verified (treated
   /// as misses).
   std::uint64_t disk_errors = 0;
@@ -103,6 +123,13 @@ struct cache_stats {
   std::uint64_t negative_hits = 0;
   std::uint64_t negative_stores = 0;
   std::uint64_t negative_evictions = 0;
+  /// Point-in-time occupancy, captured under the same lock as the counters
+  /// above: stats() is one atomic snapshot, so `lookups == memory_hits +
+  /// disk_hits + misses` and `entries`/`bytes` agree with the counters no
+  /// matter what runs concurrently.
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t negative_entries = 0;
 };
 
 class result_cache {
@@ -116,11 +143,16 @@ public:
     std::shared_ptr<const std::string> document;
     std::shared_ptr<const flow_result> flow;
   };
+  /// How entries are handed out: shared and immutable. Every hit on one
+  /// key returns the same entry object -- no per-hit copy of the
+  /// flow_result or the document bytes.
+  using entry_ptr = std::shared_ptr<const entry>;
 
   /// Memory tier first, then disk. A hit refreshes LRU recency. Does not
   /// join or lead flights (a concurrent solve of the same key reads as a
-  /// plain miss) -- the solve paths use lookup_or_lead instead.
-  [[nodiscard]] std::optional<entry> lookup(const cache_key& key);
+  /// plain miss) -- the solve paths use lookup_or_lead instead. Null on a
+  /// miss.
+  [[nodiscard]] entry_ptr lookup(const cache_key& key);
 
   /// Outcome of a single-flight lookup.
   enum class flight {
@@ -136,7 +168,7 @@ public:
   /// Single-flight lookup (see header comment). `give_up` is polled while
   /// waiting on a concurrent leader; return true to stop waiting (e.g. a
   /// fired cancel token or an expired deadline).
-  [[nodiscard]] flight lookup_or_lead(const cache_key& key, entry& out,
+  [[nodiscard]] flight lookup_or_lead(const cache_key& key, entry_ptr& out,
                                       const std::function<bool()>& give_up);
 
   /// Insert (or refresh) an entry in both tiers; completes a flight on
@@ -175,14 +207,20 @@ private:
   struct slot {
     std::string canonical;
     std::string identity;
-    entry value;
+    entry_ptr value;
   };
   using lru_list = std::list<slot>;
 
-  /// Both expect lock_ held.
+  /// Document size charged against the byte budget.
+  [[nodiscard]] static std::size_t charge(const entry_ptr& e) {
+    return e && e->document ? e->document->size() : 0;
+  }
+
+  /// All three expect lock_ held.
   void touch(lru_list::iterator it);
-  void insert_locked(const cache_key& key, entry e);
-  [[nodiscard]] std::optional<entry> disk_lookup(const cache_key& key);
+  void insert_locked(const cache_key& key, entry_ptr e);
+  void evict_to_budget_locked();
+  [[nodiscard]] entry_ptr disk_lookup(const cache_key& key);
   void disk_store(const cache_key& key, const entry& e);
   [[nodiscard]] std::string disk_path(const cache_key& key) const;
 
@@ -196,6 +234,7 @@ private:
   result_cache_options options_;
   mutable std::mutex lock_;
   lru_list order_; // front = most recent
+  std::size_t bytes_ = 0; // sum of charge() over order_
   std::unordered_map<std::string, lru_list::iterator> index_; // by canonical
   negative_list negative_order_; // front = most recent
   std::unordered_map<std::string, negative_list::iterator> negative_index_;

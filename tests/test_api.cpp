@@ -264,7 +264,7 @@ TEST(ApiExecutor, DeterministicAcrossWorkerCounts) {
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
       EXPECT_EQ(outcomes[i].index, i);
       EXPECT_EQ(outcomes[i].code, status::ok) << outcomes[i].message;
-      EXPECT_TRUE(outcomes[i].flow.has_value());
+      EXPECT_TRUE(static_cast<bool>(outcomes[i].flow));
       reports.push_back(
           to_json(jobs[i].graph, *outcomes[i].flow, /*include_timing=*/false));
     }
@@ -308,7 +308,7 @@ TEST(ApiExecutor, CancelledBatchReportsCancelled) {
   const auto outcomes = pool.run(jobs, ctx);
   ASSERT_EQ(outcomes.size(), 1u);
   EXPECT_EQ(outcomes[0].code, status::cancelled);
-  EXPECT_FALSE(outcomes[0].flow.has_value());
+  EXPECT_FALSE(static_cast<bool>(outcomes[0].flow));
 }
 
 // ------------------------------------------------------------ result cache
@@ -372,7 +372,7 @@ TEST(ApiResultCache, SixAssayReplayIsByteIdenticalWithZeroSolves) {
     ASSERT_NE(second[i].result_json, nullptr) << jobs[i].name;
     // Byte-identical stored documents and summary reports.
     EXPECT_EQ(*second[i].result_json, *first[i].result_json) << jobs[i].name;
-    ASSERT_TRUE(second[i].flow.has_value());
+    ASSERT_TRUE(static_cast<bool>(second[i].flow));
     EXPECT_EQ(to_json(jobs[i].graph, *second[i].flow),
               to_json(jobs[i].graph, *first[i].flow))
         << jobs[i].name;
@@ -405,7 +405,7 @@ TEST(ApiResultCache, IlpScheduleIsCachedNotResolved) {
   auto first = p.run_cached(ctx);
   ASSERT_TRUE(first.outcome.ok()) << first.outcome.message();
   EXPECT_FALSE(first.cache_hit);
-  EXPECT_TRUE(first.outcome.value().scheduling.used_ilp);
+  EXPECT_TRUE(first.outcome.value()->scheduling.used_ilp);
   EXPECT_GT(schedule_events.load(), 0);
 
   schedule_events = 0;
@@ -414,7 +414,7 @@ TEST(ApiResultCache, IlpScheduleIsCachedNotResolved) {
   EXPECT_TRUE(second.cache_hit);
   EXPECT_EQ(schedule_events.load(), 0);
   EXPECT_EQ(*second.document, *first.document);
-  EXPECT_TRUE(second.outcome.value().scheduling.used_ilp);
+  EXPECT_TRUE(second.outcome.value()->scheduling.used_ilp);
 }
 
 TEST(ApiResultCache, ConcurrentSameKeyRequestsCoalesceToOneSolve) {
@@ -621,7 +621,7 @@ TEST(ApiExecutorBatch, BoundedQueueShedsLowestPriorityJobs) {
   ASSERT_EQ(outcomes.size(), 3u);
   EXPECT_EQ(outcomes[0].code, status::ok) << outcomes[0].message;
   EXPECT_EQ(outcomes[1].code, status::queue_full);
-  EXPECT_FALSE(outcomes[1].flow.has_value());
+  EXPECT_FALSE(static_cast<bool>(outcomes[1].flow));
   EXPECT_EQ(outcomes[2].code, status::ok) << outcomes[2].message;
 }
 
@@ -637,6 +637,110 @@ TEST(ApiExecutorService, ShutdownRefusesNewSubmissions) {
   auto t2 = pool.submit(j);
   EXPECT_FALSE(t2.has_value());
   EXPECT_EQ(t2.code(), status::cancelled);
+}
+
+TEST(ApiResultCache, HitSharesTheStoredResultWithoutCopying) {
+  // The zero-copy contract: a hit hands out the cache entry's own
+  // flow_result and document (pointer identity), so serving N hits costs
+  // zero per-hit copies of either.
+  auto cache = std::make_shared<result_cache>(result_cache_options{4, ""});
+  pipeline p(assay::make_pcr(), heuristic_options());
+  p.set_cache(cache);
+
+  auto first = p.run_cached();
+  ASSERT_TRUE(first.outcome.ok()) << first.outcome.message();
+  EXPECT_FALSE(first.cache_hit);
+  ASSERT_NE(first.document, nullptr);
+
+  auto second = p.run_cached();
+  auto third = p.run_cached();
+  ASSERT_TRUE(second.outcome.ok());
+  ASSERT_TRUE(third.outcome.ok());
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_TRUE(third.cache_hit);
+  // The solve itself stored the very object it returned, so every later
+  // hit aliases the first outcome too -- one flow_result, one document.
+  EXPECT_EQ(second.outcome.value().get(), first.outcome.value().get());
+  EXPECT_EQ(third.outcome.value().get(), first.outcome.value().get());
+  EXPECT_EQ(second.document.get(), first.document.get());
+  EXPECT_EQ(third.document.get(), first.document.get());
+}
+
+TEST(ApiExecutorService, StatsSnapshotCountsTheWholeLifecycle) {
+  executor_options options;
+  options.workers = 2;
+  options.cache = std::make_shared<result_cache>(result_cache_options{8, ""});
+  executor pool(options);
+
+  const executor_stats idle = pool.stats();
+  EXPECT_EQ(idle.submitted, 0u);
+  EXPECT_EQ(idle.completed, 0u);
+
+  job j;
+  j.graph = assay::make_pcr();
+  j.options = heuristic_options();
+  std::vector<executor::ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    auto t = pool.submit(j);
+    ASSERT_TRUE(t.has_value()) << t.message();
+    tickets.push_back(t.value());
+  }
+  for (const executor::ticket t : tickets)
+    EXPECT_EQ(pool.wait(t).code, status::ok);
+
+  const executor_stats done = pool.stats();
+  EXPECT_EQ(done.submitted, 4u);
+  EXPECT_EQ(done.completed, 4u);
+  EXPECT_EQ(done.pending, 0u);
+  EXPECT_EQ(done.running, 0u);
+  EXPECT_EQ(done.rejected_queue_full, 0u);
+  // Four identical jobs: one solve, the rest served from the cache
+  // (coalesced flights also count as hits in the job outcome).
+  EXPECT_EQ(done.cache_hits, 3u);
+}
+
+TEST(ApiExecutorService, StatsSnapshotIsConsistentUnderConcurrency) {
+  // Hammer submit/wait from several threads while snapshotting: in every
+  // snapshot the lifecycle identity submitted == completed + running +
+  // pending + (completed-but-unredeemed) bounds to submitted >= completed
+  // and completed >= redeemed; the atomic-snapshot guarantee is that the
+  // counters can never read torn (e.g. completed > submitted).
+  executor_options options;
+  options.workers = 2;
+  options.cache = std::make_shared<result_cache>(result_cache_options{8, ""});
+  executor pool(options);
+
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load()) {
+      const executor_stats s = pool.stats();
+      EXPECT_LE(s.completed, s.submitted);
+      EXPECT_LE(s.pending + s.running, s.submitted);
+      EXPECT_LE(s.cache_hits, s.completed);
+    }
+  });
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c)
+    clients.emplace_back([&] {
+      job j;
+      j.graph = assay::make_pcr();
+      j.options = heuristic_options();
+      for (int i = 0; i < 4; ++i) {
+        auto t = pool.submit(j);
+        ASSERT_TRUE(t.has_value()) << t.message();
+        EXPECT_EQ(pool.wait(t.value()).code, status::ok);
+      }
+    });
+  for (std::thread& t : clients) t.join();
+  stop.store(true);
+  snapshotter.join();
+
+  const executor_stats s = pool.stats();
+  EXPECT_EQ(s.submitted, 12u);
+  EXPECT_EQ(s.completed, 12u);
+  EXPECT_EQ(s.pending, 0u);
+  EXPECT_EQ(s.running, 0u);
 }
 
 } // namespace

@@ -530,7 +530,7 @@ TEST(ResultCache, TruncatedDiskEntryDegradesToAMiss) {
   std::filesystem::resize_file(path, full_size / 2);
 
   api::result_cache cache(api::result_cache_options{4, dir});
-  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_FALSE(static_cast<bool>(cache.lookup(key)));
   EXPECT_EQ(cache.stats().disk_errors, 1u);
   EXPECT_EQ(cache.stats().misses, 1u);
   std::filesystem::remove_all(dir);

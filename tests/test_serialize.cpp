@@ -5,10 +5,12 @@
 // to every option), and the two result-cache tiers (LRU memory, on-disk).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/pipeline.h"
@@ -384,8 +386,8 @@ TEST(CacheKey, PermutedTwinSharesTheKeyButNeverBorrowsTheResult) {
   ASSERT_TRUE(twin.outcome.ok()) << twin.outcome.message();
   EXPECT_FALSE(twin.cache_hit);
   // ... its schedule genuinely describes b (op 0 is the 60s operation).
-  EXPECT_EQ(twin.outcome.value().scheduling.best.ops[0].end -
-                twin.outcome.value().scheduling.best.ops[0].start,
+  EXPECT_EQ(twin.outcome.value()->scheduling.best.ops[0].end -
+                twin.outcome.value()->scheduling.best.ops[0].start,
             60);
 
   // Replays of the overwriting variant now hit.
@@ -418,18 +420,122 @@ TEST(ResultCache, LruEvictsLeastRecentlyUsed) {
 
   cache.store(k1, dummy_entry("one"));
   cache.store(k2, dummy_entry("two"));
-  ASSERT_TRUE(cache.lookup(k1).has_value()); // k1 now most recent
+  ASSERT_TRUE(static_cast<bool>(cache.lookup(k1))); // k1 now most recent
   cache.store(k3, dummy_entry("three"));     // evicts k2
 
   EXPECT_EQ(cache.size(), 2u);
-  EXPECT_TRUE(cache.lookup(k1).has_value());
-  EXPECT_FALSE(cache.lookup(k2).has_value());
-  EXPECT_TRUE(cache.lookup(k3).has_value());
+  EXPECT_TRUE(static_cast<bool>(cache.lookup(k1)));
+  EXPECT_FALSE(static_cast<bool>(cache.lookup(k2)));
+  EXPECT_TRUE(static_cast<bool>(cache.lookup(k3)));
   const api::cache_stats stats = cache.stats();
   EXPECT_EQ(stats.evictions, 1u);
   EXPECT_EQ(stats.stores, 3u);
   EXPECT_EQ(stats.memory_hits, 3u);
   EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ResultCache, ByteBudgetEvictsLruUntilUnderBudget) {
+  api::result_cache_options co;
+  co.memory_entries = 64; // entry count alone would never evict here
+  co.memory_bytes = 10;
+  api::result_cache cache(co);
+  const api::cache_key k1 = key_for_seed(11);
+  const api::cache_key k2 = key_for_seed(12);
+  const api::cache_key k3 = key_for_seed(13);
+
+  cache.store(k1, dummy_entry("aaaa")); // 4 bytes
+  cache.store(k2, dummy_entry("bbbb")); // 8 bytes total
+  EXPECT_EQ(cache.stats().bytes, 8u);
+  cache.store(k3, dummy_entry("cccc")); // 12 -> evict k1 (LRU) back to 8
+
+  const api::cache_stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.bytes, 8u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.bytes_evicted, 4u);
+  EXPECT_FALSE(static_cast<bool>(cache.lookup(k1)));
+  EXPECT_TRUE(static_cast<bool>(cache.lookup(k2)));
+  EXPECT_TRUE(static_cast<bool>(cache.lookup(k3)));
+}
+
+TEST(ResultCache, OversizedEntryStaysCachedAloneUnderByteBudget) {
+  api::result_cache_options co;
+  co.memory_entries = 64;
+  co.memory_bytes = 6;
+  api::result_cache cache(co);
+  const api::cache_key small = key_for_seed(21);
+  const api::cache_key big = key_for_seed(22);
+
+  cache.store(small, dummy_entry("xy")); // 2 bytes, fits
+  // A document larger than the whole budget still caches: the most
+  // recently stored entry is always kept, everything older is evicted.
+  cache.store(big, dummy_entry(std::string(64, 'z')));
+
+  const api::cache_stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, 64u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.bytes_evicted, 2u);
+  EXPECT_FALSE(static_cast<bool>(cache.lookup(small)));
+  EXPECT_TRUE(static_cast<bool>(cache.lookup(big)));
+}
+
+TEST(ResultCache, HitsShareOneEntryObject) {
+  // Zero-copy handout: every hit on a key returns the same shared entry
+  // (and hence the same flow_result and document bytes) -- no per-hit
+  // deep copy anywhere on the hit path.
+  api::result_cache cache(api::result_cache_options{4, ""});
+  const api::cache_key k = key_for_seed(31);
+  cache.store(k, dummy_entry("shared"));
+
+  const api::result_cache::entry_ptr a = cache.lookup(k);
+  const api::result_cache::entry_ptr b = cache.lookup(k);
+  ASSERT_TRUE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a->flow.get(), b->flow.get());
+  EXPECT_EQ(a->document.get(), b->document.get());
+}
+
+TEST(ResultCache, StatsSnapshotIsConsistentUnderConcurrentTraffic) {
+  // Writers store and read back distinct keys while a snapshotter spins:
+  // because occupancy is captured under the same lock as the counters,
+  // every snapshot satisfies the identities exactly (lookups fully
+  // accounted, occupancy within both configured bounds).
+  api::result_cache_options co;
+  co.memory_entries = 8;
+  co.memory_bytes = 64;
+  api::result_cache cache(co);
+
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load()) {
+      const api::cache_stats s = cache.stats();
+      EXPECT_EQ(s.lookups, s.memory_hits + s.disk_hits + s.misses);
+      EXPECT_LE(s.entries, 8u);
+      EXPECT_LE(s.evictions, s.stores); // can never evict more than stored
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w)
+    writers.emplace_back([&cache, w] {
+      for (int i = 0; i < 200; ++i) {
+        const api::cache_key k =
+            key_for_seed(static_cast<std::uint64_t>(100 + w * 200 + i));
+        cache.store(k, dummy_entry("doc-" + std::to_string(i)));
+        (void)cache.lookup(k);
+      }
+    });
+  for (std::thread& t : writers) t.join();
+  stop.store(true);
+  snapshotter.join();
+
+  const api::cache_stats s = cache.stats();
+  EXPECT_EQ(s.stores, 600u);
+  EXPECT_EQ(s.lookups, s.memory_hits + s.disk_hits + s.misses);
+  EXPECT_LE(s.entries, 8u);
+  EXPECT_GT(s.bytes_evicted, 0u);
 }
 
 TEST(ResultCache, DiskTierSurvivesProcessBoundary) {
@@ -461,7 +567,7 @@ TEST(ResultCache, DiskTierSurvivesProcessBoundary) {
   auto cache = std::make_shared<api::result_cache>(
       api::result_cache_options{4, dir});
   auto hit = cache->lookup(key);
-  ASSERT_TRUE(hit.has_value());
+  ASSERT_TRUE(static_cast<bool>(hit));
   EXPECT_EQ(cache->stats().disk_hits, 1u);
 
   api::pipeline p(graph, o);
@@ -471,7 +577,7 @@ TEST(ResultCache, DiskTierSurvivesProcessBoundary) {
   EXPECT_TRUE(replay.cache_hit);
   ASSERT_NE(replay.document, nullptr);
   EXPECT_EQ(*replay.document, *hit->document);
-  EXPECT_EQ(api::serialize_flow(graph, o, replay.outcome.value()),
+  EXPECT_EQ(api::serialize_flow(graph, o, *replay.outcome.value()),
             *replay.document);
 
   std::filesystem::remove_all(dir);
@@ -495,7 +601,7 @@ TEST(ResultCache, CorruptDiskEntryIsAMissNotAWrongResult) {
     std::fclose(f);
   }
   api::result_cache cache(api::result_cache_options{4, dir});
-  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_FALSE(static_cast<bool>(cache.lookup(key)));
   EXPECT_EQ(cache.stats().disk_errors, 1u);
   EXPECT_EQ(cache.stats().misses, 1u);
   std::filesystem::remove_all(dir);

@@ -1,0 +1,292 @@
+// api::serve_front: socket transport, per-connection response ordering,
+// framing hardening, backpressure shedding, and the stats snapshot.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "api/serve.h"
+
+namespace transtore::api {
+namespace {
+
+std::string socket_path(const char* tag) {
+  // Unix socket paths are short; keep them in /tmp rather than the (long)
+  // gtest temp dir.
+  return "/tmp/transtore_test_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+serve_options options_for(const std::string& path) {
+  serve_options o;
+  o.unix_path = path;
+  o.framing_error = [](const char* code, const std::string& message) {
+    return std::string("error ") + code + ": " + message;
+  };
+  return o;
+}
+
+/// The writer thread records response metrics just after the bytes hit
+/// the socket, so a client can observe its response a hair before the
+/// counters move. Poll until they settle (bounded).
+serve_stats stats_after(const serve_front& front, std::uint64_t responses) {
+  serve_stats stats = front.stats();
+  for (int i = 0; i < 2000 && stats.responses < responses; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    stats = front.stats();
+  }
+  return stats;
+}
+
+/// Blocking line-oriented client on a unix socket.
+class client {
+public:
+  explicit client(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    connected_ = fd_ >= 0 && ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                                       sizeof(addr)) == 0;
+  }
+  ~client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  void send_line(const std::string& line) { send_raw(line + "\n"); }
+  void send_raw(const std::string& bytes) {
+    const char* data = bytes.data();
+    std::size_t size = bytes.size();
+    while (size > 0) {
+      const ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      data += n;
+      size -= static_cast<std::size_t>(n);
+    }
+  }
+  void close_write() { ::shutdown(fd_, SHUT_WR); }
+
+  /// Next response line ("" on EOF).
+  std::string read_line() {
+    std::string line;
+    char c;
+    for (;;) {
+      const ssize_t n = ::read(fd_, &c, 1);
+      if (n <= 0) return line;
+      if (c == '\n') return line;
+      line.push_back(c);
+    }
+  }
+
+private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+TEST(ServeFront, ResponsesStayInRequestOrderAcrossDeferredWork) {
+  const std::string path = socket_path("order");
+  // The first request's deferred reply is gated shut until the second
+  // request has been admitted -- if ordering were by completion, "second"
+  // would overtake "first".
+  std::mutex lock;
+  std::condition_variable cv;
+  bool second_admitted = false;
+
+  serve_front front(options_for(path), [&](const std::string& line,
+                                           const serve_request_info& info) {
+    serve_reply reply;
+    reply.op = "echo";
+    if (info.sequence == 1) {
+      reply.finish = [&, line] {
+        std::unique_lock<std::mutex> guard(lock);
+        cv.wait(guard, [&] { return second_admitted; });
+        return "first:" + line;
+      };
+    } else {
+      {
+        std::lock_guard<std::mutex> guard(lock);
+        second_admitted = true;
+      }
+      cv.notify_all();
+      reply.line = "second:" + line;
+    }
+    return reply;
+  });
+  ASSERT_EQ(front.start(), "");
+
+  client c(path);
+  ASSERT_TRUE(c.connected());
+  c.send_line("a");
+  c.send_line("b");
+  EXPECT_EQ(c.read_line(), "first:a");
+  EXPECT_EQ(c.read_line(), "second:b");
+
+  const serve_stats stats = stats_after(front, 2);
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.responses, 2u);
+  const auto echo = stats.latency.find("echo");
+  ASSERT_NE(echo, stats.latency.end());
+  EXPECT_EQ(echo->second.count, 2u);
+  front.stop();
+}
+
+TEST(ServeFront, ManyConnectionsMultiplexOntoOneHandler) {
+  const std::string path = socket_path("multi");
+  serve_front front(options_for(path),
+                    [](const std::string& line, const serve_request_info&) {
+                      serve_reply reply;
+                      reply.op = "echo";
+                      reply.line = "ok:" + line;
+                      return reply;
+                    });
+  ASSERT_EQ(front.start(), "");
+
+  constexpr int kConnections = 16;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kConnections; ++i)
+    threads.emplace_back([&path, i] {
+      client c(path);
+      ASSERT_TRUE(c.connected());
+      const std::string tag = "conn-" + std::to_string(i);
+      for (int r = 0; r < 4; ++r) {
+        c.send_line(tag);
+        ASSERT_EQ(c.read_line(), "ok:" + tag);
+      }
+    });
+  for (std::thread& t : threads) t.join();
+
+  const serve_stats stats = stats_after(front, 16u * 4u);
+  EXPECT_EQ(stats.connections_accepted, 16u);
+  EXPECT_EQ(stats.requests, 16u * 4u);
+  EXPECT_EQ(stats.responses, 16u * 4u);
+  front.stop();
+}
+
+TEST(ServeFront, OversizedLineIsAStructuredErrorAndTheNextLineStillWorks) {
+  const std::string path = socket_path("oversize");
+  serve_options o = options_for(path);
+  o.max_line_bytes = 64;
+  serve_front front(o,
+                    [](const std::string& line, const serve_request_info&) {
+                      serve_reply reply;
+                      reply.op = "echo";
+                      reply.line = "ok:" + line;
+                      return reply;
+                    });
+  ASSERT_EQ(front.start(), "");
+
+  client c(path);
+  ASSERT_TRUE(c.connected());
+  c.send_line(std::string(200, 'x'));
+  c.send_line("after");
+  const std::string err = c.read_line();
+  EXPECT_NE(err.find("error invalid_input"), std::string::npos) << err;
+  EXPECT_NE(err.find("64-byte limit"), std::string::npos) << err;
+  EXPECT_EQ(c.read_line(), "ok:after");
+  EXPECT_EQ(stats_after(front, 2).framing_errors, 1u);
+  front.stop();
+}
+
+TEST(ServeFront, TruncatedFinalRequestIsAnswered) {
+  const std::string path = socket_path("truncated");
+  serve_front front(options_for(path),
+                    [](const std::string& line, const serve_request_info&) {
+                      serve_reply reply;
+                      reply.line = "ok:" + line;
+                      return reply;
+                    });
+  ASSERT_EQ(front.start(), "");
+
+  client c(path);
+  ASSERT_TRUE(c.connected());
+  c.send_raw("no newline"); // EOF will strike mid-line
+  c.close_write();
+  const std::string err = c.read_line();
+  EXPECT_NE(err.find("truncated request"), std::string::npos) << err;
+  front.stop();
+}
+
+TEST(ServeFront, OverloadedConnectionIsShedNotQueued) {
+  const std::string path = socket_path("shed");
+  serve_options o = options_for(path);
+  o.max_inflight = 1;
+
+  std::mutex lock;
+  std::condition_variable cv;
+  bool release = false;
+  serve_front front(o, [&](const std::string& line,
+                           const serve_request_info& info) {
+    serve_reply reply;
+    if (info.overloaded) {
+      reply.op = "shed";
+      reply.shed = true;
+      reply.line = "shed:" + line;
+      return reply;
+    }
+    reply.op = "work";
+    reply.finish = [&, line] {
+      std::unique_lock<std::mutex> guard(lock);
+      cv.wait(guard, [&] { return release; });
+      return "done:" + line;
+    };
+    return reply;
+  });
+  ASSERT_EQ(front.start(), "");
+
+  client c(path);
+  ASSERT_TRUE(c.connected());
+  c.send_line("slow");  // admitted; its reply is gated shut
+  c.send_line("extra"); // inflight already at the cap: shed
+  // Responses still arrive in request order: the shed line waits for the
+  // gated reply ahead of it.
+  {
+    std::lock_guard<std::mutex> guard(lock);
+    release = true;
+  }
+  cv.notify_all();
+  EXPECT_EQ(c.read_line(), "done:slow");
+  EXPECT_EQ(c.read_line(), "shed:extra");
+
+  const serve_stats stats = stats_after(front, 2);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.requests, 2u);
+  front.stop();
+}
+
+TEST(ServeFront, HandlerShutdownReplyUnblocksWait) {
+  const std::string path = socket_path("shutdown");
+  serve_front front(options_for(path),
+                    [](const std::string&, const serve_request_info&) {
+                      serve_reply reply;
+                      reply.op = "shutdown";
+                      reply.line = "bye";
+                      reply.shutdown_server = true;
+                      reply.close_connection = true;
+                      return reply;
+                    });
+  ASSERT_EQ(front.start(), "");
+
+  client c(path);
+  ASSERT_TRUE(c.connected());
+  c.send_line("quit");
+  EXPECT_EQ(c.read_line(), "bye"); // the ack is written before teardown
+  front.wait();                    // returns because the handler asked
+  front.stop();
+  EXPECT_FALSE(std::filesystem::exists(path)); // listener socket unlinked
+}
+
+} // namespace
+} // namespace transtore::api
