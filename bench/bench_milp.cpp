@@ -1,8 +1,10 @@
 // MILP substrate benchmark: solves the paper's Table 2 scheduling
 // formulations (Table 1 model, objective (6)) with the sparse-LU dual
-// simplex defaults, the dense-inverse engine ablation, and the
-// seed-equivalent primal-only ablation; reports iterations, nodes and wall
-// time per assay, and dumps BENCH_milp.json for cross-PR tracking.
+// simplex defaults, the dense-inverse engine ablation, the seed-equivalent
+// primal-only ablation, the deterministic parallel engine at 1/4/8 workers
+// (threads1/threads4/threads8, bit-identical search, nodes_per_sec extra),
+// and the racing portfolio; reports iterations, nodes and wall time per
+// assay, and dumps BENCH_milp.json for cross-PR tracking.
 //
 //   bench_milp [--seconds S] [--assays PCR,IVD,...] [--row-limit R]
 //              [--dense-row-limit R] [--out FILE] [--smoke]
@@ -180,9 +182,23 @@ int main(int argc, char** argv) {
     no_presolve.node_selection = milp::node_rule::dfs;
     milp::solver_options dense_devex;
     dense_devex.lp.engine = milp::basis_engine::dense;
+    // Parallel-search ablation: the deterministic round engine at 1/4/8
+    // workers. Deterministic mode makes nodes/iterations/objective
+    // bit-identical across the three, so the only thing that moves is the
+    // nodes_per_sec extra -- the scaling headline diff_bench gates.
+    milp::solver_options threads1 = lu_defaults;
+    threads1.deterministic = true;
+    threads1.threads = 1;
+    milp::solver_options threads4 = threads1;
+    threads4.threads = 4;
+    milp::solver_options threads8 = threads1;
+    threads8.threads = 8;
     std::vector<config_spec> specs = {{"lu_dual_devex", lu_defaults},
                                       {"best_estimate", best_estimate},
-                                      {"no_presolve", no_presolve}};
+                                      {"no_presolve", no_presolve},
+                                      {"threads1", threads1},
+                                      {"threads4", threads4},
+                                      {"threads8", threads8}};
     if (dense_viable) {
       specs.push_back({"dense_dual_devex", dense_devex});
       specs.push_back({"primal_only", milp::classic_primal_only_options()});
@@ -215,6 +231,18 @@ int main(int argc, char** argv) {
                      static_cast<double>(sol.presolve_rows_removed)},
                     {"cuts_added", static_cast<double>(sol.cuts_added)},
                     {"root_bound", sol.root_bound}};
+      if (std::strncmp(specs[s].label, "threads", 7) == 0) {
+        r.extras.emplace_back("nodes_per_sec",
+                              elapsed > 0.0
+                                  ? static_cast<double>(sol.nodes_explored) /
+                                        elapsed
+                                  : 0.0);
+        r.extras.emplace_back("threads",
+                              static_cast<double>(sol.threads_used));
+        long steals = 0;
+        for (const auto& ws : sol.workers) steals += ws.steals;
+        r.extras.emplace_back("steals", static_cast<double>(steals));
+      }
       records.push_back(r);
 
       if (s == 0 && dense_viable) {
@@ -233,6 +261,56 @@ int main(int argc, char** argv) {
                   sol.simplex_iterations, sol.dual_simplex_iterations,
                   sol.strong_branch_probes, sol.objective, elapsed,
                   status_name(sol.status).c_str());
+    }
+
+    // Racing portfolio (sched::schedule_with_ilp): best_estimate + dfs +
+    // annealing on one shared incumbent board. Nodes/iterations are summed
+    // across both tree racers, so nodes_per_sec reads as aggregate
+    // portfolio throughput.
+    {
+      sched::ilp_scheduler_options po = so;
+      po.time_limit_seconds = seconds;
+      po.portfolio = true;
+      po.milp.threads = 2;
+      stopwatch watch;
+      const sched::ilp_schedule_result pr = sched::schedule_with_ilp(graph, po);
+      const double elapsed = watch.elapsed_seconds();
+
+      bench::bench_record r;
+      r.assay = name;
+      r.config = "portfolio";
+      r.seconds = elapsed;
+      r.nodes = pr.nodes;
+      r.simplex_iterations = pr.simplex_iterations;
+      r.objective = pr.ilp_objective;
+      r.status = status_name(pr.status);
+      r.variables = ilp.model.variable_count();
+      r.constraints = rows;
+      r.extras = {{"nodes_per_sec",
+                   elapsed > 0.0 ? static_cast<double>(pr.nodes) / elapsed
+                                 : 0.0},
+                  {"racers", static_cast<double>(pr.portfolio_racers)}};
+      records.push_back(r);
+      std::printf("%-7s %-12s %10d %8ld %10ld %10s %8s %12.3f %.3fs (%s, "
+                  "winner %s)\n",
+                  name.c_str(), "portfolio", rows, pr.nodes,
+                  pr.simplex_iterations, "-", "-", pr.ilp_objective, elapsed,
+                  status_name(pr.status).c_str(),
+                  pr.portfolio_winner.c_str());
+      // The portfolio must land on the same optimum as any proven-optimal
+      // single-config run.
+      for (std::size_t s = 0; s < specs.size(); ++s) {
+        if (pr.status != milp::solve_status::optimal ||
+            sols[s].status != milp::solve_status::optimal)
+          continue;
+        if (objectives_differ(pr.ilp_objective, sols[s].objective)) {
+          objectives_match = false;
+          std::printf("%-7s ERROR: portfolio optimum %.6f differs from "
+                      "%s %.6f\n",
+                      name.c_str(), pr.ilp_objective, specs[s].label,
+                      sols[s].objective);
+        }
+      }
     }
 
     // Cross-engine agreement: every pair of configurations that both proved

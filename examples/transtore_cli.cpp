@@ -25,6 +25,15 @@
 //   --deadline S    wall-clock budget in seconds; a hit returns the
 //                   best-effort result and exits 3 (distinct from errors)
 //   --workers N     executor worker threads for --all / serve (default 2)
+//   --threads N     MILP solver threads for the tree search (default 1;
+//                   0 = all cores). Under --all / serve the executor caps
+//                   each job so workers x threads stays within the
+//                   machine's cores (see api/README.md)
+//   --deterministic round-synchronized parallel search: bit-identical
+//                   results at any --threads value
+//   --portfolio     racing portfolio for the scheduling ILP: best_estimate
+//                   + dfs + annealing race on a shared incumbent; first
+//                   optimality proof cancels the rest
 //   --queue N       serve: bounded pending-job queue; overflow requests are
 //                   rejected with status "queue_full" (0 = unbounded)
 //   --cache-capacity N  in-memory result-cache entries (default 64;
@@ -103,6 +112,7 @@ int usage() {
       "       [--devices N] [--grid WxH] [--engine heuristic|ilp|combined]\n"
       "       [--beta B] [--time-only] [--baseline] [--json FILE|-]\n"
       "       [--svg FILE] [--seed S] [--deadline S] [--workers N]\n"
+      "       [--threads N] [--deterministic] [--portfolio]\n"
       "       [--queue N] [--cache-capacity N] [--cache-bytes N]\n"
       "       [--cache-dir DIR] [--socket PATH] [--tcp PORT]\n"
       "       [--max-inflight N]\n"
@@ -372,6 +382,18 @@ bool parse_flags(int argc, char** argv, int from, cli_args& args) {
         return false;
       }
       args.max_inflight = static_cast<std::size_t>(cap);
+    } else if (arg == "--threads") {
+      if ((value = next()) == nullptr) return false;
+      args.options.solver_threads = std::atoi(value);
+      if (args.options.solver_threads < 0) {
+        std::fprintf(stderr,
+                     "error: --threads expects >= 0 (0 = all cores)\n");
+        return false;
+      }
+    } else if (arg == "--deterministic") {
+      args.options.solver_deterministic = true;
+    } else if (arg == "--portfolio") {
+      args.options.portfolio = true;
     } else if (arg == "--fault") {
       if ((value = next()) == nullptr) return false;
       if (!parse_fault_spec(value, args)) return false;

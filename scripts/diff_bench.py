@@ -14,7 +14,12 @@ sub-100ms solves never trip it. Time-limited baseline records only require
 that the (assay, config) pair still runs and still produces an incumbent.
 Throughput records (any baseline record carrying "requests_per_sec", as
 written by serve_smoke.py --out) must not fall below the baseline rate by
-more than the --max-time-ratio factor.
+more than the --max-time-ratio factor. Node-throughput records (baseline
+records carrying "nodes_per_sec", as written by bench_milp's
+threads1/threads4/threads8 and portfolio configs) are gated the same
+collapse-only way: CI machines have arbitrary core counts, so the scaling
+RATIO between thread configs is not gated here, only that per-config
+throughput does not collapse.
 
 Exit codes: 0 ok, 1 regression(s), 2 usage/IO error, 3 baseline file
 missing (a distinct code so CI can tell "needs a baseline refresh" apart
@@ -80,6 +85,35 @@ def main():
                     f"{assay}/{config}: throughput regressed "
                     f"{br:.1f} -> {nr:.1f} req/s "
                     f"(> {args.max_time_ratio:.1f}x slower)")
+            continue
+        if b.get("nodes_per_sec", 0.0) > 0.0:
+            # Node-throughput gate for the parallel-search configs: the same
+            # collapse-only rule as requests_per_sec (CI core counts vary,
+            # so inter-config scaling ratios are not gated), plus the
+            # status/objective agreement checks. Node/iteration counts are
+            # NOT gated here -- the portfolio's split of work between racers
+            # is timing-dependent.
+            br, nr = b["nodes_per_sec"], n.get("nodes_per_sec", 0.0)
+            if nr < br / args.max_time_ratio:
+                failures.append(
+                    f"{assay}/{config}: node throughput regressed "
+                    f"{br:.1f} -> {nr:.1f} nodes/s "
+                    f"(> {args.max_time_ratio:.1f}x slower)")
+            if b.get("status") == "optimal":
+                if n.get("status") != "optimal":
+                    failures.append(
+                        f"{assay}/{config}: no longer proven optimal "
+                        f"(status {n.get('status')})")
+                elif abs(n["objective"] - b["objective"]) > 1e-6 * max(
+                        1.0, abs(b["objective"])):
+                    failures.append(
+                        f"{assay}/{config}: optimal objective changed "
+                        f"{b['objective']} -> {n['objective']}")
+            elif n.get("status") in ("infeasible", "unbounded",
+                                     "no_solution"):
+                failures.append(
+                    f"{assay}/{config}: status degraded to "
+                    f"{n.get('status')} (baseline {b.get('status')})")
             continue
         if b.get("status") != "optimal":
             # Time-limited baseline: just require an incumbent-bearing run.

@@ -42,6 +42,18 @@ job_outcome execute_job(const job& j, const run_context& ctx,
   return outcome;
 }
 
+/// Oversubscription guard (documented in api/README.md): with W worker jobs
+/// each allowed T solver threads, keep W x T <= hardware_concurrency by
+/// budgeting each job hardware_concurrency / W solver threads (floor 1). A
+/// caller-set budget is only ever tightened, never widened.
+int guarded_thread_budget(const run_context& ctx, int workers) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int cores = hw > 0 ? static_cast<int>(hw) : 1;
+  const int guard = std::max(1, cores / std::max(1, workers));
+  const int caller = ctx.thread_budget();
+  return caller > 0 ? std::min(caller, guard) : guard;
+}
+
 } // namespace
 
 // ------------------------------------------------------------ service mode
@@ -111,7 +123,9 @@ result<executor::ticket> executor::submit(job j, const run_context& ctx) {
   const ticket id = s.next_ticket++;
   ++s.submitted;
   s.open.insert(id);
-  s.heap.push_back(service_state::queued{std::move(j), ctx, id});
+  run_context job_ctx = ctx;
+  job_ctx.set_thread_budget(guarded_thread_budget(ctx, workers_));
+  s.heap.push_back(service_state::queued{std::move(j), std::move(job_ctx), id});
   std::push_heap(s.heap.begin(), s.heap.end(), service_state::later{});
   if (!s.workers_started) {
     s.workers_started = true;
@@ -232,6 +246,7 @@ std::vector<job_outcome> executor::run(
   // Progress callbacks from concurrently running pipelines funnel through
   // one lock so user callbacks never run concurrently with themselves.
   run_context job_ctx = ctx;
+  job_ctx.set_thread_budget(guarded_thread_budget(ctx, workers_));
   job_ctx.set_progress([&ctx, &callback_mutex](const progress_event& event) {
     std::lock_guard<std::mutex> lock(callback_mutex);
     ctx.report(event.stage, event.detail);

@@ -66,6 +66,24 @@ void write_schedule_section(json_writer& w, const assay::sequencing_graph& g,
     w.field("ilp_presolve_rows_removed", scheduling.ilp_presolve_rows_removed);
     w.field("ilp_cuts_added", scheduling.ilp_cuts_added);
     w.field("ilp_root_bound", scheduling.ilp_root_bound);
+    // Parallel-search footprint: emitted only when the parallel engine (or
+    // the portfolio) actually ran, so sequential documents are unchanged.
+    if (scheduling.ilp_threads > 1) w.field("ilp_threads", scheduling.ilp_threads);
+    if (!scheduling.ilp_workers.empty()) {
+      w.begin_array("ilp_workers");
+      for (const auto& ws : scheduling.ilp_workers) {
+        w.begin_object();
+        w.field("nodes", ws.nodes);
+        w.field("simplex_iterations", ws.simplex_iterations);
+        w.field("steals", ws.steals);
+        w.end_object();
+      }
+      w.end_array();
+    }
+    if (scheduling.portfolio_racers > 0) {
+      w.field("portfolio_racers", scheduling.portfolio_racers);
+      w.field("portfolio_winner", scheduling.portfolio_winner);
+    }
   }
   w.begin_array("operations");
   for (const auto& op : s.ops) {
@@ -218,6 +236,11 @@ result<scheduled> pipeline::schedule(const run_context& ctx) const {
     so.seed = o.seed;
     so.cancel = ctx.token();
     so.time_budget_seconds = ctx.budget_or_zero();
+    // Thread budget is an execution-time property (executor oversubscription
+    // guard), applied here so it never feeds into the cache key.
+    so.solver_threads = ctx.clamp_threads(o.solver_threads);
+    so.solver_deterministic = o.solver_deterministic;
+    so.portfolio = o.portfolio;
 
     scheduled stage;
     stage.state_ = state_;

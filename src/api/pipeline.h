@@ -60,6 +60,19 @@ struct pipeline_options {
   /// Simulated-annealing improvement iterations after the constructive
   /// schedulers (sched::scheduler_options::local_search_iterations).
   int local_search_iterations = 6000;
+  /// Worker threads for the scheduling MILP's branch-and-bound tree search
+  /// (sched::scheduler_options::solver_threads): 1 = sequential, 0 = all
+  /// hardware threads, > 1 = parallel engine. Clamped at execution time by
+  /// the run_context's thread budget (see run_context::set_thread_budget and
+  /// the executor's oversubscription guard) -- the clamp never changes the
+  /// cache key.
+  int solver_threads = 1;
+  /// Bit-identical deterministic parallel search at any thread count
+  /// (milp::solver_options::deterministic).
+  bool solver_deterministic = false;
+  /// Racing solver portfolio for the scheduling MILP
+  /// (sched::scheduler_options::portfolio).
+  bool portfolio = false;
 
   // Architecture.
   arch::synthesis_engine arch_engine = arch::synthesis_engine::heuristic;

@@ -55,6 +55,13 @@ public:
     log_ = std::move(sink);
     return *this;
   }
+  /// Cap on the solver threads any single stage may use (0 = uncapped).
+  /// The executor sets this on every job context so W concurrent jobs with
+  /// T solver threads each keep W x T within hardware_concurrency.
+  run_context& set_thread_budget(int threads) {
+    thread_budget_ = threads > 0 ? threads : 0;
+    return *this;
+  }
 
   [[nodiscard]] static run_context with_deadline(double seconds) {
     run_context ctx;
@@ -89,6 +96,16 @@ public:
 
   [[nodiscard]] const cancel_token& token() const { return cancel_; }
 
+  [[nodiscard]] int thread_budget() const { return thread_budget_; }
+  /// Apply the budget to a requested solver thread count: 0 (auto) becomes
+  /// the budget itself when one is set, and explicit requests are clamped
+  /// down to it. With no budget the request passes through.
+  [[nodiscard]] int clamp_threads(int requested) const {
+    if (thread_budget_ <= 0) return requested;
+    if (requested <= 0) return thread_budget_;
+    return requested < thread_budget_ ? requested : thread_budget_;
+  }
+
   [[nodiscard]] double elapsed_seconds() const {
     return std::chrono::duration<double>(clock::now() - created_).count();
   }
@@ -108,6 +125,7 @@ private:
   clock::time_point created_;
   clock::time_point deadline_{};
   bool has_deadline_ = false;
+  int thread_budget_ = 0;
   cancel_token cancel_;
   progress_callback progress_;
   log_sink log_;

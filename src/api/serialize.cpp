@@ -155,6 +155,25 @@ void write_scheduling(json_writer& w, const sched::scheduling_result& r) {
   w.field("ilp_presolve_rows_removed", r.ilp_presolve_rows_removed);
   w.field("ilp_cuts_added", r.ilp_cuts_added);
   w.field_exact("ilp_root_bound", r.ilp_root_bound);
+  // Parallel/portfolio footprint, only when present -- sequential documents
+  // keep the pre-parallel byte layout.
+  if (r.ilp_threads != 1) w.field("ilp_threads", r.ilp_threads);
+  if (!r.ilp_workers.empty()) {
+    w.begin_array("ilp_workers");
+    for (const auto& ws : r.ilp_workers) {
+      w.begin_object();
+      w.field("nodes", ws.nodes);
+      w.field("simplex_iterations", ws.simplex_iterations);
+      w.field("dual_simplex_iterations", ws.dual_simplex_iterations);
+      w.field("steals", ws.steals);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  if (r.portfolio_racers > 0) {
+    w.field("portfolio_racers", r.portfolio_racers);
+    w.field("portfolio_winner", r.portfolio_winner);
+  }
   w.key("best");
   sched::write_schedule(w, r.best);
   w.end_object();
@@ -177,6 +196,22 @@ void write_scheduling(json_writer& w, const sched::scheduling_result& r) {
   r.ilp_presolve_rows_removed = v.at("ilp_presolve_rows_removed").as_int();
   r.ilp_cuts_added = v.at("ilp_cuts_added").as_int();
   r.ilp_root_bound = v.at("ilp_root_bound").as_double();
+  if (const json_value* threads = v.find("ilp_threads"))
+    r.ilp_threads = threads->as_int();
+  if (const json_value* workers = v.find("ilp_workers")) {
+    for (const json_value& e : workers->elements()) {
+      milp::worker_stats ws;
+      ws.nodes = e.at("nodes").as_long();
+      ws.simplex_iterations = e.at("simplex_iterations").as_long();
+      ws.dual_simplex_iterations = e.at("dual_simplex_iterations").as_long();
+      ws.steals = e.at("steals").as_long();
+      r.ilp_workers.push_back(ws);
+    }
+  }
+  if (const json_value* racers = v.find("portfolio_racers"))
+    r.portfolio_racers = racers->as_int();
+  if (const json_value* winner = v.find("portfolio_winner"))
+    r.portfolio_winner = winner->as_string();
   r.best = sched::schedule_from_value(v.at("best"));
   return r;
 }
@@ -490,6 +525,14 @@ void write_options(json_writer& w, const pipeline_options& o) {
   fault_ints("fault_valves", o.faults.valves);
   fault_ints("fault_edges", o.faults.edges);
   fault_ints("fault_storage", o.faults.storage);
+  // Parallel-search keys follow the same only-when-non-default rule, so
+  // sequential documents (and cache keys) are byte-identical to the
+  // pre-parallel format. The executor's thread-budget clamp is applied at
+  // execution time, never here, so a clamped run still hits the same key.
+  if (o.solver_threads != 1) w.field("solver_threads", o.solver_threads);
+  if (o.solver_deterministic)
+    w.field("solver_deterministic", o.solver_deterministic);
+  if (o.portfolio) w.field("portfolio", o.portfolio);
   // Seeds above 2^53 would lose precision as JSON numbers; emit those as
   // decimal strings (the reader accepts both forms).
   if (o.seed <= (std::uint64_t{1} << 53))
@@ -535,6 +578,10 @@ pipeline_options options_from_value(const json_value& v,
       o.physical.storage_length = value.as_int();
     else if (key == "run_baseline") o.run_baseline = value.as_bool();
     else if (key == "verify") o.verify = value.as_bool();
+    else if (key == "solver_threads") o.solver_threads = value.as_int();
+    else if (key == "solver_deterministic")
+      o.solver_deterministic = value.as_bool();
+    else if (key == "portfolio") o.portfolio = value.as_bool();
     else if (key == "fault_devices" || key == "fault_valves" ||
              key == "fault_edges" || key == "fault_storage") {
       std::vector<int> ids;

@@ -1,11 +1,16 @@
 #include "milp/solver.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <functional>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -162,6 +167,26 @@ struct bound_change {
   double upper;
 };
 
+/// Basis of a solved node, captured for cross-worker warm starts: after
+/// load_basis() a simplex instance's solve is a pure function of (problem,
+/// bounds, basic set, upper-parked set) -- load_basis resets every hidden
+/// pricing/devex/eta state -- so any worker can re-solve any node from its
+/// parent's snapshot and reach the same result.
+struct basis_snapshot {
+  std::vector<int> basic;
+  std::vector<int> at_upper;
+};
+
+std::shared_ptr<const basis_snapshot> capture_basis(const simplex_solver& lp,
+                                                    int n) {
+  auto snap = std::make_shared<basis_snapshot>();
+  snap->basic = lp.basic_columns();
+  const int total = n + lp.rows();
+  for (int c = 0; c < total; ++c)
+    if (lp.column_at_upper(c)) snap->at_upper.push_back(c);
+  return snap;
+}
+
 struct bb_node {
   std::vector<bound_change> changes; // path from root
   double parent_bound = -inf;        // LP bound of the parent (min-form)
@@ -173,6 +198,14 @@ struct bb_node {
   /// branch's own expected degradation plus the cheapest rounding of every
   /// other fractional variable at the parent.
   double estimate = -inf;
+  /// Parent basis for cross-worker warm starts (parallel engines; null in
+  /// the sequential engine, which relies on its one solver's continuity,
+  /// and for the root before any LP was solved). Siblings share the one
+  /// immutable snapshot.
+  std::shared_ptr<const basis_snapshot> warm;
+  /// Worker that created this node (-1 for the root); a worker pulling a
+  /// pool node produced by another worker counts it as a steal.
+  int producer = -1;
 };
 
 /// Pseudocost bookkeeping per integer variable and direction, plus the
@@ -352,7 +385,375 @@ bool propagate_node(const row_view& view, const std::vector<bool>& is_integer,
   return true;
 }
 
+// ------------------------------------------------- parallel tree search
+
+/// Read-only inputs shared by every worker of a parallel tree search.
+struct tree_context {
+  const model& m;
+  const standard_form& sf;
+  const solver_options& options;
+  const std::vector<double>& root_lower;
+  const std::vector<double>& root_upper;
+  const row_view* rows; // null = node propagation off
+  const deadline& time_budget;
+  int n;
+};
+
+enum class node_kind {
+  skipped,       // pruned by parent bound before any work (not counted)
+  prop_pruned,   // infeasible by per-node propagation (no LP spent)
+  bound_pruned,  // LP bound at/above the incumbent
+  lp_infeasible,
+  integral,      // integral LP optimum: evaluated candidate attached
+  branched,      // fractional optimum: ready for branching at commit
+  dropped,       // LP iteration limit: dropped with a warning
+  time_limit,
+  unbounded,
+};
+
+struct probe_record {
+  int var = -1;
+  bool up = false;
+  double cost = 0.0; // degradation per unit of fractional distance
+};
+
+/// Everything a worker learned about one node, handed to the engine's
+/// commit step -- the only place search-global state (pseudocosts,
+/// incumbent, the open pool) is mutated.
+struct node_result {
+  node_kind kind = node_kind::skipped;
+  double bound = -inf; // min-form LP objective
+  long iterations = 0;
+  long dual_iterations = 0;
+  long probes_run = 0;
+  int processed_by = 0;
+  std::vector<probe_record> probe_records;
+  bool down_infeasible = false;
+  bool up_infeasible = false;
+  int probed_infeasible_var = -1;
+  std::vector<double> x;                          // LP optimum (branched)
+  std::vector<std::pair<double, int>> fractional; // (closeness, var)
+  /// Effective node bounds of each fractional variable (post-propagation),
+  /// aligned with `fractional` -- the child bound changes branch off these.
+  std::vector<std::pair<double, double>> fractional_bounds;
+  std::shared_ptr<const basis_snapshot> basis; // post-solve, pre-probe
+  // Integral candidate, already rounded and feasibility-checked so the
+  // commit path only compares objectives under its lock.
+  std::vector<double> candidate;
+  double candidate_obj = inf; // min-form
+  bool candidate_feasible = false;
+};
+
+/// Fills per-candidate (up_count, down_count) pseudocost observations; the
+/// opportunistic engine snapshots them under its lock, the deterministic
+/// engine reads the round-stable table directly.
+using pc_count_fn = std::function<void(
+    const std::vector<int>&, std::vector<std::pair<long, long>>&)>;
+
+/// Process one node on a worker-private simplex instance: per-node
+/// propagation, the LP re-solve (warm from the node's recorded parent
+/// basis), and the strong-branching probes. `reload_basis` false trusts
+/// the solver's current basis (a worker continuing its own dive).
+/// `prune_obj` is the incumbent objective to prune against (+inf when
+/// none) and `probe_allowance` this node's share of the global probe
+/// budget -- both fixed by the engine so the result is a pure function of
+/// its arguments.
+node_result process_node(const tree_context& ctx, simplex_solver& lp,
+                         const bb_node& node, bool reload_basis,
+                         double prune_obj, long probe_allowance,
+                         const pc_count_fn& pc_counts,
+                         std::vector<double>& prop_lower,
+                         std::vector<double>& prop_upper) {
+  node_result out;
+  const solver_options& options = ctx.options;
+  const int n = ctx.n;
+
+  if (node.parent_bound >= prune_obj - options.absolute_gap) {
+    out.kind = node_kind::skipped;
+    return out;
+  }
+
+  if (ctx.rows != nullptr && !node.changes.empty()) {
+    prop_lower = ctx.root_lower;
+    prop_upper = ctx.root_upper;
+    for (const bound_change& change : node.changes) {
+      prop_lower[change.var] = change.lower;
+      prop_upper[change.var] = change.upper;
+    }
+    if (!propagate_node(*ctx.rows, ctx.sf.is_integer, prop_lower, prop_upper,
+                        options.node_propagation_passes)) {
+      out.kind = node_kind::prop_pruned;
+      return out;
+    }
+    for (int j = 0; j < n; ++j)
+      lp.set_variable_bounds(j, prop_lower[j], prop_upper[j]);
+  } else {
+    for (int j = 0; j < n; ++j)
+      lp.set_variable_bounds(j, ctx.root_lower[j], ctx.root_upper[j]);
+    for (const bound_change& change : node.changes)
+      lp.set_variable_bounds(change.var, change.lower, change.upper);
+  }
+
+  bool warm = true;
+  if (reload_basis) {
+    if (node.warm)
+      lp.load_basis(node.warm->basic, node.warm->at_upper);
+    else
+      warm = false; // snapshot-less node (the unsolved root): cold solve
+  }
+  const lp_result relax = lp.solve(ctx.time_budget, warm);
+  out.iterations = relax.iterations;
+  out.dual_iterations = relax.dual_iterations;
+  if (relax.status == lp_status::time_limit) {
+    out.kind = node_kind::time_limit;
+    return out;
+  }
+  if (relax.status == lp_status::infeasible) {
+    out.kind = node_kind::lp_infeasible;
+    return out;
+  }
+  if (relax.status == lp_status::unbounded) {
+    out.kind = node_kind::unbounded;
+    return out;
+  }
+  if (relax.status == lp_status::iteration_limit) {
+    out.kind = node_kind::dropped;
+    return out;
+  }
+  out.bound = relax.objective;
+  if (out.bound >= prune_obj - options.absolute_gap) {
+    out.kind = node_kind::bound_pruned;
+    return out;
+  }
+
+  const double int_tol = options.integrality_tolerance;
+  for (int j = 0; j < n; ++j) {
+    if (!ctx.sf.is_integer[j]) continue;
+    const double frac = std::abs(relax.x[j] - std::round(relax.x[j]));
+    if (frac <= int_tol) continue;
+    out.fractional.emplace_back(0.5 - std::abs(frac - 0.5), j);
+    out.fractional_bounds.emplace_back(lp.variable_lower(j),
+                                       lp.variable_upper(j));
+  }
+
+  if (out.fractional.empty()) {
+    // Integral optimum: do the O(nnz) rounding + feasibility check here in
+    // the parallel phase so the commit only compares objectives.
+    out.kind = node_kind::integral;
+    out.candidate = relax.x;
+    for (int j = 0; j < n; ++j)
+      if (ctx.sf.is_integer[j]) out.candidate[j] = std::round(out.candidate[j]);
+    out.candidate_feasible = ctx.m.is_feasible(out.candidate, 1e-5);
+    if (out.candidate_feasible) {
+      const double user_obj = ctx.m.evaluate_objective(out.candidate);
+      out.candidate_obj =
+          ctx.sf.objective_sign * (user_obj - ctx.sf.objective_constant);
+    }
+    return out;
+  }
+
+  // The children's warm basis: this node's own optimal basis, captured
+  // before the probes below disturb it.
+  out.basis = capture_basis(lp, n);
+
+  // Reliability probes (the sequential engine's logic, worker-local): the
+  // candidate order and skip rule mirror solve()'s inline loop.
+  if (options.branching == branch_rule::pseudocost && options.reliability > 0 &&
+      probe_allowance > 0) {
+    std::vector<std::pair<double, int>> order = out.fractional;
+    std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    if (static_cast<int>(order.size()) > options.strong_branch_candidates)
+      order.resize(static_cast<std::size_t>(options.strong_branch_candidates));
+    std::vector<int> vars;
+    vars.reserve(order.size());
+    for (const auto& [closeness, j] : order) {
+      (void)closeness;
+      vars.push_back(j);
+    }
+    std::vector<std::pair<long, long>> counts;
+    pc_counts(vars, counts);
+    for (std::size_t c = 0; c < vars.size(); ++c) {
+      if (out.probes_run >= probe_allowance) break;
+      if (std::min(counts[c].first, counts[c].second) >= options.reliability)
+        continue;
+      const int j = vars[c];
+      const double value = relax.x[j];
+      const double floor_val = std::floor(value);
+      const double frac = value - floor_val;
+      const double node_lower = lp.variable_lower(j);
+      const double node_upper = lp.variable_upper(j);
+      bool local_down_infeasible = false;
+      bool local_up_infeasible = false;
+      for (const bool up : {false, true}) {
+        if (ctx.time_budget.expired()) break;
+        if (up)
+          lp.set_variable_bounds(j, floor_val + 1.0, node_upper);
+        else
+          lp.set_variable_bounds(j, node_lower, floor_val);
+        const lp_result probe = lp.solve(
+            ctx.time_budget, /*warm_start=*/true,
+            options.strong_branch_iteration_limit);
+        lp.set_variable_bounds(j, node_lower, node_upper);
+        ++out.probes_run;
+        out.iterations += probe.iterations;
+        out.dual_iterations += probe.dual_iterations;
+        if (probe.status == lp_status::optimal) {
+          const double degradation =
+              std::max(0.0, probe.objective - out.bound);
+          const double distance = up ? 1.0 - frac : frac;
+          out.probe_records.push_back(
+              {j, up, degradation / std::max(distance, 1e-6)});
+        } else if (probe.status == lp_status::infeasible) {
+          if (up)
+            local_up_infeasible = true;
+          else
+            local_down_infeasible = true;
+        }
+      }
+      if (local_down_infeasible || local_up_infeasible) {
+        out.probed_infeasible_var = j;
+        out.down_infeasible = local_down_infeasible;
+        out.up_infeasible = local_up_infeasible;
+      }
+    }
+  }
+
+  out.x = relax.x;
+  out.kind = node_kind::branched;
+  return out;
+}
+
+/// Both children of a branched node, built at commit time (the caller
+/// holds whatever lock protects the pseudocost table and the id counter).
+struct branch_output {
+  bb_node down, up;
+  bool down_infeasible = false;
+  bool up_infeasible = false;
+  bool down_preferred = true;
+};
+
+branch_output commit_branch(const tree_context& ctx, const bb_node& node,
+                            node_result& nr, pseudocost_table& pc,
+                            long& next_node_id) {
+  const solver_options& options = ctx.options;
+
+  // Probe observations first, then the parent's own pseudocost record --
+  // the same order as the sequential engine (probes are recorded as they
+  // run, the parent after the branch-variable pick; both precede the
+  // children's estimates).
+  for (const probe_record& p : nr.probe_records) pc.record(p.var, p.up, p.cost);
+  if (!node.changes.empty()) {
+    const bound_change& last = node.changes.back();
+    const double degradation = nr.bound - node.parent_bound;
+    if (node.parent_bound != -inf && degradation >= 0.0)
+      pc.record(last.var, last.lower > ctx.root_lower[last.var],
+                degradation / std::max(node.branch_distance, 1e-6));
+  }
+
+  int branch_var = -1;
+  std::size_t branch_idx = 0;
+  double branch_frac = 0.0;
+  double best_score = -1.0;
+  for (std::size_t i = 0; i < nr.fractional.size(); ++i) {
+    const auto& [closeness, j] = nr.fractional[i];
+    const double score =
+        options.branching == branch_rule::pseudocost
+            ? pc.score(j, nr.x[j] - std::floor(nr.x[j]), 1.0)
+            : closeness;
+    if (score > best_score) {
+      best_score = score;
+      branch_var = j;
+      branch_idx = i;
+      branch_frac = nr.x[j];
+    }
+  }
+  if (nr.probed_infeasible_var >= 0) {
+    branch_var = nr.probed_infeasible_var;
+    for (std::size_t i = 0; i < nr.fractional.size(); ++i)
+      if (nr.fractional[i].second == branch_var) branch_idx = i;
+    branch_frac = nr.x[branch_var];
+  } else {
+    nr.down_infeasible = nr.up_infeasible = false;
+  }
+
+  const double floor_val = std::floor(branch_frac);
+  const double frac = branch_frac - floor_val;
+  const double fallback = pc.average();
+  double estimate_rest = 0.0;
+  if (options.node_selection == node_rule::best_estimate) {
+    for (const auto& [closeness, j] : nr.fractional) {
+      (void)closeness;
+      if (j == branch_var) continue;
+      const double fj = nr.x[j] - std::floor(nr.x[j]);
+      estimate_rest += std::min(pc.down_cost(j, fallback) * fj,
+                                pc.up_cost(j, fallback) * (1.0 - fj));
+    }
+  }
+
+  branch_output out;
+  const auto [eff_lower, eff_upper] = nr.fractional_bounds[branch_idx];
+
+  out.down.changes = node.changes;
+  out.down.changes.push_back({branch_var, eff_lower, floor_val});
+  out.down.parent_bound = nr.bound;
+  out.down.id = next_node_id++;
+  out.down.branch_distance = frac;
+  out.down.estimate = nr.bound +
+                      pc.down_cost(branch_var, fallback) * frac +
+                      estimate_rest;
+  out.down.warm = nr.basis;
+
+  out.up.changes = node.changes;
+  out.up.changes.push_back({branch_var, floor_val + 1.0, eff_upper});
+  out.up.parent_bound = nr.bound;
+  out.up.id = next_node_id++;
+  out.up.branch_distance = 1.0 - frac;
+  out.up.estimate = nr.bound +
+                    pc.up_cost(branch_var, fallback) * (1.0 - frac) +
+                    estimate_rest;
+  out.up.warm = nr.basis;
+
+  out.down_infeasible = nr.down_infeasible;
+  out.up_infeasible = nr.up_infeasible;
+  out.down_preferred = frac <= 0.5;
+  return out;
+}
+
 } // namespace
+
+// ---------------------------------------------------------- incumbent_board
+
+bool incumbent_board::offer(double objective, std::vector<double> values) {
+  std::lock_guard<std::mutex> guard(lock_);
+  const bool better = !have_ || (minimize_ ? objective < objective_ - 1e-12
+                                           : objective > objective_ + 1e-12);
+  if (!better) return false;
+  have_ = true;
+  objective_ = objective;
+  values_ = std::move(values);
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  return true;
+}
+
+bool incumbent_board::fetch(std::uint64_t& seen, double& objective,
+                            std::vector<double>& values) const {
+  if (version_.load(std::memory_order_acquire) == seen) return false;
+  std::lock_guard<std::mutex> guard(lock_);
+  seen = version_.load(std::memory_order_relaxed);
+  if (!have_) return false;
+  objective = objective_;
+  values = values_;
+  return true;
+}
+
+double incumbent_board::best_objective() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  if (!have_) return minimize_ ? inf : -inf;
+  return objective_;
+}
 
 double solution::gap() const {
   if (!has_solution()) return inf;
@@ -476,6 +877,14 @@ solution solve(const model& m, const solver_options& options) {
   double incumbent_obj = inf;
   std::vector<double> incumbent_values;
 
+  // Racing-portfolio hookup (ignored in deterministic mode, where adoption
+  // timing would break bit-identity): improving incumbents are published to
+  // the shared board, and board incumbents are adopted -- after rounding and
+  // feasibility re-validation -- wherever this solve polls it.
+  incumbent_board* board =
+      options.deterministic ? nullptr : options.shared_incumbent.get();
+  std::uint64_t board_seen = 0;
+
   auto try_incumbent = [&](std::vector<double> candidate) {
     for (int j = 0; j < n; ++j)
       if (sf.is_integer[j]) candidate[j] = std::round(candidate[j]);
@@ -485,6 +894,7 @@ solution solve(const model& m, const solver_options& options) {
     if (!have_incumbent || min_obj < incumbent_obj - options.absolute_gap) {
       have_incumbent = true;
       incumbent_obj = min_obj;
+      if (board) board->offer(user_obj, candidate);
       incumbent_values = std::move(candidate);
       return true;
     }
@@ -503,6 +913,609 @@ solution solve(const model& m, const solver_options& options) {
 
   pseudocost_table pseudocosts(n);
 
+  // Row view of the tree's LP (base + surviving cuts) for per-node
+  // propagation, shared read-only by every engine.
+  std::optional<row_view> tree_rows;
+  if (options.node_propagation)
+    tree_rows.emplace(tree_problem ? *tree_problem : sf.lp);
+
+  // Outcome state shared by the three tree engines and the result tail.
+  long nodes = 0;
+  long probes = 0;
+  bool hit_limit = false;
+  bool unbounded = false;
+
+  auto finish = [&](bool tree_open, double open_bound) -> solution {
+    result.nodes_explored = nodes;
+    result.simplex_iterations = simplex_iterations;
+    result.dual_simplex_iterations = dual_iterations;
+    result.strong_branch_probes = probes;
+    result.seconds = total_watch.elapsed_seconds();
+    result.interrupted = hit_limit && time_budget.expired();
+    if (root_solved)
+      result.root_bound =
+          sf.objective_sign * root_lp_bound + sf.objective_constant;
+    if (!tree_open) open_bound = inf;
+    if (unbounded) {
+      result.status = solve_status::unbounded;
+      return result;
+    }
+    if (have_incumbent) {
+      result.values = incumbent_values;
+      result.objective =
+          sf.objective_sign * incumbent_obj + sf.objective_constant;
+      const double bound_min = std::min(incumbent_obj, open_bound);
+      result.best_bound = sf.objective_sign * bound_min + sf.objective_constant;
+      const double denom = std::max(1.0, std::abs(incumbent_obj));
+      const bool gap_ok =
+          open_bound == inf ||
+          (incumbent_obj - open_bound) / denom <= options.relative_gap ||
+          incumbent_obj - open_bound <= options.absolute_gap;
+      const bool proven = !hit_limit && (!tree_open || gap_ok);
+      result.status = proven ? solve_status::optimal : solve_status::feasible;
+      return result;
+    }
+    if (hit_limit) {
+      result.status = solve_status::no_solution;
+      return result;
+    }
+    result.status = solve_status::infeasible;
+    return result;
+  };
+
+  // ------------------------------------------------------ engine dispatch
+  // threads <= 0 resolves to the hardware; deterministic always takes the
+  // round engine (its trajectory must not depend on the thread count, so
+  // even threads == 1 runs it); otherwise threads > 1 takes the
+  // opportunistic pool engine and threads == 1 the classic sequential loop.
+  int threads = options.threads;
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : static_cast<int>(std::min(hw, 64u));
+  }
+  threads = std::min(threads, 64);
+  result.threads_used = threads;
+
+  const lp_problem& tree_lp_problem = tree_problem ? *tree_problem : sf.lp;
+  const tree_context ctx{m,          sf,
+                         options,    root_lower,
+                         root_upper, tree_rows ? &*tree_rows : nullptr,
+                         time_budget, n};
+
+  if (options.deterministic) {
+    // ------------------------------------------ deterministic round engine
+    // Fixed-width rounds: select `deterministic_round_width` open nodes by
+    // a deterministic comparator, process them concurrently on private
+    // simplex instances (every node re-solved from its recorded parent
+    // basis -- load_basis makes that a pure function of the node), then
+    // commit the results in ascending node-id order. Selection, pruning,
+    // pseudocost updates, and incumbent acceptance all happen in the
+    // single-threaded commit phase, so the trajectory depends on the round
+    // width but never on the thread count or on arrival order.
+    std::vector<bb_node> open;
+    std::multiset<double> open_bounds;
+    long next_node_id = 0;
+    {
+      bb_node root_node;
+      root_node.id = next_node_id++;
+      root_node.warm = root_solved ? capture_basis(*lp, n) : nullptr;
+      open.push_back(std::move(root_node));
+      open_bounds.insert(-inf);
+    }
+
+    const int width = std::max(1, options.deterministic_round_width);
+    std::vector<worker_stats> wstats(static_cast<std::size_t>(threads));
+
+    // Round batch, shared main -> workers through the generation handshake
+    // below (mutex acquire/release on both sides orders every access).
+    std::vector<bb_node> batch;
+    std::vector<node_result> results;
+    double round_prune_obj = inf;
+    long round_probe_allowance = 0;
+
+    std::mutex mu;
+    std::condition_variable cv_start, cv_done;
+    std::uint64_t generation = 0;
+    int unfinished = 0;
+    std::atomic<std::size_t> batch_cursor{0};
+    bool shutdown = false;
+
+    // The table is only mutated in the commit phase while the workers wait,
+    // so round-time reads need no lock.
+    auto pc_counts = [&](const std::vector<int>& vars,
+                         std::vector<std::pair<long, long>>& out) {
+      out.resize(vars.size());
+      for (std::size_t i = 0; i < vars.size(); ++i)
+        out[i] = {pseudocosts.up_count[vars[i]],
+                  pseudocosts.down_count[vars[i]]};
+    };
+
+    auto round_worker = [&](int w) {
+      simplex_solver wlp(tree_lp_problem, options.lp);
+      std::vector<double> wl, wu;
+      std::uint64_t seen_gen = 0;
+      for (;;) {
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          cv_start.wait(lock,
+                        [&] { return shutdown || generation != seen_gen; });
+          if (shutdown) return;
+          seen_gen = generation;
+        }
+        for (;;) {
+          const std::size_t i =
+              batch_cursor.fetch_add(1, std::memory_order_relaxed);
+          if (i >= batch.size()) break;
+          node_result nr =
+              process_node(ctx, wlp, batch[i], /*reload_basis=*/true,
+                           round_prune_obj, round_probe_allowance, pc_counts,
+                           wl, wu);
+          nr.processed_by = w;
+          results[i] = std::move(nr);
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (--unfinished == 0) cv_done.notify_one();
+        }
+      }
+    };
+
+    std::vector<std::thread> team;
+    team.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) team.emplace_back(round_worker, w);
+
+    stopwatch log_watch;
+    long round = 0;
+    bool stop = false;
+    while (!stop && !open.empty()) {
+      const double open_bound = *open_bounds.begin();
+      if (have_incumbent) {
+        const double denom = std::max(1.0, std::abs(incumbent_obj));
+        if ((incumbent_obj - open_bound) / denom <= options.relative_gap ||
+            incumbent_obj - open_bound <= options.absolute_gap)
+          break;
+      }
+      if (nodes >= options.max_nodes || time_budget.expired()) {
+        hit_limit = true;
+        break;
+      }
+
+      // Deterministic selection: dfs keeps LIFO order (newest id first);
+      // best_estimate alternates estimate-first rounds with periodic
+      // best-bound rounds, mirroring the sequential hybrid backtracking at
+      // round granularity.
+      ++round;
+      bool by_bound = false;
+      bool by_estimate = false;
+      if (options.node_selection == node_rule::best_estimate) {
+        by_bound = options.backtrack_interval > 0 &&
+                   round % options.backtrack_interval == 0;
+        by_estimate = !by_bound && round % 2 == 0;
+      }
+      auto better = [&](const bb_node& a, const bb_node& b) {
+        if (!by_bound && !by_estimate) return a.id > b.id;
+        if (by_bound) {
+          if (a.parent_bound != b.parent_bound)
+            return a.parent_bound < b.parent_bound;
+          if (a.estimate != b.estimate) return a.estimate < b.estimate;
+          return a.id < b.id;
+        }
+        if (a.estimate != b.estimate) return a.estimate < b.estimate;
+        if (a.parent_bound != b.parent_bound)
+          return a.parent_bound < b.parent_bound;
+        return a.id < b.id;
+      };
+      const std::size_t take =
+          std::min<std::size_t>(static_cast<std::size_t>(width), open.size());
+      std::partial_sort(open.begin(),
+                        open.begin() + static_cast<std::ptrdiff_t>(take),
+                        open.end(), better);
+      batch.assign(open.begin(),
+                   open.begin() + static_cast<std::ptrdiff_t>(take));
+      open.erase(open.begin(),
+                 open.begin() + static_cast<std::ptrdiff_t>(take));
+
+      round_prune_obj = have_incumbent ? incumbent_obj : inf;
+      round_probe_allowance = 0;
+      if (options.branching == branch_rule::pseudocost &&
+          options.reliability > 0 && probes < options.strong_branch_limit)
+        round_probe_allowance = options.strong_branch_limit - probes;
+
+      results.assign(batch.size(), node_result{});
+      batch_cursor.store(0, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        unfinished = threads;
+        ++generation;
+      }
+      cv_start.notify_all();
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv_done.wait(lock, [&] { return unfinished == 0; });
+      }
+
+      // Commit in ascending node-id order, never in completion order.
+      std::vector<std::size_t> order(batch.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return batch[a].id < batch[b].id;
+      });
+      for (const std::size_t i : order) {
+        const bb_node& bnode = batch[i];
+        node_result& nr = results[i];
+        worker_stats& ws = wstats[static_cast<std::size_t>(nr.processed_by)];
+        simplex_iterations += nr.iterations;
+        dual_iterations += nr.dual_iterations;
+        ws.simplex_iterations += nr.iterations;
+        ws.dual_simplex_iterations += nr.dual_iterations;
+        probes += nr.probes_run;
+        if (nr.kind == node_kind::skipped) {
+          open_bounds.erase(open_bounds.find(bnode.parent_bound));
+          continue; // parent-bound pruned before any work: not counted
+        }
+        if (nr.kind == node_kind::time_limit) {
+          // Unresolved: keep its bound entry so the dual bound stays
+          // conservative, and unwind (determinism is void once a limit
+          // fires mid-search, the sequential engine's caveat too).
+          hit_limit = true;
+          stop = true;
+          continue;
+        }
+        open_bounds.erase(open_bounds.find(bnode.parent_bound));
+        ++nodes;
+        ++ws.nodes;
+        if (!root_solved && bnode.id == 0 && nr.bound != -inf) {
+          root_lp_bound = nr.bound;
+          root_solved = true;
+        }
+        if (nr.kind == node_kind::unbounded) {
+          unbounded = true;
+          stop = true;
+          continue;
+        }
+        if (nr.kind == node_kind::dropped) {
+          log_at(log_level::warn, "milp: dropped node after iteration limit");
+          continue;
+        }
+        if (nr.kind == node_kind::integral) {
+          if (nr.candidate_feasible &&
+              (!have_incumbent ||
+               nr.candidate_obj < incumbent_obj - options.absolute_gap)) {
+            have_incumbent = true;
+            incumbent_obj = nr.candidate_obj;
+            incumbent_values = std::move(nr.candidate);
+            if (options.log_progress)
+              log_at(log_level::info, "milp: incumbent ",
+                     sf.objective_sign * incumbent_obj + sf.objective_constant,
+                     " at node ", nodes);
+          }
+          continue;
+        }
+        if (nr.kind != node_kind::branched) continue; // prop/bound/infeasible
+        if (have_incumbent &&
+            nr.bound >= incumbent_obj - options.absolute_gap)
+          continue; // an earlier commit of this round improved the incumbent
+        branch_output br =
+            commit_branch(ctx, bnode, nr, pseudocosts, next_node_id);
+        if (!br.down_infeasible) open_bounds.insert(nr.bound);
+        if (!br.up_infeasible) open_bounds.insert(nr.bound);
+        if (!br.down_infeasible) open.push_back(std::move(br.down));
+        if (!br.up_infeasible) open.push_back(std::move(br.up));
+      }
+
+      if (options.log_progress && log_watch.elapsed_seconds() > 2.0) {
+        log_watch.reset();
+        log_at(log_level::info, "milp: nodes=", nodes, " open=", open.size(),
+               " incumbent=",
+               have_incumbent
+                   ? std::to_string(sf.objective_sign * incumbent_obj +
+                                    sf.objective_constant)
+                   : std::string("none"));
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      shutdown = true;
+    }
+    cv_start.notify_all();
+    for (std::thread& t : team) t.join();
+
+    result.workers = std::move(wstats);
+    return finish(!open_bounds.empty(),
+                  open_bounds.empty() ? inf : *open_bounds.begin());
+  }
+
+  if (threads > 1) {
+    // -------------------------------------------- opportunistic pool engine
+    // A shared open pool under one mutex. Each worker dives on its own
+    // preferred child without touching the pool (warm basis kept hot, the
+    // sequential plunge); a finished dive pulls the best pool node by the
+    // node rule -- pulling a node another worker produced counts as a
+    // steal -- and re-solves it from the node's recorded parent basis.
+    // `pool_bounds` holds one entry per open OR in-flight node (erased at
+    // commit), so the global dual bound and the gap test stay conservative
+    // while nodes are being processed.
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<bb_node> pool;
+    std::multiset<double> pool_bounds;
+    long next_node_id = 0;
+    long backtracks = 0;
+    int active = 0;
+    bool stop = false;
+    std::atomic<double> prune_obj{have_incumbent ? incumbent_obj : inf};
+    std::atomic<long> probes_issued{0};
+    std::vector<worker_stats> wstats(static_cast<std::size_t>(threads));
+    stopwatch log_watch;
+
+    {
+      bb_node root_node;
+      root_node.id = next_node_id++;
+      root_node.warm = root_solved ? capture_basis(*lp, n) : nullptr;
+      pool.push_back(std::move(root_node));
+      pool_bounds.insert(-inf);
+    }
+
+    // Callers hold mu.
+    auto pool_gap_closed = [&]() {
+      if (!have_incumbent) return false;
+      const double bound = pool_bounds.empty() ? inf : *pool_bounds.begin();
+      if (bound == inf) return true;
+      const double denom = std::max(1.0, std::abs(incumbent_obj));
+      return (incumbent_obj - bound) / denom <= options.relative_gap ||
+             incumbent_obj - bound <= options.absolute_gap;
+    };
+    auto select_pool = [&]() -> bb_node {
+      std::size_t pick = pool.size() - 1; // dfs: LIFO
+      if (options.node_selection == node_rule::best_estimate) {
+        ++backtracks;
+        const bool by_bound = options.backtrack_interval > 0 &&
+                              backtracks % options.backtrack_interval == 0;
+        const bool by_estimate = !by_bound && backtracks % 2 == 0;
+        if (by_bound || by_estimate) {
+          pick = 0;
+          for (std::size_t i = 1; i < pool.size(); ++i) {
+            const bb_node& a = pool[i];
+            const bb_node& b = pool[pick];
+            bool better;
+            if (by_bound) {
+              better = a.parent_bound != b.parent_bound
+                           ? a.parent_bound < b.parent_bound
+                           : (a.estimate != b.estimate
+                                  ? a.estimate < b.estimate
+                                  : a.id < b.id);
+            } else {
+              better = a.estimate != b.estimate
+                           ? a.estimate < b.estimate
+                           : (a.parent_bound != b.parent_bound
+                                  ? a.parent_bound < b.parent_bound
+                                  : a.id < b.id);
+            }
+            if (better) pick = i;
+          }
+        }
+      }
+      bb_node node = std::move(pool[pick]);
+      pool[pick] = std::move(pool.back());
+      pool.pop_back();
+      return node;
+    };
+
+    auto worker = [&](int w) {
+      simplex_solver wlp(tree_lp_problem, options.lp);
+      std::vector<double> wl, wu;
+      std::optional<bb_node> hand;
+      // True while this worker owns an in-flight node (processing it or
+      // holding the dive continuation in `hand`); `active` sums these, so
+      // pool-empty + active == 0 really means the tree is exhausted.
+      bool counted = false;
+      std::uint64_t seen = 0; // per-worker board stamp
+      worker_stats& ws = wstats[static_cast<std::size_t>(w)];
+
+      // Only the ≤ strong_branch_candidates probe-candidate counts are
+      // snapshotted under the lock (the full table would be a large copy
+      // per node).
+      auto pc_counts = [&](const std::vector<int>& vars,
+                           std::vector<std::pair<long, long>>& out) {
+        out.resize(vars.size());
+        std::lock_guard<std::mutex> lock(mu);
+        for (std::size_t i = 0; i < vars.size(); ++i)
+          out[i] = {pseudocosts.up_count[vars[i]],
+                    pseudocosts.down_count[vars[i]]};
+      };
+
+      for (;;) {
+        if (board) {
+          double bobj = 0.0;
+          std::vector<double> bvals;
+          if (board->fetch(seen, bobj, bvals)) {
+            // Re-validate outside the lock, adopt under it.
+            for (int j = 0; j < n; ++j)
+              if (sf.is_integer[j]) bvals[j] = std::round(bvals[j]);
+            if (m.is_feasible(bvals, 1e-5)) {
+              const double min_obj =
+                  sf.objective_sign *
+                  (m.evaluate_objective(bvals) - sf.objective_constant);
+              std::lock_guard<std::mutex> lock(mu);
+              if (!have_incumbent ||
+                  min_obj < incumbent_obj - options.absolute_gap) {
+                have_incumbent = true;
+                incumbent_obj = min_obj;
+                incumbent_values = std::move(bvals);
+                prune_obj.store(min_obj, std::memory_order_relaxed);
+              }
+            }
+          }
+        }
+
+        bb_node node;
+        bool reload = true;
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          if (!stop && (nodes >= options.max_nodes || time_budget.expired())) {
+            hit_limit = true;
+            stop = true;
+          }
+          if (stop) {
+            if (counted) --active;
+            cv.notify_all();
+            break;
+          }
+          if (hand) {
+            node = std::move(*hand);
+            hand.reset();
+            reload = false; // dive on: still counted, basis still hot
+          } else {
+            cv.wait(lock,
+                    [&] { return stop || !pool.empty() || active == 0; });
+            if (stop || pool.empty()) { // stop, or exhausted (active == 0)
+              cv.notify_all();
+              break;
+            }
+            node = select_pool();
+            if (node.producer >= 0 && node.producer != w) ++ws.steals;
+            ++active;
+            counted = true;
+          }
+        }
+
+        long allowance = 0;
+        if (options.branching == branch_rule::pseudocost &&
+            options.reliability > 0) {
+          const long issued = probes_issued.load(std::memory_order_relaxed);
+          if (issued < options.strong_branch_limit)
+            allowance = options.strong_branch_limit - issued;
+        }
+        node_result nr = process_node(
+            ctx, wlp, node, reload, prune_obj.load(std::memory_order_relaxed),
+            allowance, pc_counts, wl, wu);
+        if (nr.probes_run > 0)
+          probes_issued.fetch_add(nr.probes_run, std::memory_order_relaxed);
+        ws.simplex_iterations += nr.iterations;
+        ws.dual_simplex_iterations += nr.dual_iterations;
+
+        double offer_obj = 0.0;
+        std::vector<double> offer_vals;
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          pool_bounds.erase(pool_bounds.find(node.parent_bound));
+          if (!root_solved && node.id == 0 && nr.bound != -inf) {
+            root_lp_bound = nr.bound;
+            root_solved = true;
+          }
+          switch (nr.kind) {
+            case node_kind::skipped:
+              break; // not counted, matching the sequential engine
+            case node_kind::time_limit:
+              ++nodes;
+              ++ws.nodes;
+              hit_limit = true;
+              stop = true;
+              break;
+            case node_kind::unbounded:
+              ++nodes;
+              ++ws.nodes;
+              unbounded = true;
+              stop = true;
+              break;
+            case node_kind::dropped:
+              ++nodes;
+              ++ws.nodes;
+              log_at(log_level::warn,
+                     "milp: dropped node after iteration limit");
+              break;
+            case node_kind::prop_pruned:
+            case node_kind::bound_pruned:
+            case node_kind::lp_infeasible:
+              ++nodes;
+              ++ws.nodes;
+              break;
+            case node_kind::integral:
+              ++nodes;
+              ++ws.nodes;
+              if (nr.candidate_feasible &&
+                  (!have_incumbent ||
+                   nr.candidate_obj < incumbent_obj - options.absolute_gap)) {
+                have_incumbent = true;
+                incumbent_obj = nr.candidate_obj;
+                incumbent_values = nr.candidate;
+                prune_obj.store(incumbent_obj, std::memory_order_relaxed);
+                if (board) {
+                  offer_obj = sf.objective_sign * incumbent_obj +
+                              sf.objective_constant;
+                  offer_vals = std::move(nr.candidate);
+                }
+                if (options.log_progress)
+                  log_at(log_level::info, "milp: incumbent ",
+                         sf.objective_sign * incumbent_obj +
+                             sf.objective_constant,
+                         " at node ", nodes);
+              }
+              break;
+            case node_kind::branched: {
+              ++nodes;
+              ++ws.nodes;
+              if (have_incumbent &&
+                  nr.bound >= incumbent_obj - options.absolute_gap)
+                break; // raced: the incumbent improved during the LP solve
+              branch_output br =
+                  commit_branch(ctx, node, nr, pseudocosts, next_node_id);
+              br.down.producer = w;
+              br.up.producer = w;
+              if (!br.down_infeasible) pool_bounds.insert(nr.bound);
+              if (!br.up_infeasible) pool_bounds.insert(nr.bound);
+              bb_node& preferred = br.down_preferred ? br.down : br.up;
+              bb_node& sibling = br.down_preferred ? br.up : br.down;
+              const bool preferred_pruned = br.down_preferred
+                                                ? br.down_infeasible
+                                                : br.up_infeasible;
+              const bool sibling_pruned = br.down_preferred
+                                              ? br.up_infeasible
+                                              : br.down_infeasible;
+              if (!sibling_pruned) pool.push_back(std::move(sibling));
+              if (!preferred_pruned) hand = std::move(preferred);
+              break;
+            }
+          }
+          if (!hand) {
+            --active;
+            counted = false;
+          }
+          if (pool_gap_closed()) stop = true;
+          if (options.log_progress && log_watch.elapsed_seconds() > 2.0) {
+            log_watch.reset();
+            log_at(log_level::info, "milp: nodes=", nodes,
+                   " open=", pool.size(), " incumbent=",
+                   have_incumbent
+                       ? std::to_string(sf.objective_sign * incumbent_obj +
+                                        sf.objective_constant)
+                       : std::string("none"));
+          }
+          cv.notify_all();
+          if (stop) break;
+        }
+        // Publish to the portfolio board outside the pool lock.
+        if (!offer_vals.empty()) board->offer(offer_obj, std::move(offer_vals));
+      }
+    };
+
+    std::vector<std::thread> team;
+    team.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) team.emplace_back(worker, w);
+    for (std::thread& t : team) t.join();
+
+    for (const worker_stats& ws : wstats) {
+      simplex_iterations += ws.simplex_iterations;
+      dual_iterations += ws.dual_simplex_iterations;
+    }
+    probes = probes_issued.load(std::memory_order_relaxed);
+    result.workers = std::move(wstats);
+    return finish(!pool_bounds.empty(),
+                  pool_bounds.empty() ? inf : *pool_bounds.begin());
+  }
+
+  // ------------------------------------------------ sequential tree engine
   // Open-node pool. The node "in hand" is the dive continuation (explored
   // without touching the pool, which keeps dfs mode's LIFO order exact);
   // a finished dive backtracks through select_open().
@@ -518,18 +1531,10 @@ solution solve(const model& m, const solver_options& options) {
     open_bounds.insert(-inf);
   }
 
-  long nodes = 0;
-  long probes = 0;
   long backtracks = 0;
-  bool hit_limit = false;
-  bool unbounded = false;
   stopwatch log_watch;
 
-  // Row view of the tree's LP (base + surviving cuts) for per-node
-  // propagation, plus reusable bound buffers.
-  std::optional<row_view> tree_rows;
-  if (options.node_propagation)
-    tree_rows.emplace(tree_problem ? *tree_problem : sf.lp);
+  // Reusable per-node propagation bound buffers.
   std::vector<double> prop_lower;
   std::vector<double> prop_upper;
 
@@ -596,6 +1601,12 @@ solution solve(const model& m, const solver_options& options) {
   };
 
   while (in_hand || !open.empty()) {
+    if (board) {
+      double bobj = 0.0;
+      std::vector<double> bvals;
+      if (board->fetch(board_seen, bobj, bvals))
+        try_incumbent(std::move(bvals));
+    }
     if (gap_closed()) break;
     if (nodes >= options.max_nodes || time_budget.expired()) {
       hit_limit = true;
@@ -854,38 +1865,7 @@ solution solve(const model& m, const solver_options& options) {
     if (!up_infeasible) open_bounds.insert(node_bound);
   }
 
-  // Assemble the user-facing result.
-  result.nodes_explored = nodes;
-  result.simplex_iterations = simplex_iterations;
-  result.dual_simplex_iterations = dual_iterations;
-  result.strong_branch_probes = probes;
-  result.seconds = total_watch.elapsed_seconds();
-  result.interrupted = hit_limit && time_budget.expired();
-  if (root_solved)
-    result.root_bound =
-        sf.objective_sign * root_lp_bound + sf.objective_constant;
-
-  const bool tree_open = in_hand.has_value() || !open.empty();
-  const double open_bound = tree_open ? best_open_bound() : inf;
-  if (unbounded) {
-    result.status = solve_status::unbounded;
-    return result;
-  }
-  if (have_incumbent) {
-    result.values = incumbent_values;
-    result.objective = sf.objective_sign * incumbent_obj + sf.objective_constant;
-    const double bound_min = std::min(incumbent_obj, open_bound);
-    result.best_bound = sf.objective_sign * bound_min + sf.objective_constant;
-    const bool proven = !hit_limit && (!tree_open || gap_closed());
-    result.status = proven ? solve_status::optimal : solve_status::feasible;
-    return result;
-  }
-  if (hit_limit) {
-    result.status = solve_status::no_solution;
-    return result;
-  }
-  result.status = solve_status::infeasible;
-  return result;
+  return finish(in_hand.has_value() || !open.empty(), best_open_bound());
 }
 
 } // namespace transtore::milp

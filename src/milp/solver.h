@@ -26,6 +26,10 @@
 //     paper's own protocol for the larger assays.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -45,6 +49,56 @@ enum class solve_status {
 };
 
 enum class branch_rule { most_fractional, pseudocost };
+
+/// Per-worker breakdown of a parallel tree search (solution::workers): how
+/// many nodes each thread processed, the simplex work it spent on them, and
+/// how many pool nodes it pulled that another worker produced ("steals").
+/// Which worker processed which node is scheduling noise -- only the totals
+/// are deterministic in deterministic mode.
+struct worker_stats {
+  long nodes = 0;
+  long simplex_iterations = 0;
+  long dual_simplex_iterations = 0;
+  long steals = 0;
+};
+
+/// Cross-solve shared incumbent for racing portfolios: several solves of
+/// the SAME model (plus any heuristic that can produce full variable
+/// assignments for it) publish improving incumbents here and adopt each
+/// other's, so one racer's incumbent prunes every other racer's tree.
+/// Objectives are in the user sense of the shared model; `minimize` fixes
+/// the improvement direction. Thread-safe. Adopted values are re-validated
+/// by the adopting solver (rounded, feasibility-checked), so a stale or
+/// foreign assignment can never corrupt a search -- it is just ignored.
+class incumbent_board {
+public:
+  explicit incumbent_board(bool minimize = true) : minimize_(minimize) {}
+
+  /// Adopt (objective, values) when it improves on the board's incumbent.
+  /// Returns true when adopted (the version stamp bumps).
+  bool offer(double objective, std::vector<double> values);
+
+  /// Cheap monotone change stamp: 0 while empty, bumps on every adoption.
+  [[nodiscard]] std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Copy out the incumbent when the board is newer than `seen` (which is
+  /// updated); false when empty or unchanged since `seen`.
+  bool fetch(std::uint64_t& seen, double& objective,
+             std::vector<double>& values) const;
+
+  /// Board objective, or +/- infinity (per direction) while empty.
+  [[nodiscard]] double best_objective() const;
+
+private:
+  const bool minimize_;
+  mutable std::mutex lock_;
+  std::atomic<std::uint64_t> version_{0};
+  bool have_ = false;
+  double objective_ = 0.0;
+  std::vector<double> values_;
+};
 
 /// Open-node selection policy.
 ///   * dfs: depth-first with plunging, pure LIFO -- the default: adjacent
@@ -112,6 +166,31 @@ struct solver_options {
   int strong_branch_candidates = 8;
   /// Optional known-feasible assignment used as the initial incumbent.
   std::optional<std::vector<double>> warm_start;
+  /// Worker threads for the branch-and-bound tree search. 1 (default) is
+  /// the classic sequential engine; 0 or negative resolves to
+  /// hardware_concurrency; > 1 engages the shared-pool parallel engine
+  /// (first-come node order, so results are run-to-run nondeterministic
+  /// unless `deterministic` is also set). Each worker owns a private
+  /// simplex instance warm-started from its node's recorded parent basis.
+  int threads = 1;
+  /// Round-synchronized deterministic parallel search: workers expand a
+  /// fixed-width round of nodes concurrently, then commit the results in
+  /// node-id order (selection, incumbent acceptance, and pseudocost
+  /// updates all resolve by id, never by arrival time). Results are
+  /// bit-identical for ANY `threads` value, including 1 -- but the
+  /// trajectory intentionally differs from the sequential engine's, whose
+  /// iteration counts depend on serial warm-basis continuity. Determinism
+  /// holds as long as no time limit / cancellation fires mid-search (the
+  /// same caveat as the sequential engine).
+  bool deterministic = false;
+  /// Nodes expanded per synchronized round in deterministic mode. The
+  /// search trajectory depends on this value, never on `threads`.
+  int deterministic_round_width = 8;
+  /// Cross-solve shared incumbent for racing portfolios (see
+  /// incumbent_board). All solves sharing one board must be solving the
+  /// same model. Ignored in deterministic mode, where adoption timing
+  /// would break bit-identity.
+  std::shared_ptr<incumbent_board> shared_incumbent;
 };
 
 /// Seed-equivalent configuration for ablations/benchmarks: primal-only
@@ -143,6 +222,15 @@ struct solution {
   /// token (as opposed to node limits or natural exhaustion); the incumbent,
   /// if any, is best-effort.
   bool interrupted = false;
+  /// Worker threads the tree search actually ran (after resolving the
+  /// 0 = auto convention); 1 for the sequential engine.
+  int threads_used = 1;
+  /// Per-worker breakdown of the parallel engines (empty for the
+  /// sequential engine). Sums across workers equal the tree-search part of
+  /// the solution totals (the totals additionally include the root
+  /// presolve/cut-loop simplex work, which runs before the workers start);
+  /// the per-worker split is scheduling noise even in deterministic mode.
+  std::vector<worker_stats> workers;
 
   [[nodiscard]] bool has_solution() const {
     return status == solve_status::optimal || status == solve_status::feasible;

@@ -1,8 +1,16 @@
 #include "sched/ilp_scheduler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <memory>
+#include <thread>
+
+#include "common/stopwatch.h"
+#include "sched/list_scheduler.h"
+#include "sched/local_search.h"
 
 namespace transtore::sched {
 namespace {
@@ -103,7 +111,10 @@ scheduling_ilp build_scheduling_ilp(const assay::sequencing_graph& graph,
 
   // Same-device indicators per edge: same_ij = sum_k z_ijk.
   const auto edges = graph.edges();
-  std::vector<milp::linear_expr> same(edges.size());
+  ilp.edge_list.assign(edges.begin(), edges.end());
+  ilp.device_count = devices;
+  ilp.symmetry_broken = options.break_device_symmetry;
+  ilp.same_z.resize(edges.size());
   std::vector<milp::variable> w(edges.size());
   for (std::size_t e = 0; e < edges.size(); ++e) {
     const auto [i, j] = edges[e];
@@ -120,9 +131,9 @@ scheduling_ilp build_scheduling_ilp(const assay::sequencing_graph& graph,
                            s[static_cast<std::size_t>(j)]
                             [static_cast<std::size_t>(k)],
                        milp::cmp::less_equal, 0.0);
+      ilp.same_z[e].push_back(z);
       same_sum += z;
     }
-    same[e] = same_sum;
 
     // (3) precedence with conditional transport gap.
     m.add_constraint(milp::linear_expr(ts[static_cast<std::size_t>(j)]) -
@@ -140,15 +151,12 @@ scheduling_ilp build_scheduling_ilp(const assay::sequencing_graph& graph,
                          te[static_cast<std::size_t>(i)] + big_m * same_sum,
                      milp::cmp::greater_equal, 0.0);
   }
+  ilp.storage = w;
 
   // (4) disjunctive non-overlap for pairs that may share a device and may
   // overlap in time. Precedence-related pairs and pairs with disjoint
   // ASAP/ALAP windows are skipped (provably redundant).
-  struct pair_info {
-    int i, j;
-    milp::variable order; // 1 when i precedes j
-  };
-  std::vector<pair_info> pairs;
+  auto& pairs = ilp.order_pairs;
   for (int i = 0; i < n; ++i) {
     for (int j = i + 1; j < n; ++j) {
       if (graph.reaches(i, j) || graph.reaches(j, i)) continue;
@@ -221,96 +229,315 @@ scheduling_ilp build_scheduling_ilp(const assay::sequencing_graph& graph,
   m.set_objective(objective, milp::objective_sense::minimize);
 
   // Warm start: translate the heuristic schedule into a full assignment.
-  if (options.warm_start) {
-    const schedule& ws = *options.warm_start;
-    require(static_cast<int>(ws.ops.size()) == n,
-            "ilp scheduler: warm start has wrong op count");
-    // Relabel devices by first appearance (op-index order) so the warm
-    // start satisfies the symmetry-breaking rows; devices are
-    // interchangeable, so the relabeled schedule is equivalent.
-    std::vector<int> relabel(static_cast<std::size_t>(devices), -1);
-    if (options.break_device_symmetry) {
-      int next_label = 0;
-      for (int i = 0; i < n; ++i) {
-        const int d = ws.ops[static_cast<std::size_t>(i)].device;
-        if (relabel[static_cast<std::size_t>(d)] < 0)
-          relabel[static_cast<std::size_t>(d)] = next_label++;
-      }
-      for (int d = 0; d < devices; ++d)
-        if (relabel[static_cast<std::size_t>(d)] < 0)
-          relabel[static_cast<std::size_t>(d)] = next_label++;
-    } else {
-      for (int d = 0; d < devices; ++d) relabel[static_cast<std::size_t>(d)] = d;
-    }
-    std::vector<double> assignment(
-        static_cast<std::size_t>(m.variable_count()), 0.0);
-    auto set = [&](milp::variable v, double value) {
-      assignment[static_cast<std::size_t>(v.index)] = value;
-    };
-    for (int i = 0; i < n; ++i) {
-      const auto& so = ws.ops[static_cast<std::size_t>(i)];
-      const int device = relabel[static_cast<std::size_t>(so.device)];
-      set(s[static_cast<std::size_t>(i)][static_cast<std::size_t>(device)],
-          1.0);
-      set(ts[static_cast<std::size_t>(i)], so.start);
-      set(te[static_cast<std::size_t>(i)], so.end);
-    }
-    set(t_end, ws.makespan());
-    // z_ijk = s_ik * s_jk; w_ij is the realized cross-device slack. The
-    // k-th term of same[e] is the z variable for device k (terms() is
-    // ordered by variable index, which follows device order here).
-    for (std::size_t e = 0; e < edges.size(); ++e) {
-      const auto [i, j] = edges[e];
-      const int di =
-          relabel[static_cast<std::size_t>(ws.ops[static_cast<std::size_t>(i)].device)];
-      const int dj =
-          relabel[static_cast<std::size_t>(ws.ops[static_cast<std::size_t>(j)].device)];
-      if (di == dj) {
-        int k = 0;
-        for (const auto& [var_index, coeff] : same[e].terms()) {
-          (void)coeff;
-          if (k == di) assignment[static_cast<std::size_t>(var_index)] = 1.0;
-          ++k;
-        }
-      } else {
-        const int gap = ws.ops[static_cast<std::size_t>(j)].start -
-                        ws.ops[static_cast<std::size_t>(i)].end;
-        set(w[e], std::max(0, gap));
-      }
-    }
-    for (const auto& pr : pairs) {
-      const auto& oi = ws.ops[static_cast<std::size_t>(pr.i)];
-      const auto& oj = ws.ops[static_cast<std::size_t>(pr.j)];
-      const bool i_first =
-          oi.start < oj.start || (oi.start == oj.start && pr.i < pr.j);
-      set(pr.order, i_first ? 1.0 : 0.0);
-    }
-    ilp.warm_assignment = std::move(assignment);
-  }
+  if (options.warm_start)
+    ilp.warm_assignment = schedule_assignment(ilp, *options.warm_start);
 
   return ilp;
 }
 
-ilp_schedule_result schedule_with_ilp(const assay::sequencing_graph& graph,
-                                      const ilp_scheduler_options& options) {
+std::vector<double> schedule_assignment(const scheduling_ilp& ilp,
+                                        const schedule& s) {
+  const int n = static_cast<int>(ilp.assign.size());
+  const int devices = ilp.device_count;
+  require(static_cast<int>(s.ops.size()) == n,
+          "schedule_assignment: schedule has wrong op count");
+  // Relabel devices by first appearance (op-index order) so the schedule
+  // satisfies the symmetry-breaking rows; devices are interchangeable, so
+  // the relabeled schedule is equivalent.
+  std::vector<int> relabel(static_cast<std::size_t>(devices), -1);
+  if (ilp.symmetry_broken) {
+    int next_label = 0;
+    for (int i = 0; i < n; ++i) {
+      const int d = s.ops[static_cast<std::size_t>(i)].device;
+      if (relabel[static_cast<std::size_t>(d)] < 0)
+        relabel[static_cast<std::size_t>(d)] = next_label++;
+    }
+    for (int d = 0; d < devices; ++d)
+      if (relabel[static_cast<std::size_t>(d)] < 0)
+        relabel[static_cast<std::size_t>(d)] = next_label++;
+  } else {
+    for (int d = 0; d < devices; ++d)
+      relabel[static_cast<std::size_t>(d)] = d;
+  }
+  std::vector<double> assignment(
+      static_cast<std::size_t>(ilp.model.variable_count()), 0.0);
+  auto set = [&](milp::variable v, double value) {
+    assignment[static_cast<std::size_t>(v.index)] = value;
+  };
+  for (int i = 0; i < n; ++i) {
+    const auto& so = s.ops[static_cast<std::size_t>(i)];
+    const int device = relabel[static_cast<std::size_t>(so.device)];
+    set(ilp.assign[static_cast<std::size_t>(i)][static_cast<std::size_t>(
+            device)],
+        1.0);
+    set(ilp.start[static_cast<std::size_t>(i)], so.start);
+    set(ilp.end[static_cast<std::size_t>(i)], so.end);
+  }
+  set(ilp.makespan, s.makespan());
+  // z_ijk = s_ik * s_jk; w_ij is the realized cross-device slack.
+  for (std::size_t e = 0; e < ilp.edge_list.size(); ++e) {
+    const auto [i, j] = ilp.edge_list[e];
+    const int di = relabel[static_cast<std::size_t>(
+        s.ops[static_cast<std::size_t>(i)].device)];
+    const int dj = relabel[static_cast<std::size_t>(
+        s.ops[static_cast<std::size_t>(j)].device)];
+    if (di == dj) {
+      set(ilp.same_z[e][static_cast<std::size_t>(di)], 1.0);
+    } else {
+      const int gap = s.ops[static_cast<std::size_t>(j)].start -
+                      s.ops[static_cast<std::size_t>(i)].end;
+      set(ilp.storage[e], std::max(0, gap));
+    }
+  }
+  for (const auto& pr : ilp.order_pairs) {
+    const auto& oi = s.ops[static_cast<std::size_t>(pr.i)];
+    const auto& oj = s.ops[static_cast<std::size_t>(pr.j)];
+    const bool i_first =
+        oi.start < oj.start || (oi.start == oj.start && pr.i < pr.j);
+    set(pr.order, i_first ? 1.0 : 0.0);
+  }
+  return assignment;
+}
+
+namespace {
+
+/// Extract the incumbent assignment + device order from a full MILP variable
+/// assignment and re-time with the device port model.
+schedule extract_schedule(const assay::sequencing_graph& graph,
+                          const scheduling_ilp& ilp,
+                          const ilp_scheduler_options& options,
+                          const std::vector<double>& values) {
   const int n = graph.operation_count();
   const int devices = options.device_count;
+  auto value = [&](milp::variable v) {
+    return values.at(static_cast<std::size_t>(v.index));
+  };
+  binding b;
+  b.device_of.assign(static_cast<std::size_t>(n), -1);
+  b.device_order.assign(static_cast<std::size_t>(devices), {});
+  std::vector<std::pair<double, int>> starts;
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < devices; ++k)
+      if (value(ilp.assign[static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(k)]) > 0.5)
+        b.device_of[static_cast<std::size_t>(i)] = k;
+    check(b.device_of[static_cast<std::size_t>(i)] >= 0,
+          "ilp scheduler: op left unassigned");
+    starts.emplace_back(value(ilp.start[static_cast<std::size_t>(i)]), i);
+  }
+  std::sort(starts.begin(), starts.end());
+  for (const auto& [start, op] : starts)
+    b.device_order[static_cast<std::size_t>(
+                       b.device_of[static_cast<std::size_t>(op)])]
+        .push_back(op);
+  schedule refined = refine_timing(graph, b, devices, options.timing);
+  refined.validate(graph);
+  return refined;
+}
 
+/// The racing portfolio behind options.portfolio: two branch-and-bound
+/// configurations (best_estimate and dfs, splitting the thread budget) and
+/// the simulated-annealing heuristic run concurrently on one shared
+/// incumbent board. Every heuristic improvement is translated into a full
+/// MILP assignment and offered to the board, where it tightens BOTH tree
+/// searches' pruning bound; the first solver to PROVE optimality wins the
+/// race and cancels the rest. With no proof inside the time limit, the best
+/// incumbent across all racers wins.
+struct portfolio_outcome {
+  milp::solution sol;            // winning (or synthesized) MILP solution
+  std::string winner;            // "best_estimate", "dfs" or "heuristic"
+  long total_nodes = 0;          // summed across both tree searches
+  long total_iterations = 0;
+  std::optional<schedule> heuristic_best; // best annealed schedule seen
+  bool all_joined = false;
+};
+
+portfolio_outcome run_portfolio(const assay::sequencing_graph& graph,
+                                const scheduling_ilp& ilp,
+                                const ilp_scheduler_options& options,
+                                const milp::solver_options& base) {
+  const milp::model& m = ilp.model;
+  auto board = std::make_shared<milp::incumbent_board>(true);
+
+  int total_threads = base.threads;
+  if (total_threads <= 0)
+    total_threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (total_threads <= 0) total_threads = 1;
+
+  auto racer_options = [&](milp::node_rule rule, int threads,
+                           cancel_token cancel) {
+    milp::solver_options so = base;
+    so.node_selection = rule;
+    so.threads = threads;
+    // The race resolves by arrival time, so per-run determinism is off the
+    // table regardless; the round engine's synchronization would only slow
+    // the racers down.
+    so.deterministic = false;
+    so.shared_incumbent = board;
+    so.warm_start = ilp.warm_assignment;
+    so.cancel = std::move(cancel);
+    return so;
+  };
+
+  cancel_source cancel_a, cancel_b, cancel_h;
+  auto cancel_all = [&] {
+    cancel_a.cancel();
+    cancel_b.cancel();
+    cancel_h.cancel();
+  };
+
+  const int threads_a = std::max(1, total_threads / 2);
+  const int threads_b = std::max(1, total_threads - threads_a);
+  milp::solution sol_a, sol_b;
+  std::atomic<int> winner{-1};
+  std::atomic<int> tree_racers_done{0};
+  auto run_racer = [&](int index, const milp::solver_options& so,
+                       milp::solution& out) {
+    out = milp::solve(m, so);
+    tree_racers_done.fetch_add(1, std::memory_order_release);
+    if (out.status == milp::solve_status::optimal) {
+      int expected = -1;
+      if (winner.compare_exchange_strong(expected, index)) cancel_all();
+    }
+  };
+
+  // Heuristic racer: anneal from the warm start (or a fresh list schedule)
+  // in short cancellable chunks, publishing every improvement to the board.
+  std::optional<schedule> heur_best;
+  auto run_heuristic = [&] {
+    stopwatch watch;
+    schedule current;
+    if (options.warm_start) {
+      current = *options.warm_start;
+    } else {
+      list_scheduler_options lo;
+      lo.device_count = options.device_count;
+      lo.timing = options.timing;
+      lo.alpha = options.alpha;
+      lo.beta = options.beta;
+      lo.cancel = cancel_h.token();
+      current = schedule_with_list(graph, lo);
+    }
+    auto publish = [&](const schedule& s) {
+      std::vector<double> values = schedule_assignment(ilp, s);
+      const double objective = m.evaluate_objective(values);
+      board->offer(objective, std::move(values));
+      if (!heur_best ||
+          s.objective(options.alpha, options.beta) <
+              heur_best->objective(options.alpha, options.beta))
+        heur_best = s;
+    };
+    publish(current);
+    unsigned seed = 1;
+    while (!cancel_h.cancelled() &&
+           tree_racers_done.load(std::memory_order_acquire) < 2 &&
+           watch.elapsed_seconds() < options.time_limit_seconds) {
+      if (base.cancel.cancelled()) { // forward the caller's cancellation
+        cancel_all();
+        break;
+      }
+      local_search_options lo;
+      lo.alpha = options.alpha;
+      lo.beta = options.beta;
+      lo.iterations = 2000;
+      lo.seed = seed++;
+      lo.cancel = cancel_h.token();
+      schedule improved =
+          improve_schedule(graph, current, options.timing, lo);
+      if (improved.objective(options.alpha, options.beta) <
+          current.objective(options.alpha, options.beta))
+        publish(improved);
+      current = std::move(improved);
+    }
+  };
+
+  std::thread thread_a(run_racer, 0,
+                       racer_options(milp::node_rule::best_estimate, threads_a,
+                                     cancel_a.token()),
+                       std::ref(sol_a));
+  std::thread thread_b(run_racer, 1,
+                       racer_options(milp::node_rule::dfs, threads_b,
+                                     cancel_b.token()),
+                       std::ref(sol_b));
+  std::thread thread_h(run_heuristic);
+  thread_a.join();
+  thread_b.join();
+  cancel_h.cancel();
+  thread_h.join();
+
+  portfolio_outcome out;
+  out.all_joined = !thread_a.joinable() && !thread_b.joinable() &&
+                   !thread_h.joinable();
+  out.heuristic_best = heur_best;
+  out.total_nodes = sol_a.nodes_explored + sol_b.nodes_explored;
+  out.total_iterations = sol_a.simplex_iterations + sol_b.simplex_iterations;
+
+  const int proven = winner.load();
+  if (proven == 0 || proven == 1) {
+    out.sol = proven == 0 ? std::move(sol_a) : std::move(sol_b);
+    out.winner = proven == 0 ? "best_estimate" : "dfs";
+    return out;
+  }
+  // No optimality proof: best incumbent wins. The racers adopt board
+  // incumbents mid-search, but a late heuristic offer can still beat both
+  // final incumbents -- check the board last.
+  const bool a_ok = sol_a.has_solution();
+  const bool b_ok = sol_b.has_solution();
+  const bool a_beats_b = a_ok && (!b_ok || sol_a.objective <= sol_b.objective);
+  out.sol = a_beats_b ? std::move(sol_a) : std::move(sol_b);
+  out.winner = a_beats_b ? "best_estimate" : "dfs";
+  std::uint64_t seen = 0;
+  double board_objective = 0.0;
+  std::vector<double> board_values;
+  if (board->fetch(seen, board_objective, board_values) &&
+      (!out.sol.has_solution() || board_objective < out.sol.objective)) {
+    // Synthesize a feasible solution from the board (the heuristic racer
+    // always publishes at least its starting schedule, so in the worst
+    // case this recovers the warm start). The tree racers' dual bounds
+    // stay valid for the shared model -- keep the tighter one.
+    out.winner = "heuristic";
+    out.sol.status = milp::solve_status::feasible;
+    out.sol.objective = board_objective;
+    out.sol.values = std::move(board_values);
+    out.sol.best_bound = std::max(sol_a.best_bound, sol_b.best_bound);
+    out.sol.interrupted = true;
+  }
+  return out;
+}
+
+} // namespace
+
+ilp_schedule_result schedule_with_ilp(const assay::sequencing_graph& graph,
+                                      const ilp_scheduler_options& options) {
   scheduling_ilp ilp = build_scheduling_ilp(graph, options);
   const milp::model& m = ilp.model;
 
   milp::solver_options solver_options = options.milp;
   solver_options.time_limit_seconds = options.time_limit_seconds;
   solver_options.log_progress = options.log_progress;
-  solver_options.warm_start = std::move(ilp.warm_assignment);
 
-  const milp::solution sol = milp::solve(m, solver_options);
-
+  milp::solution sol;
   ilp_schedule_result result;
+  std::optional<schedule> heuristic_best;
+  if (options.portfolio) {
+    portfolio_outcome outcome =
+        run_portfolio(graph, ilp, options, solver_options);
+    sol = std::move(outcome.sol);
+    heuristic_best = std::move(outcome.heuristic_best);
+    result.nodes = outcome.total_nodes;
+    result.simplex_iterations = outcome.total_iterations;
+    result.portfolio_racers = 3;
+    result.portfolio_winner = std::move(outcome.winner);
+    result.portfolio_all_joined = outcome.all_joined;
+  } else {
+    solver_options.warm_start = std::move(ilp.warm_assignment);
+    sol = milp::solve(m, solver_options);
+    result.nodes = sol.nodes_explored;
+    result.simplex_iterations = sol.simplex_iterations;
+  }
+
   result.status = sol.status;
   result.interrupted = sol.interrupted;
-  result.nodes = sol.nodes_explored;
-  result.simplex_iterations = sol.simplex_iterations;
   result.seconds = sol.seconds;
   result.variables = m.variable_count();
   result.constraints = m.constraint_count();
@@ -319,46 +546,28 @@ ilp_schedule_result schedule_with_ilp(const assay::sequencing_graph& graph,
   result.cuts_added = sol.cuts_added;
   result.cut_rounds = sol.cut_rounds;
   result.root_bound = sol.root_bound;
+  result.threads_used = sol.threads_used;
+  result.workers = sol.workers;
 
   check(sol.has_solution(),
         "ilp scheduler: no incumbent (horizon too small or solver failure)");
   result.ilp_objective = sol.objective;
   result.ilp_bound = sol.best_bound;
 
-  // Extract assignment + order and re-time with the device port model.
-  binding b;
-  b.device_of.assign(static_cast<std::size_t>(n), -1);
-  b.device_order.assign(static_cast<std::size_t>(devices), {});
-  std::vector<std::pair<double, int>> starts;
-  for (int i = 0; i < n; ++i) {
-    for (int k = 0; k < devices; ++k)
-      if (sol.value(ilp.assign[static_cast<std::size_t>(i)]
-                              [static_cast<std::size_t>(k)]) > 0.5)
-        b.device_of[static_cast<std::size_t>(i)] = k;
-    check(b.device_of[static_cast<std::size_t>(i)] >= 0,
-          "ilp scheduler: op left unassigned");
-    starts.emplace_back(sol.value(ilp.start[static_cast<std::size_t>(i)]), i);
-  }
-  std::sort(starts.begin(), starts.end());
-  for (const auto& [start, op] : starts)
-    b.device_order[static_cast<std::size_t>(
-                       b.device_of[static_cast<std::size_t>(op)])]
-        .push_back(op);
-
-  result.refined = refine_timing(graph, b, devices, options.timing);
-  result.refined.validate(graph);
+  result.refined = extract_schedule(graph, ilp, options, sol.values);
   // The ILP does not model device-port serialization, so among alternate
   // MILP optima the extracted ordering can re-time worse than the warm
   // start (which basis engine / pivot order the LP took picks the vertex).
   // Mirror the combined engine's guard: never return a schedule that
-  // scores worse under objective (6) than the warm start we were given.
-  if (options.warm_start) {
-    const double refined_score =
-        result.refined.objective(options.alpha, options.beta);
-    const double warm_score =
-        options.warm_start->objective(options.alpha, options.beta);
-    if (warm_score < refined_score) result.refined = *options.warm_start;
-  }
+  // scores worse under objective (6) than the warm start we were given --
+  // or, in portfolio mode, than the heuristic racer's best schedule.
+  auto keep_better = [&](const schedule& alternative) {
+    if (alternative.objective(options.alpha, options.beta) <
+        result.refined.objective(options.alpha, options.beta))
+      result.refined = alternative;
+  };
+  if (options.warm_start) keep_better(*options.warm_start);
+  if (heuristic_best) keep_better(*heuristic_best);
   return result;
 }
 

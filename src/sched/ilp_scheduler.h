@@ -24,6 +24,9 @@
 #pragma once
 
 #include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "assay/sequencing_graph.h"
 #include "milp/solver.h"
@@ -58,6 +61,14 @@ struct ilp_scheduler_options {
   /// start is relabeled by first device appearance so it stays feasible.
   bool break_device_symmetry = true;
   bool log_progress = false;
+  /// Racing portfolio (see schedule_with_ilp): a best_estimate
+  /// branch-and-bound config, a dfs config, and the simulated-annealing
+  /// heuristic race concurrently on the same formulation against one
+  /// shared incumbent board. The first solver to PROVE optimality wins and
+  /// cancels the others through their cancel tokens; with no proof, the
+  /// best incumbent across all racers wins. `milp.threads` is the total
+  /// thread budget, split across the two tree searches.
+  bool portfolio = false;
   /// Base MILP solver configuration (branching rule, LP engine ablations).
   /// time_limit_seconds / log_progress / warm_start above take precedence.
   milp::solver_options milp{};
@@ -81,6 +92,17 @@ struct ilp_schedule_result {
   int cuts_added = 0;
   int cut_rounds = 0;
   double root_bound = 0.0;   // objective-(6) LP bound after presolve + cuts
+  /// Worker threads the winning solve ran, and its per-worker breakdown
+  /// (empty for the sequential engine; see milp::solution::workers).
+  int threads_used = 1;
+  std::vector<milp::worker_stats> workers;
+  /// Portfolio bookkeeping (zero / empty when options.portfolio is off):
+  /// racer count, which racer's schedule won ("best_estimate", "dfs" or
+  /// "heuristic"), and whether every racer thread was joined before
+  /// returning (the no-thread-leak invariant tests assert on).
+  int portfolio_racers = 0;
+  std::string portfolio_winner;
+  bool portfolio_all_joined = false;
 };
 
 /// The Table 1 formulation as a standalone MILP, for callers that want to
@@ -94,7 +116,29 @@ struct scheduling_ilp {
   milp::variable makespan;                         // tE
   /// Warm-start assignment derived from options.warm_start (when given).
   std::optional<std::vector<double>> warm_assignment;
+  // Enough structure to translate ANY feasible schedule into a full MILP
+  // assignment after the fact (schedule_assignment below) -- the portfolio's
+  // heuristic racer uses this to publish annealed schedules to the shared
+  // incumbent board mid-race.
+  std::vector<std::pair<int, int>> edge_list;      // graph edges (i, j)
+  std::vector<std::vector<milp::variable>> same_z; // z_ijk per edge, device
+  std::vector<milp::variable> storage;             // w_ij per edge
+  struct order_pair {
+    int i, j;
+    milp::variable order; // 1 when i precedes j
+  };
+  std::vector<order_pair> order_pairs; // disjunctive pairs actually modeled
+  int device_count = 0;
+  bool symmetry_broken = false;
 };
+
+/// Translate a feasible schedule into a full variable assignment of
+/// `ilp.model` (assignment binaries, times, same-device indicators, storage
+/// slacks, ordering binaries), relabeling devices by first appearance when
+/// the model breaks device symmetry. The schedule must cover the same
+/// operation set the ILP was built from.
+[[nodiscard]] std::vector<double> schedule_assignment(const scheduling_ilp& ilp,
+                                                      const schedule& s);
 
 /// Build the paper's scheduling & binding MILP (Table 1, objective (6))
 /// without solving it.

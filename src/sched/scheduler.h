@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "assay/sequencing_graph.h"
 #include "milp/solver.h"
@@ -47,6 +49,17 @@ struct scheduler_options {
   /// Cooperative cancellation, threaded into every engine including the
   /// MILP branch-and-bound loop.
   cancel_token cancel;
+  /// Worker threads for the MILP tree search (milp::solver_options::threads):
+  /// 1 = sequential, 0 = hardware_concurrency, > 1 = parallel engine. In
+  /// portfolio mode this is the TOTAL budget split across the racers.
+  int solver_threads = 1;
+  /// Round-synchronized deterministic parallel search -- bit-identical
+  /// results at any thread count (milp::solver_options::deterministic).
+  bool solver_deterministic = false;
+  /// Racing solver portfolio (ilp_scheduler_options::portfolio): two
+  /// branch-and-bound configs and the annealing heuristic race on a shared
+  /// incumbent board; first proof of optimality cancels the rest.
+  bool portfolio = false;
 };
 
 struct scheduling_result {
@@ -73,6 +86,14 @@ struct scheduling_result {
   int ilp_presolve_rows_removed = 0;
   int ilp_cuts_added = 0;
   double ilp_root_bound = 0.0;
+  /// Parallel-search footprint: worker threads the (winning) solve ran and
+  /// its per-worker breakdown (empty for the sequential engine).
+  int ilp_threads = 1;
+  std::vector<milp::worker_stats> ilp_workers;
+  /// Portfolio bookkeeping (see ilp_schedule_result); racers is 0 when the
+  /// portfolio was off or the ILP never ran.
+  int portfolio_racers = 0;
+  std::string portfolio_winner;
 };
 
 /// Produce a validated schedule for `graph` under `options`.

@@ -23,7 +23,11 @@ namespace {
 
 solver_options quick_options() {
   solver_options o;
-  o.time_limit_seconds = 30.0;
+  // A safety net, not a budget: every solve asserted optimal below closes in
+  // well under a second in Release. The headroom is for sanitizer builds --
+  // ThreadSanitizer's ~10x slowdown blew a 30 s limit on the weakest
+  // formulation of FormulationStrengtheningPreservesTheOptimum.
+  o.time_limit_seconds = 180.0;
   return o;
 }
 
