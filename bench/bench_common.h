@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -87,9 +88,11 @@ struct assay_config {
 };
 
 /// Shared argv handling for the full-pipeline harnesses:
-///   --smoke     small assays (PCR, IVD, RA30) with a 1 s ILP budget -- the
-///               configuration CI runs and diffs against bench/baselines/
-///   --out FILE  JSON output path override
+///   --smoke      small assays (PCR, IVD, RA30) with a 1 s ILP budget -- the
+///                configuration CI runs and diffs against bench/baselines/
+///   --out FILE   JSON output path override
+///   --seconds S  per-solve budget override (ILP limit, or the equal
+///                per-engine wall budget in bench_sched's full mode)
 struct harness_args {
   bool smoke = false;
   std::string out;
@@ -107,8 +110,11 @@ inline harness_args parse_harness_args(int argc, char** argv,
       a.ilp_seconds = 1.0;
     } else if (arg == "--out" && i + 1 < argc) {
       a.out = argv[++i];
+    } else if (arg == "--seconds" && i + 1 < argc) {
+      a.ilp_seconds = std::atof(argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--smoke] [--seconds S] [--out FILE]\n",
+                   argv[0]);
       std::exit(2);
     }
   }

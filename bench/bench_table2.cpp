@@ -12,6 +12,21 @@
 #include "bench_common.h"
 #include "common/strings.h"
 #include "common/text_table.h"
+#include "sched/scheduler.h"
+
+namespace {
+
+const char* engine_label(transtore::sched::schedule_engine e) {
+  using transtore::sched::schedule_engine;
+  switch (e) {
+    case schedule_engine::sa: return "sched_sa";
+    case schedule_engine::grasp: return "sched_grasp";
+    case schedule_engine::decomp: return "sched_decomp";
+    default: return "sched_other";
+  }
+}
+
+} // namespace
 
 int main(int argc, char** argv) {
   using namespace transtore;
@@ -31,6 +46,30 @@ int main(int argc, char** argv) {
         config, bench::make_options(config, true, args.ilp_seconds),
         grid_used);
     records.push_back(bench::flow_record(config, grid_used, r));
+
+    // Scheduling-engine frontier rows: each metaheuristic engine's pure
+    // scheduling result on the same assay/device budget (the full
+    // quality/time frontier with baselines lives in bench_sched).
+    for (const sched::schedule_engine engine :
+         {sched::schedule_engine::sa, sched::schedule_engine::grasp,
+          sched::schedule_engine::decomp}) {
+      sched::scheduler_options so;
+      so.device_count = config.devices;
+      so.engine = engine;
+      const sched::scheduling_result sr = sched::make_schedule(graph, so);
+      bench::bench_record rec;
+      rec.assay = config.name;
+      rec.config = engine_label(engine);
+      rec.seconds = sr.seconds;
+      rec.objective = sr.best.objective(so.alpha, so.beta);
+      rec.status = "ok";
+      rec.extras = {
+          {"makespan", static_cast<double>(sr.best.makespan())},
+          {"stores", static_cast<double>(sr.best.store_count())},
+          {"cache_time", static_cast<double>(sr.best.total_cache_time())}};
+      records.push_back(std::move(rec));
+    }
+
     const auto& layout = r.layout;
     table.add_row({
         config.name,

@@ -14,7 +14,14 @@ sub-100ms solves never trip it. Time-limited baseline records only require
 that the (assay, config) pair still runs and still produces an incumbent.
 Throughput records (any baseline record carrying "requests_per_sec", as
 written by serve_smoke.py --out) must not fall below the baseline rate by
-more than the --max-time-ratio factor. Node-throughput records (baseline
+more than the --max-time-ratio factor. Objective-quality records (any
+baseline record carrying "objective_gate", as written by bench_sched's
+scheduling-frontier harness) gate on solution quality instead of solver
+work: the new objective may not exceed the baseline objective by more than
+--max-objective-ratio (the engines are deterministic in their seed, so the
+small tolerance only absorbs intentional engine retunes pending a baseline
+refresh), while wall time stays collapse-only like every other noisy-CI
+quantity. Node-throughput records (baseline
 records carrying "nodes_per_sec", as written by bench_milp's
 threads1/threads4/threads8 and portfolio configs) are gated the same
 collapse-only way: CI machines have arbitrary core counts, so the scaling
@@ -64,6 +71,9 @@ def main():
     ap.add_argument("--min-time-floor", type=float, default=0.5,
                     help="seconds below which time is never compared "
                          "(default 0.5)")
+    ap.add_argument("--max-objective-ratio", type=float, default=1.05,
+                    help="allowed objective growth on objective_gate "
+                         "records (default 1.05)")
     args = ap.parse_args()
 
     new = load(args.new_path, "new")
@@ -75,6 +85,23 @@ def main():
         n = new.get(key)
         if n is None:
             failures.append(f"{assay}/{config}: record missing from new run")
+            continue
+        if b.get("objective_gate", 0.0) > 0.0:
+            # Scheduling-frontier record: solution quality must not regress
+            # (deterministic engines -- the ratio only absorbs intentional
+            # retunes), wall time is collapse-only.
+            bo, no = b.get("objective", 0.0), n.get("objective", 0.0)
+            if bo > 0.0 and no > args.max_objective_ratio * bo:
+                failures.append(
+                    f"{assay}/{config}: objective regressed "
+                    f"{bo:.3f} -> {no:.3f} "
+                    f"(> {args.max_objective_ratio:.2f}x)")
+            bt, nt = b.get("seconds", 0.0), n.get("seconds", 0.0)
+            if bt >= args.min_time_floor and nt > args.max_time_ratio * bt:
+                failures.append(
+                    f"{assay}/{config}: time regressed "
+                    f"{bt:.3f}s -> {nt:.3f}s "
+                    f"(> {args.max_time_ratio:.1f}x)")
             continue
         if b.get("requests_per_sec", 0.0) > 0.0:
             # Serving-throughput baseline: the rate may wobble with CI

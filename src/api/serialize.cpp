@@ -68,6 +68,9 @@ namespace {
     case sched::schedule_engine::heuristic: return "heuristic";
     case sched::schedule_engine::ilp: return "ilp";
     case sched::schedule_engine::combined: return "combined";
+    case sched::schedule_engine::sa: return "sa";
+    case sched::schedule_engine::grasp: return "grasp";
+    case sched::schedule_engine::decomp: return "decomp";
   }
   return "combined";
 }
@@ -77,6 +80,9 @@ namespace {
   if (name == "heuristic") return sched::schedule_engine::heuristic;
   if (name == "ilp") return sched::schedule_engine::ilp;
   if (name == "combined") return sched::schedule_engine::combined;
+  if (name == "sa") return sched::schedule_engine::sa;
+  if (name == "grasp") return sched::schedule_engine::grasp;
+  if (name == "decomp") return sched::schedule_engine::decomp;
   throw invalid_input_error("serialize: unknown schedule engine \"" + name +
                             "\"");
 }

@@ -904,11 +904,15 @@ solution solve(const model& m, const solver_options& options) {
   if (options.warm_start) {
     require(static_cast<int>(options.warm_start->size()) == n,
             "milp::solve: warm start has wrong size");
-    if (try_incumbent(*options.warm_start))
+    if (try_incumbent(*options.warm_start)) {
+      result.warm_start_accepted = true;
+      result.warm_start_objective =
+          sf.objective_sign * incumbent_obj + sf.objective_constant;
       log_at(log_level::info, "milp: warm start accepted, objective ",
-             sf.objective_sign * incumbent_obj + sf.objective_constant);
-    else
+             result.warm_start_objective);
+    } else {
       log_at(log_level::warn, "milp: warm start rejected (infeasible)");
+    }
   }
 
   pseudocost_table pseudocosts(n);

@@ -222,6 +222,13 @@ struct solution {
   /// token (as opposed to node limits or natural exhaustion); the incumbent,
   /// if any, is best-effort.
   bool interrupted = false;
+  /// Warm-start intake: whether solver_options::warm_start survived the
+  /// rounding + feasibility re-validation and was installed as the initial
+  /// incumbent, and the user-sense objective it arrived with (0 when none
+  /// was given or it was rejected). Lets benches attribute node-count wins
+  /// to the quality of the incumbent the search started from.
+  bool warm_start_accepted = false;
+  double warm_start_objective = 0.0;
   /// Worker threads the tree search actually ran (after resolving the
   /// 0 = auto convention); 1 for the sequential engine.
   int threads_used = 1;

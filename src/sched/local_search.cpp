@@ -5,25 +5,9 @@
 
 #include "common/prng.h"
 #include "common/stopwatch.h"
+#include "sched/moves.h" // position_feasible shared with metaheuristics.cpp
 
 namespace transtore::sched {
-namespace {
-
-/// Can `op` legally sit at `position` in `queue` given the precedence
-/// relation? (No descendant earlier, no ancestor later.)
-bool position_feasible(const assay::sequencing_graph& graph,
-                       const std::vector<int>& queue, int op,
-                       std::size_t position) {
-  for (std::size_t i = 0; i < queue.size(); ++i) {
-    if (queue[i] == op) continue;
-    const std::size_t effective = i < position ? i : i + 1;
-    if (effective < position && graph.reaches(op, queue[i])) return false;
-    if (effective > position && graph.reaches(queue[i], op)) return false;
-  }
-  return true;
-}
-
-} // namespace
 
 schedule improve_schedule(const assay::sequencing_graph& graph,
                           const schedule& start,

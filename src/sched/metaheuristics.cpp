@@ -1,0 +1,588 @@
+#include "sched/metaheuristics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/prng.h"
+#include "common/stopwatch.h"
+#include "sched/list_scheduler.h"
+#include "sched/moves.h"
+
+namespace transtore::sched {
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t salt) {
+  std::uint64_t z = (base ^ salt) + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+/// One deterministic greedy list pass: the cheapest valid incumbent, used
+/// when an engine is handed no starting schedule.
+schedule greedy_seed(const assay::sequencing_graph& graph,
+                     int device_count, const timing_options& timing,
+                     double alpha, double beta, bool storage_aware,
+                     std::uint64_t seed) {
+  list_scheduler_options lo;
+  lo.device_count = device_count;
+  lo.timing = timing;
+  lo.alpha = alpha;
+  lo.beta = beta;
+  lo.storage_aware = storage_aware;
+  lo.restarts = 1;
+  lo.seed = seed;
+  return schedule_with_list(graph, lo);
+}
+
+/// Longest execution-time path from each op to any sink (inclusive) -- the
+/// list scheduler's critical-path priority, reused for RCL tie context.
+std::vector<int> remaining_path(const assay::sequencing_graph& graph) {
+  std::vector<int> order = graph.topological_order();
+  std::vector<int> path(static_cast<std::size_t>(graph.operation_count()), 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int best = 0;
+    for (int child : graph.children(*it))
+      best = std::max(best, path[static_cast<std::size_t>(child)]);
+    path[static_cast<std::size_t>(*it)] = best + graph.at(*it).duration;
+  }
+  return path;
+}
+
+// ------------------------------------------------------------------- SA ---
+
+/// Mutate `candidate` with one randomly chosen neighborhood move. `timed`
+/// is the realized schedule of the binding `candidate` was copied from and
+/// supplies the transfer kinds the storage-aware flips target. Returns
+/// false when the sampled move is infeasible (caller discards the copy).
+bool propose_move(const assay::sequencing_graph& graph, binding& candidate,
+                  const schedule& timed, int devices, prng& rng) {
+  const std::size_t n = candidate.device_of.size();
+  const double r = rng.uniform_real();
+
+  if (r < 0.25 && !timed.transfers.empty()) {
+    // Transport -> handoff flip: pick a cached transfer and pull its
+    // consumer directly behind its producer on the producer's device. The
+    // cache hold (and both its legs) disappear if timing accepts it.
+    const auto& tr = timed.transfers[rng.index(timed.transfers.size())];
+    if (tr.kind == transfer_kind::cached) {
+      const int producer_device =
+          candidate.device_of[static_cast<std::size_t>(tr.source_op)];
+      std::size_t pos = queue_position(candidate, tr.source_op) + 1;
+      if (candidate.device_of[static_cast<std::size_t>(tr.target_op)] ==
+              producer_device &&
+          queue_position(candidate, tr.target_op) < pos)
+        --pos; // consumer currently earlier on the same queue shifts it
+      return relocate_op(graph, candidate, tr.target_op, producer_device,
+                         pos);
+    }
+    // Sampled a non-cached transfer: fall through to the generic moves.
+  }
+  if (r < 0.4 && devices > 1 && !timed.transfers.empty()) {
+    // Handoff -> store flip: evict the consumer of a handoff/direct
+    // transfer to another device. The producer's port frees up earlier for
+    // the ops behind it, at the cost of one cached transfer.
+    const auto& tr = timed.transfers[rng.index(timed.transfers.size())];
+    if (tr.kind != transfer_kind::cached) {
+      int to = static_cast<int>(rng.index(static_cast<std::size_t>(devices)));
+      const int cur =
+          candidate.device_of[static_cast<std::size_t>(tr.target_op)];
+      if (to == cur) to = (to + 1) % devices;
+      const std::size_t len =
+          candidate.device_order[static_cast<std::size_t>(to)].size();
+      return relocate_op(graph, candidate, tr.target_op, to,
+                         rng.index(len + 1));
+    }
+  }
+  if (r < 0.55) {
+    // Adjacent swap on one device queue.
+    const int d = static_cast<int>(rng.index(static_cast<std::size_t>(devices)));
+    const auto& q = candidate.device_order[static_cast<std::size_t>(d)];
+    if (q.size() >= 2) {
+      const std::size_t k = rng.index(q.size() - 1);
+      return relocate_op(graph, candidate, q[k], d, k + 1);
+    }
+    // Queue too short: fall through to relocation.
+  }
+  const int op = static_cast<int>(rng.index(n));
+  const int to =
+      devices > 1 && rng.bernoulli(0.35)
+          ? static_cast<int>(rng.index(static_cast<std::size_t>(devices)))
+          : candidate.device_of[static_cast<std::size_t>(op)];
+  const std::size_t len =
+      candidate.device_order[static_cast<std::size_t>(to)].size() +
+      (to == candidate.device_of[static_cast<std::size_t>(op)] ? 0 : 1);
+  return relocate_op(graph, candidate, op, to, rng.index(len));
+}
+
+} // namespace
+
+schedule schedule_with_sa(const assay::sequencing_graph& graph,
+                          const sa_scheduler_options& options) {
+  graph.validate();
+  require(options.device_count > 0, "sa scheduler: device count must be positive");
+  require(options.iterations >= 0, "sa scheduler: negative iterations");
+  require(options.restarts >= 1, "sa scheduler: need at least one restart");
+
+  const double beta = options.storage_aware ? options.beta : 0.0;
+  const deadline budget(options.time_budget_seconds, options.cancel);
+
+  const schedule start =
+      options.start ? *options.start
+                    : greedy_seed(graph, options.device_count, options.timing,
+                                  options.alpha, options.beta,
+                                  options.storage_aware, options.seed);
+  const double start_cost = start.objective(options.alpha, beta);
+
+  binding best = extract_binding(start, options.device_count);
+  double best_cost = start_cost;
+  schedule best_timed = start;
+
+  const int per_restart =
+      std::max(1, options.iterations / options.restarts);
+  const double cooling = std::pow(0.05, 1.0 / per_restart);
+
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    if (budget.expired() || options.iterations == 0) break;
+    prng rng(derive_seed(options.seed, static_cast<std::uint64_t>(restart)));
+    // Reheat: resume from the incumbent at a (decaying) high temperature.
+    double temperature = options.initial_temperature *
+                         std::pow(options.reheat_factor, restart);
+    binding current = best;
+    double current_cost = best_cost;
+    schedule current_timed = best_timed;
+
+    for (int iter = 0; iter < per_restart; ++iter) {
+      if ((iter & 127) == 0 && budget.expired()) break;
+      binding candidate = current;
+      if (!propose_move(graph, candidate, current_timed,
+                        options.device_count, rng)) {
+        temperature *= cooling;
+        continue;
+      }
+      schedule timed;
+      try {
+        timed = refine_timing(graph, candidate, options.device_count,
+                              options.timing);
+      } catch (const invalid_input_error&) {
+        temperature *= cooling;
+        continue; // cross-device deadlock; reject
+      }
+      const double cost = timed.objective(options.alpha, beta);
+      const double delta = cost - current_cost;
+      if (delta <= 0.0 ||
+          rng.uniform_real() <
+              std::exp(-delta / std::max(1e-9, temperature))) {
+        current = std::move(candidate);
+        current_cost = cost;
+        current_timed = std::move(timed);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = current;
+          best_timed = current_timed;
+        }
+      }
+      temperature *= cooling;
+    }
+  }
+
+  best_timed.validate(graph);
+  if (best_timed.objective(options.alpha, beta) > start_cost) return start;
+  return best_timed;
+}
+
+// ---------------------------------------------------------------- GRASP ---
+
+namespace {
+
+/// One randomized-greedy construction: the list scheduler's scoring rule,
+/// but each step picks uniformly from the restricted candidate list of
+/// placements scoring within rcl_alpha * (max - min) of the best.
+schedule rcl_pass(const assay::sequencing_graph& graph,
+                  const grasp_scheduler_options& options,
+                  const std::vector<int>& priority, double rcl_alpha,
+                  prng& rng) {
+  timeline_builder builder(graph, options.device_count, options.timing);
+  const int n = graph.operation_count();
+  const double beta = options.storage_aware ? options.beta : 0.0;
+
+  struct candidate {
+    int op = -1;
+    int device = -1;
+    double score = 0.0;
+    int priority = 0;
+  };
+  std::vector<candidate> candidates;
+  std::vector<std::size_t> rcl;
+
+  for (int step = 0; step < n; ++step) {
+    candidates.clear();
+    double min_score = std::numeric_limits<double>::infinity();
+    double max_score = -std::numeric_limits<double>::infinity();
+    for (int op = 0; op < n; ++op) {
+      if (!builder.ready(op)) continue;
+      for (int d = 0; d < options.device_count; ++d) {
+        const auto placement = builder.preview(op, d);
+        const double score =
+            options.alpha * placement.end +
+            beta * static_cast<double>(placement.cache_time_added);
+        candidates.push_back(
+            {op, d, score, priority[static_cast<std::size_t>(op)]});
+        min_score = std::min(min_score, score);
+        max_score = std::max(max_score, score);
+      }
+    }
+    check(!candidates.empty(), "grasp: no ready operation (cycle?)");
+
+    const double threshold =
+        min_score + rcl_alpha * (max_score - min_score) + 1e-9;
+    rcl.clear();
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+      if (candidates[i].score <= threshold) rcl.push_back(i);
+
+    std::size_t pick;
+    if (rcl_alpha <= 0.0) {
+      // Pure greedy round: argmin with the list scheduler's critical-path
+      // tie break, so round 0 matches one deterministic list pass.
+      pick = rcl[0];
+      for (std::size_t i : rcl) {
+        const candidate& c = candidates[i];
+        const candidate& b = candidates[pick];
+        const bool tie_better =
+            c.priority > b.priority ||
+            (c.priority == b.priority && c.op < b.op);
+        if (c.score < b.score - 1e-9 ||
+            (c.score < b.score + 1e-9 && tie_better))
+          pick = i;
+      }
+    } else {
+      pick = rcl[rng.index(rcl.size())];
+    }
+    builder.commit(candidates[pick].op, candidates[pick].device);
+  }
+  return builder.build();
+}
+
+} // namespace
+
+schedule schedule_with_grasp(const assay::sequencing_graph& graph,
+                             const grasp_scheduler_options& options) {
+  graph.validate();
+  require(options.device_count > 0,
+          "grasp scheduler: device count must be positive");
+  require(options.rounds >= 1, "grasp scheduler: need at least one round");
+
+  const double beta = options.storage_aware ? options.beta : 0.0;
+  const deadline budget(options.time_budget_seconds, options.cancel);
+  const std::vector<int> priority = remaining_path(graph);
+
+  schedule best;
+  double best_cost = std::numeric_limits<double>::infinity();
+
+  for (int round = 0; round < options.rounds; ++round) {
+    if (round > 0 && budget.expired()) break;
+    // Derived (not reused) seeds: every round constructs and anneals with
+    // its own independent stream.
+    prng rng(derive_seed(options.seed, 0x47524153ULL + round));
+    const double rcl_alpha = round == 0 ? 0.0 : options.rcl_alpha;
+    schedule constructed =
+        rcl_pass(graph, options, priority, rcl_alpha, rng);
+
+    if (options.improvement_iterations > 0 && !budget.expired()) {
+      sa_scheduler_options sa;
+      sa.device_count = options.device_count;
+      sa.timing = options.timing;
+      sa.alpha = options.alpha;
+      sa.beta = options.beta;
+      sa.storage_aware = options.storage_aware;
+      sa.iterations = options.improvement_iterations;
+      sa.restarts = 1;
+      sa.seed = derive_seed(options.seed, 0x53415F49ULL + round);
+      sa.cancel = options.cancel;
+      if (options.time_budget_seconds > 0.0)
+        sa.time_budget_seconds = std::max(budget.remaining_seconds(), 1e-3);
+      sa.start = std::move(constructed);
+      constructed = schedule_with_sa(graph, sa);
+    }
+
+    const double cost = constructed.objective(options.alpha, beta);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = std::move(constructed);
+    }
+  }
+
+  if (options.start &&
+      options.start->objective(options.alpha, beta) < best_cost)
+    return *options.start;
+  best.validate(graph);
+  return best;
+}
+
+// -------------------------------------------------- SP decomposition ------
+
+namespace {
+
+struct decomposition_context {
+  const assay::sequencing_graph& graph;
+  const decomposition_scheduler_options& options;
+  const deadline& budget;
+  std::uint64_t salt = 0; // distinct derived seed per prime solve
+};
+
+/// List-schedule the induced subgraph of `ops` (given in topological
+/// order) on the devices `device_ids`, appending the resulting per-device
+/// orders to `out`.
+void solve_prime(decomposition_context& ctx, const std::vector<int>& ops,
+                 const std::vector<int>& device_ids, binding& out) {
+  const auto& o = ctx.options;
+  std::vector<int> local(
+      static_cast<std::size_t>(ctx.graph.operation_count()), -1);
+  assay::sequencing_graph sub(ctx.graph.name() + "#component");
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const auto& op = ctx.graph.at(ops[i]);
+    local[static_cast<std::size_t>(ops[i])] =
+        sub.add_operation(op.name, op.duration);
+  }
+  for (int u : ops)
+    for (int v : ctx.graph.children(u))
+      if (local[static_cast<std::size_t>(v)] >= 0)
+        sub.add_dependency(local[static_cast<std::size_t>(u)],
+                           local[static_cast<std::size_t>(v)]);
+
+  list_scheduler_options lo;
+  lo.device_count = static_cast<int>(device_ids.size());
+  lo.timing = o.timing;
+  lo.alpha = o.alpha;
+  lo.beta = o.beta;
+  lo.storage_aware = o.storage_aware;
+  lo.restarts = o.restarts;
+  lo.seed = derive_seed(o.seed, 0x5350ULL + ctx.salt++);
+  lo.cancel = o.cancel;
+  if (o.time_budget_seconds > 0.0)
+    lo.time_budget_seconds = std::max(ctx.budget.remaining_seconds(), 1e-3);
+  const schedule sub_schedule = schedule_with_list(sub, lo);
+  const binding sub_binding =
+      extract_binding(sub_schedule, lo.device_count);
+
+  for (std::size_t d = 0; d < device_ids.size(); ++d)
+    for (int local_op : sub_binding.device_order[d]) {
+      const int global_op = ops[static_cast<std::size_t>(local_op)];
+      // ops is topologically ordered and sub ids were assigned in that
+      // order, so local id == index into ops.
+      out.device_of[static_cast<std::size_t>(global_op)] = device_ids[d];
+      out.device_order[static_cast<std::size_t>(device_ids[d])].push_back(
+          global_op);
+    }
+}
+
+/// Weakly-connected components of the induced subgraph, each in
+/// topological order, heaviest (by total duration) first.
+std::vector<std::vector<int>> weak_components(
+    const assay::sequencing_graph& graph, const std::vector<int>& ops) {
+  std::vector<int> parent(
+      static_cast<std::size_t>(graph.operation_count()), -1);
+  for (int op : ops) parent[static_cast<std::size_t>(op)] = op;
+  auto find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x)
+      x = parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(x)])];
+    return x;
+  };
+  for (int u : ops)
+    for (int v : graph.children(u))
+      if (parent[static_cast<std::size_t>(v)] >= 0)
+        parent[static_cast<std::size_t>(find(u))] = find(v);
+
+  std::vector<std::vector<int>> components;
+  std::vector<int> component_of(
+      static_cast<std::size_t>(graph.operation_count()), -1);
+  for (int op : ops) { // ops topological => components stay topological
+    const int root = find(op);
+    if (component_of[static_cast<std::size_t>(root)] < 0) {
+      component_of[static_cast<std::size_t>(root)] =
+          static_cast<int>(components.size());
+      components.emplace_back();
+    }
+    components[static_cast<std::size_t>(
+                   component_of[static_cast<std::size_t>(root)])]
+        .push_back(op);
+  }
+  std::sort(components.begin(), components.end(),
+            [&](const std::vector<int>& a, const std::vector<int>& b) {
+              auto work = [&](const std::vector<int>& c) {
+                long w = 0;
+                for (int op : c) w += graph.at(op).duration;
+                return w;
+              };
+              const long wa = work(a), wb = work(b);
+              return wa != wb ? wa > wb : a[0] < b[0];
+            });
+  return components;
+}
+
+void solve_component(decomposition_context& ctx, const std::vector<int>& ops,
+                     const std::vector<int>& device_ids, binding& out);
+
+/// Parallel composition: allocate device subsets proportional to each
+/// component's total work (one device minimum) and recurse independently.
+void solve_parallel(decomposition_context& ctx,
+                    const std::vector<std::vector<int>>& components,
+                    const std::vector<int>& device_ids, binding& out) {
+  const std::size_t k = components.size();
+  std::vector<long> work(k, 0);
+  long total = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (int op : components[i]) work[i] += ctx.graph.at(op).duration;
+    total += work[i];
+  }
+  std::vector<int> share(k, 1);
+  int assigned = static_cast<int>(k);
+  const int devices = static_cast<int>(device_ids.size());
+  // Heaviest-first proportional top-up of the remaining devices.
+  while (assigned < devices) {
+    std::size_t target = 0;
+    double worst = -1.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double load = static_cast<double>(work[i]) / share[i];
+      if (load > worst) {
+        worst = load;
+        target = i;
+      }
+    }
+    ++share[target];
+    ++assigned;
+  }
+  (void)total;
+  int next = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::vector<int> subset(device_ids.begin() + next,
+                            device_ids.begin() + next + share[i]);
+    next += share[i];
+    solve_component(ctx, components[i], subset, out);
+  }
+}
+
+/// Narrowest topological series cut with at most max_cut_width crossing
+/// edges and at least min_component/2 ops on each side (ties broken toward
+/// the middle so stages stay balanced); -1 when none qualifies.
+int find_series_cut(const decomposition_context& ctx,
+                    const std::vector<int>& ops) {
+  const std::size_t n = ops.size();
+  const std::size_t guard =
+      static_cast<std::size_t>(std::max(1, ctx.options.min_component / 2));
+  if (n < 2 * guard + 2) return -1;
+  std::vector<int> pos(
+      static_cast<std::size_t>(ctx.graph.operation_count()), -1);
+  for (std::size_t i = 0; i < n; ++i)
+    pos[static_cast<std::size_t>(ops[i])] = static_cast<int>(i);
+  // crossing(p) = edges with pos[u] < p <= pos[v], via a difference array.
+  std::vector<int> diff(n + 1, 0);
+  for (int u : ops)
+    for (int v : ctx.graph.children(u)) {
+      const int pv = pos[static_cast<std::size_t>(v)];
+      if (pv < 0) continue;
+      diff[static_cast<std::size_t>(pos[static_cast<std::size_t>(u)]) + 1] +=
+          1;
+      diff[static_cast<std::size_t>(pv) + 1] -= 1;
+    }
+  const int mid = static_cast<int>(n) / 2;
+  auto mid_distance = [mid](int p) { return p > mid ? p - mid : mid - p; };
+  int crossing = 0;
+  int best_cut = -1;
+  int best_width = ctx.options.max_cut_width + 1;
+  for (std::size_t p = 1; p < n; ++p) {
+    crossing += diff[p];
+    if (p < guard || n - p < guard) continue;
+    const int cut = static_cast<int>(p);
+    if (crossing < best_width ||
+        (crossing == best_width && best_cut >= 0 &&
+         mid_distance(cut) < mid_distance(best_cut))) {
+      best_width = crossing;
+      best_cut = cut;
+    }
+  }
+  return best_width <= ctx.options.max_cut_width ? best_cut : -1;
+}
+
+void solve_component(decomposition_context& ctx, const std::vector<int>& ops,
+                     const std::vector<int>& device_ids, binding& out) {
+  if (static_cast<int>(ops.size()) <= ctx.options.min_component ||
+      ctx.budget.expired()) {
+    solve_prime(ctx, ops, device_ids, out);
+    return;
+  }
+  const std::vector<std::vector<int>> components =
+      weak_components(ctx.graph, ops);
+  if (components.size() >= 2) {
+    if (components.size() <= device_ids.size()) {
+      solve_parallel(ctx, components, device_ids, out);
+      return;
+    }
+    // More independent components than devices: the queues interleave
+    // anyway, so the list scheduler handles the packing directly.
+    solve_prime(ctx, ops, device_ids, out);
+    return;
+  }
+  const int cut = find_series_cut(ctx, ops);
+  if (cut > 0) {
+    const std::vector<int> prefix(ops.begin(), ops.begin() + cut);
+    const std::vector<int> suffix(ops.begin() + cut, ops.end());
+    // Series composition: all crossing edges run prefix -> suffix, so
+    // appending the suffix orders after the prefix orders on every shared
+    // device preserves precedence.
+    solve_component(ctx, prefix, device_ids, out);
+    solve_component(ctx, suffix, device_ids, out);
+    return;
+  }
+  solve_prime(ctx, ops, device_ids, out); // prime: no usable structure
+}
+
+} // namespace
+
+schedule schedule_with_decomposition(
+    const assay::sequencing_graph& graph,
+    const decomposition_scheduler_options& options) {
+  graph.validate();
+  require(options.device_count > 0,
+          "decomposition scheduler: device count must be positive");
+  const double beta = options.storage_aware ? options.beta : 0.0;
+  const deadline budget(options.time_budget_seconds, options.cancel);
+
+  binding composed;
+  composed.device_of.assign(
+      static_cast<std::size_t>(graph.operation_count()), -1);
+  composed.device_order.resize(
+      static_cast<std::size_t>(options.device_count));
+  std::vector<int> all_devices(
+      static_cast<std::size_t>(options.device_count));
+  std::iota(all_devices.begin(), all_devices.end(), 0);
+
+  decomposition_context ctx{graph, options, budget, 0};
+  solve_component(ctx, graph.topological_order(), all_devices, composed);
+
+  schedule result;
+  try {
+    result = refine_timing(graph, composed, options.device_count,
+                           options.timing);
+  } catch (const invalid_input_error&) {
+    // Composition produced a cross-device deadlock (cannot happen for pure
+    // series/parallel structure, but stay safe): fall back to the list
+    // scheduler on the whole graph.
+    result = greedy_seed(graph, options.device_count, options.timing,
+                         options.alpha, options.beta, options.storage_aware,
+                         options.seed);
+  }
+  if (options.start &&
+      options.start->objective(options.alpha, beta) <
+          result.objective(options.alpha, beta))
+    return *options.start;
+  result.validate(graph);
+  return result;
+}
+
+} // namespace transtore::sched

@@ -1,0 +1,68 @@
+// Shared neighborhood-move primitives for the annealing engines.
+//
+// Both the post-pass annealer (local_search.h) and the standalone
+// metaheuristic engines (metaheuristics.h) perturb a binding by removing
+// one operation from its device queue and reinserting it elsewhere. The
+// feasibility rule is purely structural -- no descendant may sit earlier in
+// the target queue and no ancestor later -- so every move that passes it
+// yields a binding refine_timing can realize (up to cross-device deadlock,
+// which the callers catch and reject).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "assay/sequencing_graph.h"
+#include "sched/timing.h"
+
+namespace transtore::sched {
+
+/// Can `op` legally sit at `position` in `queue` given the precedence
+/// relation? (No descendant earlier, no ancestor later.) `queue` may still
+/// contain `op`; its current slot is ignored.
+[[nodiscard]] inline bool position_feasible(
+    const assay::sequencing_graph& graph, const std::vector<int>& queue,
+    int op, std::size_t position) {
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (queue[i] == op) continue;
+    const std::size_t effective = i < position ? i : i + 1;
+    if (effective < position && graph.reaches(op, queue[i])) return false;
+    if (effective > position && graph.reaches(queue[i], op)) return false;
+  }
+  return true;
+}
+
+/// Remove `op` from its current queue in `b` and insert it at `position`
+/// (an index into the target queue AFTER removal) on `to_device`. Returns
+/// false when the position is precedence-infeasible; `b` is then left with
+/// `op` removed from its queue, so callers working on a throwaway copy
+/// simply discard it (the cheap-rejection idiom of the annealers).
+[[nodiscard]] inline bool relocate_op(const assay::sequencing_graph& graph,
+                                      binding& b, int op, int to_device,
+                                      std::size_t position) {
+  const int from_device = b.device_of[static_cast<std::size_t>(op)];
+  auto& from_queue = b.device_order[static_cast<std::size_t>(from_device)];
+  const auto it = std::find(from_queue.begin(), from_queue.end(), op);
+  check(it != from_queue.end(), "relocate_op: binding corrupt");
+  from_queue.erase(it);
+
+  auto& to_queue = b.device_order[static_cast<std::size_t>(to_device)];
+  if (position > to_queue.size()) position = to_queue.size();
+  if (!position_feasible(graph, to_queue, op, position)) return false;
+  to_queue.insert(to_queue.begin() + static_cast<std::ptrdiff_t>(position),
+                  op);
+  b.device_of[static_cast<std::size_t>(op)] = to_device;
+  return true;
+}
+
+/// Index of `op` inside its device queue in `b`.
+[[nodiscard]] inline std::size_t queue_position(const binding& b, int op) {
+  const auto& q =
+      b.device_order[static_cast<std::size_t>(
+          b.device_of[static_cast<std::size_t>(op)])];
+  const auto it = std::find(q.begin(), q.end(), op);
+  check(it != q.end(), "queue_position: binding corrupt");
+  return static_cast<std::size_t>(it - q.begin());
+}
+
+} // namespace transtore::sched

@@ -5,9 +5,15 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "sched/local_search.h"
+#include "sched/metaheuristics.h"
 
 namespace transtore::sched {
 namespace {
+
+bool is_metaheuristic(schedule_engine engine) {
+  return engine == schedule_engine::sa || engine == schedule_engine::grasp ||
+         engine == schedule_engine::decomp;
+}
 
 list_scheduler_options heuristic_options(const scheduler_options& o) {
   list_scheduler_options lo;
@@ -32,6 +38,7 @@ ilp_scheduler_options ilp_options(const scheduler_options& o,
   io.warm_start = warm;
   io.log_progress = o.log_progress;
   io.portfolio = o.portfolio;
+  io.seed = o.seed;
   io.milp.threads = o.solver_threads;
   io.milp.deterministic = o.solver_deterministic;
   return io;
@@ -58,15 +65,90 @@ scheduling_result make_schedule(const assay::sequencing_graph& graph,
   scheduling_result result;
 
   // A heuristic schedule is always produced: it is either the answer, the
-  // ILP warm start, or both.
+  // ILP warm start, the metaheuristic engines' starting incumbent and
+  // never-worse floor, or several of these at once.
   list_scheduler_options lo = heuristic_options(options);
   lo.time_budget_seconds = options.time_budget_seconds;
   lo.cancel = options.cancel;
-  if (options.engine == schedule_engine::ilp)
-    lo.restarts = 1; // single greedy pass, just to seed the ILP
+  if (options.engine == schedule_engine::ilp ||
+      is_metaheuristic(options.engine))
+    lo.restarts = 1; // single greedy pass: seed/floor, not the answer
   schedule heuristic = schedule_with_list(graph, lo);
 
   const double effective_beta = options.storage_aware ? options.beta : 0.0;
+
+  if (is_metaheuristic(options.engine)) {
+    const double remaining =
+        options.time_budget_seconds > 0.0
+            ? std::max(budget.remaining_seconds(), 1e-3)
+            : 0.0;
+    switch (options.engine) {
+      case schedule_engine::sa: {
+        sa_scheduler_options so;
+        so.device_count = options.device_count;
+        so.timing = options.timing;
+        so.alpha = options.alpha;
+        so.beta = options.beta;
+        so.storage_aware = options.storage_aware;
+        so.iterations = options.local_search_iterations;
+        so.seed = options.seed;
+        so.time_budget_seconds = remaining;
+        so.cancel = options.cancel;
+        so.start = std::move(heuristic);
+        result.best = schedule_with_sa(graph, so);
+        break;
+      }
+      case schedule_engine::grasp: {
+        grasp_scheduler_options go;
+        go.device_count = options.device_count;
+        go.timing = options.timing;
+        go.alpha = options.alpha;
+        go.beta = options.beta;
+        go.storage_aware = options.storage_aware;
+        go.improvement_iterations =
+            std::max(0, options.local_search_iterations / 4);
+        go.seed = options.seed;
+        go.time_budget_seconds = remaining;
+        go.cancel = options.cancel;
+        go.start = std::move(heuristic);
+        result.best = schedule_with_grasp(graph, go);
+        break;
+      }
+      default: {
+        decomposition_scheduler_options dopts;
+        dopts.device_count = options.device_count;
+        dopts.timing = options.timing;
+        dopts.alpha = options.alpha;
+        dopts.beta = options.beta;
+        dopts.storage_aware = options.storage_aware;
+        dopts.restarts = std::max(1, options.heuristic_restarts / 4);
+        dopts.seed = options.seed;
+        dopts.time_budget_seconds = remaining;
+        dopts.cancel = options.cancel;
+        dopts.start = std::move(heuristic);
+        result.best = schedule_with_decomposition(graph, dopts);
+        // decomp is purely constructive; the shared annealing post-pass
+        // below polishes it (sa/grasp already embed their anneal).
+        if (options.local_search_iterations > 0) {
+          local_search_options lso;
+          lso.alpha = options.alpha;
+          lso.beta = effective_beta;
+          lso.iterations = options.local_search_iterations;
+          lso.seed = derive_seed(options.seed, 0x504F5354ULL);
+          lso.cancel = options.cancel;
+          if (options.time_budget_seconds > 0.0)
+            lso.time_budget_seconds =
+                std::max(budget.remaining_seconds(), 1e-3);
+          result.best =
+              improve_schedule(graph, result.best, options.timing, lso);
+        }
+        break;
+      }
+    }
+    result.best.validate(graph);
+    result.seconds = watch.elapsed_seconds();
+    return result;
+  }
 
   bool run_ilp = options.engine != schedule_engine::heuristic;
   if (run_ilp) {
@@ -84,6 +166,28 @@ scheduling_result make_schedule(const assay::sequencing_graph& graph,
     result.ilp_interrupted = true;
     result.ilp_deadline_clamped = true;
     run_ilp = false;
+  }
+
+  if (run_ilp && options.local_search_iterations > 0 && !budget.expired()) {
+    // Anneal the heuristic BEFORE the MILP sees it: the warm start handed
+    // to the solver is then the best metaheuristic incumbent, so pruning
+    // starts from a tight primal bound at the very first node.
+    sa_scheduler_options so;
+    so.device_count = options.device_count;
+    so.timing = options.timing;
+    so.alpha = options.alpha;
+    so.beta = options.beta;
+    so.storage_aware = options.storage_aware;
+    so.iterations = options.local_search_iterations;
+    so.restarts = 2;
+    so.seed = derive_seed(options.seed, 0x5741524DULL);
+    so.cancel = options.cancel;
+    if (options.time_budget_seconds > 0.0)
+      // Leave the bulk of the remaining budget to the ILP itself.
+      so.time_budget_seconds =
+          std::max(budget.remaining_seconds() * 0.25, 1e-3);
+    so.start = heuristic;
+    heuristic = schedule_with_sa(graph, so);
   }
 
   if (run_ilp) {
@@ -135,7 +239,9 @@ scheduling_result make_schedule(const assay::sequencing_graph& graph,
     lso.alpha = options.alpha;
     lso.beta = effective_beta;
     lso.iterations = options.local_search_iterations;
-    lso.seed = options.seed;
+    // Derived stream (uniform with every other engine): the post-pass must
+    // not replay the pre-ILP anneal's exact trajectory.
+    lso.seed = derive_seed(options.seed, 0x504F5354ULL);
     lso.cancel = options.cancel;
     if (options.time_budget_seconds > 0.0)
       lso.time_budget_seconds = std::max(budget.remaining_seconds(), 1e-3);

@@ -18,6 +18,12 @@ enum class schedule_engine {
   heuristic, // list scheduling only
   ilp,       // paper ILP only (internally warm-started by one greedy pass)
   combined,  // heuristic + ILP improvement, best refined schedule wins
+  // Metaheuristic engines (sched/metaheuristics.h): the quality/time middle
+  // ground between the list scheduler and the full MILP. Each starts from
+  // one greedy list pass and never returns worse than it.
+  sa,        // restart/reheating simulated annealing, storage-aware moves
+  grasp,     // randomized-greedy (RCL) construction + SA improvement
+  decomp,    // series-parallel DAG decomposition, list fallback on primes
 };
 
 struct scheduler_options {
@@ -37,9 +43,16 @@ struct scheduler_options {
   /// (~18k rows) to the heuristic by default.
   int ilp_row_limit = 10000;
   int heuristic_restarts = 24;
-  /// Simulated-annealing improvement after the constructive engines
-  /// (sched/local_search.h); 0 disables it.
+  /// Simulated-annealing iteration budget. For heuristic/decomp it is the
+  /// improvement post-pass after the constructive engine; for ilp/combined
+  /// it first polishes the heuristic incumbent BEFORE the MILP sees it (so
+  /// the warm start is the best metaheuristic schedule) and then polishes
+  /// the winner; the sa engine spends it as its main anneal and grasp
+  /// splits it across its rounds' improvement phases. 0 disables annealing
+  /// everywhere.
   int local_search_iterations = 6000;
+  /// Base seed for every stochastic component; per-restart/round/racer
+  /// streams are derived from it (sched::derive_seed), never reused.
   std::uint64_t seed = 1;
   bool log_progress = false;
   /// Whole-stage wall-clock budget in seconds (0 = unlimited). The ILP time
